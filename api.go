@@ -1,0 +1,150 @@
+package vessel
+
+import (
+	"fmt"
+	"strings"
+
+	"vessel/internal/cpu"
+	"vessel/internal/sched"
+	"vessel/internal/sched/arachne"
+	"vessel/internal/sched/caladan"
+	"vessel/internal/sched/cfs"
+	"vessel/internal/sim"
+	"vessel/internal/trace"
+	ivessel "vessel/internal/vessel"
+	"vessel/internal/workload"
+)
+
+// Core types of the performance-simulation API, re-exported from the
+// internal packages so user code imports only this package.
+type (
+	// Config describes one simulated run: cores, duration, apps, costs.
+	Config = sched.Config
+	// Result is a run's outcome: per-app results and cycle breakdown.
+	Result = sched.Result
+	// AppResult is one application's throughput/latency outcome.
+	AppResult = sched.AppResult
+	// CycleBreakdown partitions machine time (app/runtime/kernel/switch/idle).
+	CycleBreakdown = sched.CycleBreakdown
+	// Scheduler runs a Config; implementations are VESSEL and baselines.
+	Scheduler = sched.Scheduler
+	// App is a latency-critical or best-effort application.
+	App = workload.App
+	// ServiceDist samples request service times.
+	ServiceDist = workload.ServiceDist
+	// Burst configures ON/OFF modulated arrivals.
+	Burst = workload.Burst
+	// CostModel holds every timing constant of the reproduction.
+	CostModel = cpu.CostModel
+	// Duration is virtual time in nanoseconds.
+	Duration = sim.Duration
+	// Time is a virtual-time instant.
+	Time = sim.Time
+	// LatencySummary is the Avg/P50/P90/P99/P999 report.
+	LatencySummary = sched.AppResult
+	// TraceRecorder captures per-core execution segments; set Config.Trace
+	// to one and call Render for Figure 7-style timelines.
+	TraceRecorder = trace.Recorder
+)
+
+// Virtual-time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// DefaultCosts returns the calibrated cost model (DESIGN.md §4). Clone it
+// to sweep individual constants.
+func DefaultCosts() *CostModel { return cpu.Default() }
+
+// NewTraceRecorder returns a bounded timeline recorder keeping at most max
+// segments (max ≤ 0 selects a generous default).
+func NewTraceRecorder(max int) *TraceRecorder { return trace.NewRecorder(max) }
+
+// VESSEL returns the paper's scheduler: one-level global scheduling with
+// sub-microsecond userspace context switches.
+func VESSEL() Scheduler { return ivessel.Simulator{} }
+
+// Caladan returns the plain Caladan baseline.
+func Caladan() Scheduler { return caladan.Simulator{Variant: caladan.Plain} }
+
+// CaladanDRLow returns Caladan with Delay Range 0.5–1µs.
+func CaladanDRLow() Scheduler { return caladan.Simulator{Variant: caladan.DRLow} }
+
+// CaladanDRHigh returns Caladan with Delay Range 1–4µs.
+func CaladanDRHigh() Scheduler { return caladan.Simulator{Variant: caladan.DRHigh} }
+
+// Linux returns the CFS baseline (L-apps nice −19, B-apps nice 20).
+func Linux() Scheduler { return cfs.Simulator{} }
+
+// Arachne returns the Arachne core-arbiter baseline.
+func Arachne() Scheduler { return arachne.Simulator{} }
+
+// Schedulers returns every scheduler in the evaluation, VESSEL first.
+func Schedulers() []Scheduler {
+	return []Scheduler{VESSEL(), Caladan(), CaladanDRLow(), CaladanDRHigh(), Linux(), Arachne()}
+}
+
+// NewScheduler resolves a scheduler by name (case-insensitive): "vessel",
+// "caladan", "caladan-dr-l", "caladan-dr-h", "linux", "arachne".
+func NewScheduler(name string) (Scheduler, error) {
+	switch strings.ToLower(name) {
+	case "vessel":
+		return VESSEL(), nil
+	case "caladan":
+		return Caladan(), nil
+	case "caladan-dr-l", "dr-l":
+		return CaladanDRLow(), nil
+	case "caladan-dr-h", "dr-h":
+		return CaladanDRHigh(), nil
+	case "linux", "cfs":
+		return Linux(), nil
+	case "arachne":
+		return Arachne(), nil
+	default:
+		return nil, fmt.Errorf("vessel: unknown scheduler %q", name)
+	}
+}
+
+// NewMemcached builds the memcached/USR L-app (1µs mean service,
+// Poisson arrivals) at the given offered load in requests/second.
+func NewMemcached(ratePerSec float64) *App {
+	return workload.NewLApp("memcached", workload.Memcached(), ratePerSec)
+}
+
+// NewSilo builds the Silo/TPC-C L-app (20µs median, 280µs P999).
+func NewSilo(ratePerSec float64) *App {
+	return workload.NewLApp("silo", workload.Silo(), ratePerSec)
+}
+
+// NewLApp builds a custom latency-critical app.
+func NewLApp(name string, dist ServiceDist, ratePerSec float64) *App {
+	return workload.NewLApp(name, dist, ratePerSec)
+}
+
+// NewLinpack builds the CPU-bound best-effort app.
+func NewLinpack() *App { return workload.Linpack() }
+
+// NewMembench builds the memory-intensive best-effort app.
+func NewMembench() *App { return workload.Membench() }
+
+// NewBApp builds a custom best-effort app with the given per-core
+// bandwidth demand (GB/s) and memory-phase fraction.
+func NewBApp(name string, bwDemandGBs, memFrac float64) *App {
+	return workload.NewBApp(name, bwDemandGBs, memFrac)
+}
+
+// MemcachedDist returns the memcached/USR service distribution.
+func MemcachedDist() ServiceDist { return workload.Memcached() }
+
+// SiloDist returns the Silo/TPC-C service distribution.
+func SiloDist() ServiceDist { return workload.Silo() }
+
+// IdealCapacity returns the zero-overhead service capacity of the given
+// core count for a service distribution, in requests/second — the
+// normalization basis for "total normalized throughput".
+func IdealCapacity(cores int, dist ServiceDist) float64 {
+	return sched.IdealLCapacity(cores, dist)
+}

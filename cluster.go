@@ -1,0 +1,130 @@
+package vessel
+
+import (
+	"fmt"
+)
+
+// Cluster manages multiple scheduling domains, following §4.1: one domain
+// supports at most 13 uProcesses (16 protection keys minus key 0, the
+// runtime key and the message-pipe key), so "multiple scheduling domains
+// can be used when the number of uProcesses exceeds this limit". Each
+// domain owns its own SMAS and cores; the cluster places new uProcesses
+// into the first domain with a free key.
+type Cluster struct {
+	managers []*Manager
+	// placement remembers which domain hosts each name.
+	placement map[string]int
+	perDomain []int
+}
+
+// MaxUProcsPerDomain mirrors the architectural key budget.
+const MaxUProcsPerDomain = 13
+
+// NewCluster boots n scheduling domains with the given cores each.
+func NewCluster(domains, coresPerDomain int, costs *CostModel) (*Cluster, error) {
+	if domains <= 0 {
+		return nil, fmt.Errorf("vessel: cluster needs at least one domain")
+	}
+	c := &Cluster{placement: make(map[string]int), perDomain: make([]int, domains)}
+	for i := 0; i < domains; i++ {
+		m, err := NewManager(coresPerDomain, costs)
+		if err != nil {
+			return nil, err
+		}
+		c.managers = append(c.managers, m)
+	}
+	return c, nil
+}
+
+// Domains returns the number of domains.
+func (c *Cluster) Domains() int { return len(c.managers) }
+
+// Capacity returns how many more uProcesses the cluster can host.
+func (c *Cluster) Capacity() int {
+	total := 0
+	for _, n := range c.perDomain {
+		total += MaxUProcsPerDomain - n
+	}
+	return total
+}
+
+// Manager returns domain i's manager (to build programs against its gates).
+func (c *Cluster) Manager(i int) *Manager { return c.managers[i] }
+
+// DomainOf returns which domain hosts a launched uProcess.
+func (c *Cluster) DomainOf(name string) (int, bool) {
+	d, ok := c.placement[name]
+	return d, ok
+}
+
+// Launch places a uProcess into the first domain with a free key. The
+// build function receives that domain's manager, because programs are
+// assembled against a specific domain's call gates.
+func (c *Cluster) Launch(name string, build func(*Manager) (*Program, error), core int) (*UProc, error) {
+	if _, dup := c.placement[name]; dup {
+		return nil, fmt.Errorf("vessel: uProcess %q already exists in the cluster", name)
+	}
+	for i, m := range c.managers {
+		if c.perDomain[i] >= MaxUProcsPerDomain {
+			continue
+		}
+		prog, err := build(m)
+		if err != nil {
+			return nil, err
+		}
+		u, err := m.Launch(name, prog, core)
+		if err != nil {
+			return nil, err
+		}
+		c.perDomain[i]++
+		c.placement[name] = i
+		return u, nil
+	}
+	return nil, fmt.Errorf("vessel: cluster full (%d domains × %d uProcesses)",
+		len(c.managers), MaxUProcsPerDomain)
+}
+
+// Destroy removes a uProcess and frees its key slot. Termination is lazy
+// (§5.1), so the domain is stepped briefly to let its cores process the
+// kill command before the region and key are reclaimed.
+func (c *Cluster) Destroy(name string) error {
+	i, ok := c.placement[name]
+	if !ok {
+		return fmt.Errorf("vessel: no uProcess %q in the cluster", name)
+	}
+	m := c.managers[i]
+	if err := m.Destroy(name); err != nil {
+		return err
+	}
+	for core := 0; core < m.NumCores(); core++ {
+		m.Step(core, 2000)
+	}
+	if _, err := m.Reap(); err != nil {
+		return err
+	}
+	delete(c.placement, name)
+	c.perDomain[i]--
+	return nil
+}
+
+// Start begins execution on one core of every domain.
+func (c *Cluster) Start(core int) error {
+	for i, m := range c.managers {
+		if c.perDomain[i] == 0 {
+			continue
+		}
+		if err := m.Start(core); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step runs up to n instructions on the given core of every active domain.
+func (c *Cluster) Step(core, n int) {
+	for i, m := range c.managers {
+		if c.perDomain[i] > 0 {
+			m.Step(core, n)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package vessel
+
+import (
+	"fmt"
+	"testing"
+)
+
+func buildParkLoop(m *Manager) (*Program, error) {
+	return m.NewProgram("loop").Forever(func(b *ProgramBuilder) {
+		b.Compute(500).Park()
+	}).Build()
+}
+
+func TestClusterBeyondThirteenUProcesses(t *testing.T) {
+	c, err := NewCluster(2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Domains() != 2 || c.Capacity() != 26 {
+		t.Fatalf("domains=%d capacity=%d", c.Domains(), c.Capacity())
+	}
+	// 20 uProcesses exceed one domain's 13-key budget; the cluster
+	// spills into the second domain.
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("app-%02d", i)
+		if _, err := c.Launch(name, buildParkLoop, 0); err != nil {
+			t.Fatalf("launch %s: %v", name, err)
+		}
+	}
+	if c.Capacity() != 6 {
+		t.Fatalf("capacity = %d, want 6", c.Capacity())
+	}
+	d0, _ := c.DomainOf("app-00")
+	d13, ok := c.DomainOf("app-13")
+	if !ok || d0 == d13 {
+		t.Fatalf("app-13 should spill to another domain (d0=%d d13=%d)", d0, d13)
+	}
+	// Everything runs.
+	if err := c.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	c.Step(0, 20_000)
+	for i := 0; i < 2; i++ {
+		parks, _ := c.Manager(i).Stats(0)
+		if parks < 20 {
+			t.Fatalf("domain %d parks = %d", i, parks)
+		}
+	}
+	// Full cluster rejects the 27th.
+	for i := 20; i < 26; i++ {
+		if _, err := c.Launch(fmt.Sprintf("app-%02d", i), buildParkLoop, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Launch("overflow", buildParkLoop, 0); err == nil {
+		t.Fatal("27th uProcess accepted")
+	}
+	// Destroy frees a slot.
+	if err := c.Destroy("app-05"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Launch("replacement", buildParkLoop, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Destroy("missing"); err == nil {
+		t.Fatal("destroy of unknown name accepted")
+	}
+	if _, err := c.Launch("app-00", buildParkLoop, 0); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := NewCluster(0, 1, nil); err == nil {
+		t.Fatal("zero domains accepted")
+	}
+}

@@ -1,0 +1,144 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures on the simulated substrate and prints them as text tables.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-run all|fig1|fig2|fig3|fig7|fig9mc|fig9silo|fig10|table1|fig11|fig12|fig13a|fig13b]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vessel/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink durations and sweep density")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	run := flag.String("run", "all", "which experiment(s) to run (comma-separated)")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	flag.Parse()
+
+	results := map[string]any{}
+	emit := func(name string, v fmt.Stringer) {
+		if *asJSON {
+			results[name] = v
+			return
+		}
+		fmt.Println(v)
+	}
+	defer func() {
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(results); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}()
+
+	o := experiments.Options{Seed: *seed, Quick: *quick}
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	if sel("fig1") {
+		f, err := experiments.Figure1(o)
+		if err != nil {
+			fail("fig1", err)
+		}
+		emit("fig1", f)
+	}
+	if sel("fig2") {
+		f, err := experiments.Figure2(o)
+		if err != nil {
+			fail("fig2", err)
+		}
+		emit("fig2", f)
+	}
+	if sel("fig3") {
+		emit("fig3", experiments.Figure3())
+	}
+	if sel("fig7") {
+		f, err := experiments.Figure7(o)
+		if err != nil {
+			fail("fig7", err)
+		}
+		emit("fig7", f)
+	}
+	if sel("fig9mc") {
+		f, err := experiments.Figure9(o, "memcached")
+		if err != nil {
+			fail("fig9mc", err)
+		}
+		emit("fig9mc", f)
+	}
+	if sel("fig9silo") {
+		f, err := experiments.Figure9(o, "silo")
+		if err != nil {
+			fail("fig9silo", err)
+		}
+		emit("fig9silo", f)
+	}
+	if sel("fig10") {
+		f, err := experiments.Figure10(o)
+		if err != nil {
+			fail("fig10", err)
+		}
+		emit("fig10", f)
+	}
+	if sel("table1") {
+		t, err := experiments.RunTable1(o, 0)
+		if err != nil {
+			fail("table1", err)
+		}
+		emit("table1", t)
+	}
+	if sel("fig11") {
+		f, err := experiments.Figure11(o)
+		if err != nil {
+			fail("fig11", err)
+		}
+		emit("fig11", f)
+	}
+	if sel("fig12") {
+		f, err := experiments.Figure12(o)
+		if err != nil {
+			fail("fig12", err)
+		}
+		emit("fig12", f)
+	}
+	if sel("fig13a") {
+		f, err := experiments.Figure13a(o)
+		if err != nil {
+			fail("fig13a", err)
+		}
+		emit("fig13a", f)
+	}
+	if sel("fig13b") {
+		f, err := experiments.Figure13b(o)
+		if err != nil {
+			fail("fig13b", err)
+		}
+		emit("fig13b", f)
+	}
+	if sel("sens") {
+		f, err := experiments.RunSensitivity(o)
+		if err != nil {
+			fail("sens", err)
+		}
+		emit("sens", f)
+	}
+}

@@ -1,0 +1,119 @@
+// Command vesselsim runs one configurable colocation simulation and prints
+// the per-app results and the machine cycle breakdown.
+//
+// Usage:
+//
+//	vesselsim [-sched vessel|caladan|caladan-dr-l|caladan-dr-h|linux|arachne]
+//	          [-cores N] [-load frac] [-lapp memcached|silo]
+//	          [-bapp linpack|membench|none] [-duration ms] [-bwtarget frac]
+//	          [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vessel"
+)
+
+func main() {
+	schedName := flag.String("sched", "vessel", "scheduler to run")
+	cores := flag.Int("cores", 16, "worker cores in the domain")
+	load := flag.Float64("load", 0.5, "L-app offered load as a fraction of ideal capacity")
+	lapp := flag.String("lapp", "memcached", "latency-critical app: memcached or silo")
+	bapp := flag.String("bapp", "linpack", "best-effort app: linpack, membench or none")
+	durMs := flag.Int("duration", 50, "measured duration in milliseconds")
+	bwTarget := flag.Float64("bwtarget", 0, "B-app bandwidth budget as a fraction of machine bandwidth (0 = off)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	timeline := flag.Bool("timeline", false, "render Figure 7-style core timelines of a 100µs window")
+	chromeOut := flag.String("chrometrace", "", "write a chrome://tracing JSON of the run to this file")
+	flag.Parse()
+
+	s, err := vessel.NewScheduler(*schedName)
+	if err != nil {
+		fatal(err)
+	}
+	var dist vessel.ServiceDist
+	switch *lapp {
+	case "memcached":
+		dist = vessel.MemcachedDist()
+	case "silo":
+		dist = vessel.SiloDist()
+	default:
+		fatal(fmt.Errorf("unknown L-app %q", *lapp))
+	}
+	rate := *load * vessel.IdealCapacity(*cores, dist)
+	apps := []*vessel.App{vessel.NewLApp(*lapp, dist, rate)}
+	switch *bapp {
+	case "linpack":
+		apps = append(apps, vessel.NewLinpack())
+	case "membench":
+		apps = append(apps, vessel.NewMembench())
+	case "none":
+	default:
+		fatal(fmt.Errorf("unknown B-app %q", *bapp))
+	}
+
+	cfg := vessel.Config{
+		Seed:         *seed,
+		Cores:        *cores,
+		Duration:     vessel.Duration(*durMs) * vessel.Millisecond,
+		Warmup:       vessel.Duration(*durMs) * vessel.Millisecond / 5,
+		Apps:         apps,
+		Costs:        vessel.DefaultCosts(),
+		BWTargetFrac: *bwTarget,
+	}
+	var rec *vessel.TraceRecorder
+	if *timeline || *chromeOut != "" {
+		rec = vessel.NewTraceRecorder(1 << 20)
+		cfg.Trace = rec
+	}
+	res, err := s.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("scheduler: %s   cores: %d   measured: %v\n\n", res.Scheduler, res.Cores, res.Measured)
+	for _, a := range res.Apps {
+		fmt.Printf("%-12s %-6s", a.Name, a.Kind)
+		if a.Kind == 0 { // latency-critical
+			fmt.Printf(" tput=%.3f Mops  norm=%.3f  %s\n",
+				a.Tput.PerSecond()/1e6, a.NormTput, a.Latency)
+		} else {
+			fmt.Printf(" cpu=%.1f core-s-equivalent  norm=%.3f  bw=%.1f GB/s\n",
+				float64(a.BUsefulNs)/1e9, a.NormTput, a.AvgBWGBs)
+		}
+	}
+	bd := res.Cycles
+	total := float64(bd.Total())
+	fmt.Printf("\ntotal normalized throughput: %.3f (ideal 1.0)\n", res.TotalNormTput())
+	fmt.Printf("cycle breakdown: app %.1f%%  runtime %.1f%%  kernel %.1f%%  switch %.1f%%  idle %.1f%%\n",
+		100*float64(bd.AppNs)/total, 100*float64(bd.RuntimeNs)/total,
+		100*float64(bd.KernelNs)/total, 100*float64(bd.SwitchNs)/total,
+		100*float64(bd.IdleNs)/total)
+	fmt.Printf("switches: %d   preemptions: %d   core reallocations: %d\n",
+		res.Switches, res.Preemptions, res.Reallocations)
+	if *timeline {
+		from := vessel.Time(cfg.Warmup)
+		to := from + vessel.Time(100*vessel.Microsecond)
+		fmt.Println()
+		fmt.Print(rec.Render(cfg.Cores, from, to, 100))
+	}
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := rec.WriteChromeJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nchrome trace written to %s (open in chrome://tracing or Perfetto)\n", *chromeOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vesselsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,25 @@
+// Package vessel is a from-scratch Go reproduction of "Fast Core Scheduling
+// with Userspace Process Abstraction" (SOSP 2024): the uProcess abstraction
+// — applications sharing one MPK-protected address space, entering a
+// userspace privileged mode through a hardened call gate, preempted by user
+// interrupts — and VESSEL, the one-level userspace core scheduler built on
+// it.
+//
+// Real UINTR/MPK hardware cannot be driven from a managed runtime, so the
+// repository models the hardware and kernel deterministically (see
+// DESIGN.md) at two fidelity levels, both exposed through this package:
+//
+//   - The mechanism level: NewManager boots a simulated machine with a
+//     shared memory address space, call gates, and user-interrupt routing.
+//     Programs built with ProgramBuilder execute instruction-by-instruction
+//     with the architectural PKRU∧page-permission check on every access.
+//
+//   - The performance level: NewScheduler returns event-driven simulators
+//     of VESSEL and the paper's baselines (Caladan with Delay Range
+//     variants, Linux CFS, Arachne). Run a Config describing colocated
+//     latency-critical and best-effort applications and compare normalized
+//     throughput, tail latency, and the cycle breakdown.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; cmd/experiments prints them as text tables.
+package vessel

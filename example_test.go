@@ -1,0 +1,88 @@
+package vessel_test
+
+import (
+	"fmt"
+
+	"vessel"
+)
+
+// ExampleVESSEL runs the paper's basic colocation: memcached sharing a
+// machine with Linpack under the VESSEL scheduler.
+func ExampleVESSEL() {
+	cfg := vessel.Config{
+		Seed:     1,
+		Cores:    8,
+		Duration: 20 * vessel.Millisecond,
+		Warmup:   4 * vessel.Millisecond,
+		Apps: []*vessel.App{
+			vessel.NewMemcached(4e6), // 4 Mops offered
+			vessel.NewLinpack(),
+		},
+		Costs: vessel.DefaultCosts(),
+	}
+	res, err := vessel.VESSEL().Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	mc, _ := res.App("memcached")
+	fmt.Printf("memcached served %.1f Mops with p999 under 20µs: %v\n",
+		mc.Tput.PerSecond()/1e6, mc.Latency.P999 < 20_000)
+	fmt.Printf("total normalized throughput above 0.9: %v\n", res.TotalNormTput() > 0.9)
+	// Output:
+	// memcached served 4.0 Mops with p999 under 20µs: true
+	// total normalized throughput above 0.9: true
+}
+
+// ExampleManager drives the mechanism level: two uProcesses time-share one
+// core through the call gate.
+func ExampleManager() {
+	mgr, err := vessel.NewManager(1, nil)
+	if err != nil {
+		panic(err)
+	}
+	for _, name := range []string{"alpha", "beta"} {
+		prog, err := mgr.NewProgram(name).Forever(func(b *vessel.ProgramBuilder) {
+			b.Compute(1000).Park()
+		}).Build()
+		if err != nil {
+			panic(err)
+		}
+		if _, err := mgr.Launch(name, prog, 0); err != nil {
+			panic(err)
+		}
+	}
+	if err := mgr.Start(0); err != nil {
+		panic(err)
+	}
+	mgr.Step(0, 10_000)
+	parks, _ := mgr.Stats(0)
+	fmt.Printf("userspace context switches happened: %v\n", parks > 100)
+	// Output:
+	// userspace context switches happened: true
+}
+
+// ExampleNewScheduler compares two schedulers on the same workload.
+func ExampleNewScheduler() {
+	run := func(name string) float64 {
+		s, err := vessel.NewScheduler(name)
+		if err != nil {
+			panic(err)
+		}
+		res, err := s.Run(vessel.Config{
+			Seed:     7,
+			Cores:    8,
+			Duration: 20 * vessel.Millisecond,
+			Warmup:   4 * vessel.Millisecond,
+			Apps:     []*vessel.App{vessel.NewMemcached(4e6), vessel.NewLinpack()},
+			Costs:    vessel.DefaultCosts(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		return res.TotalNormTput()
+	}
+	fmt.Printf("VESSEL keeps more of the machine than Caladan: %v\n",
+		run("vessel") > run("caladan"))
+	// Output:
+	// VESSEL keeps more of the machine than Caladan: true
+}

@@ -1,0 +1,48 @@
+// Memory-bandwidth regulation: the Figure 13 scenario — colocate memcached
+// with the memory-hungry membench under a bandwidth budget and compare how
+// well each scheduler keeps the B-app inside it (and what that does to the
+// L-app's tail and the machine's total throughput).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vessel"
+)
+
+func main() {
+	const cores = 16
+	const budgetFrac = 0.6
+
+	fmt.Printf("bandwidth budget: %.0f%% of %.0f GB/s machine bandwidth\n\n",
+		budgetFrac*100, vessel.DefaultCosts().MemBWTotal)
+	fmt.Printf("%-14s %-10s %-12s %-12s %-10s\n",
+		"system", "load", "total-norm", "p999-µs", "B-GB/s")
+	for _, s := range []vessel.Scheduler{vessel.VESSEL(), vessel.CaladanDRLow()} {
+		for _, lf := range []float64{0.3, 0.6} {
+			rate := lf * vessel.IdealCapacity(cores, vessel.MemcachedDist())
+			cfg := vessel.Config{
+				Seed:         5,
+				Cores:        cores,
+				Duration:     40 * vessel.Millisecond,
+				Warmup:       8 * vessel.Millisecond,
+				Apps:         []*vessel.App{vessel.NewMemcached(rate), vessel.NewMembench()},
+				Costs:        vessel.DefaultCosts(),
+				BWTargetFrac: budgetFrac,
+			}
+			res, err := s.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mb, _ := res.App("membench")
+			fmt.Printf("%-14s %-10.1f %-12.3f %-12.1f %-10.1f\n",
+				s.Name(), lf, res.TotalNormTput(),
+				float64(res.LAppP999())/1000, mb.AvgBWGBs)
+		}
+	}
+	fmt.Println("\nShape to look for (paper Fig. 13a): VESSEL's µs-scale regulation sustains a")
+	fmt.Println("higher total throughput under the same budget and latency constraints.")
+	fmt.Println("Run cmd/experiments -run fig13b for the regulation-accuracy comparison")
+	fmt.Println("against Intel MBA and Linux CFS shares.")
+}

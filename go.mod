@@ -1,0 +1,3 @@
+module vessel
+
+go 1.23

@@ -1,0 +1,287 @@
+// Package alloc implements the uProcess heap allocator of §5.2.3. The paper
+// preloads jemalloc and repoints its chunk source from mmap() to the
+// MPK-protected uProcess region; this package provides the equivalent:
+// a size-class allocator whose backing store is a fixed arena inside the
+// uProcess region, never the kernel.
+//
+// The allocator also supports cache-color-constrained page allocation,
+// which is how VESSEL lays out colocated uProcesses' working sets in
+// disjoint cache partitions — the mechanism behind the Figure 11 cache-
+// friendliness result.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"vessel/internal/mem"
+)
+
+// sizeClasses are the small-allocation bins (bytes), jemalloc-style.
+var sizeClasses = []uint64{16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 2048}
+
+// runSize is how much a small class carves from the arena at a time.
+const runSize = 16 * 1024
+
+// Arena manages [base, base+size) of a uProcess region.
+type Arena struct {
+	base mem.Addr
+	size uint64
+
+	// Address-ordered free extents for large allocations.
+	free []extent
+	// Per-class free lists for small allocations.
+	bins [][]mem.Addr
+	// Live allocations: address → (size, class index or −1).
+	live map[mem.Addr]liveInfo
+
+	allocated uint64
+	peak      uint64
+}
+
+type extent struct {
+	base mem.Addr
+	size uint64
+}
+
+type liveInfo struct {
+	size  uint64
+	class int // −1 for large
+}
+
+// NewArena returns an allocator over [base, base+size). base and size must
+// be 16-byte aligned.
+func NewArena(base mem.Addr, size uint64) (*Arena, error) {
+	if uint64(base)%16 != 0 || size%16 != 0 || size == 0 {
+		return nil, fmt.Errorf("alloc: arena [%#x, +%#x) not 16-byte aligned", uint64(base), size)
+	}
+	return &Arena{
+		base: base,
+		size: size,
+		free: []extent{{base, size}},
+		bins: make([][]mem.Addr, len(sizeClasses)),
+		live: make(map[mem.Addr]liveInfo),
+	}, nil
+}
+
+// Base returns the arena's start address.
+func (a *Arena) Base() mem.Addr { return a.base }
+
+// Size returns the arena's capacity.
+func (a *Arena) Size() uint64 { return a.size }
+
+// classFor returns the smallest size class ≥ n, or −1 if n is large.
+func classFor(n uint64) int {
+	for i, c := range sizeClasses {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// align16 rounds n up to a multiple of 16.
+func align16(n uint64) uint64 { return (n + 15) &^ 15 }
+
+// Alloc returns a 16-byte-aligned block of at least n bytes.
+func (a *Arena) Alloc(n uint64) (mem.Addr, error) {
+	if n == 0 {
+		n = 1
+	}
+	if ci := classFor(n); ci >= 0 {
+		return a.allocSmall(ci)
+	}
+	return a.allocLarge(align16(n))
+}
+
+func (a *Arena) allocSmall(ci int) (mem.Addr, error) {
+	if len(a.bins[ci]) == 0 {
+		// Carve a new run from the large allocator and split it.
+		run, err := a.carve(runSize)
+		if err != nil {
+			// Fall back to a single-object run when fragmented.
+			run, err = a.carve(align16(sizeClasses[ci]))
+			if err != nil {
+				return 0, err
+			}
+			a.bins[ci] = append(a.bins[ci], run)
+		} else {
+			cs := sizeClasses[ci]
+			for off := uint64(0); off+cs <= runSize; off += cs {
+				a.bins[ci] = append(a.bins[ci], run+mem.Addr(off))
+			}
+		}
+	}
+	last := len(a.bins[ci]) - 1
+	addr := a.bins[ci][last]
+	a.bins[ci] = a.bins[ci][:last]
+	a.live[addr] = liveInfo{size: sizeClasses[ci], class: ci}
+	a.account(int64(sizeClasses[ci]))
+	return addr, nil
+}
+
+func (a *Arena) allocLarge(n uint64) (mem.Addr, error) {
+	addr, err := a.carve(n)
+	if err != nil {
+		return 0, err
+	}
+	a.live[addr] = liveInfo{size: n, class: -1}
+	a.account(int64(n))
+	return addr, nil
+}
+
+// carve takes n bytes from the first fitting free extent (address order).
+func (a *Arena) carve(n uint64) (mem.Addr, error) {
+	for i := range a.free {
+		if a.free[i].size >= n {
+			addr := a.free[i].base
+			a.free[i].base += mem.Addr(n)
+			a.free[i].size -= n
+			if a.free[i].size == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			return addr, nil
+		}
+	}
+	return 0, fmt.Errorf("alloc: out of memory (want %d bytes, %d free in %d extents)",
+		n, a.FreeBytes(), len(a.free))
+}
+
+// Free releases a block returned by Alloc.
+func (a *Arena) Free(addr mem.Addr) error {
+	info, ok := a.live[addr]
+	if !ok {
+		return fmt.Errorf("alloc: free of unallocated address %#x", uint64(addr))
+	}
+	delete(a.live, addr)
+	a.account(-int64(info.size))
+	if info.class >= 0 {
+		a.bins[info.class] = append(a.bins[info.class], addr)
+		return nil
+	}
+	a.release(addr, info.size)
+	return nil
+}
+
+// release returns an extent to the free list, coalescing neighbours.
+func (a *Arena) release(addr mem.Addr, n uint64) {
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].base >= addr })
+	a.free = append(a.free, extent{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = extent{addr, n}
+	// Coalesce with successor.
+	if i+1 < len(a.free) && a.free[i].base+mem.Addr(a.free[i].size) == a.free[i+1].base {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	// Coalesce with predecessor.
+	if i > 0 && a.free[i-1].base+mem.Addr(a.free[i-1].size) == a.free[i].base {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+func (a *Arena) account(delta int64) {
+	a.allocated = uint64(int64(a.allocated) + delta)
+	if a.allocated > a.peak {
+		a.peak = a.allocated
+	}
+}
+
+// AllocatedBytes returns the bytes currently live (by size class, so small
+// allocations count their bin size).
+func (a *Arena) AllocatedBytes() uint64 { return a.allocated }
+
+// PeakBytes returns the high-water mark.
+func (a *Arena) PeakBytes() uint64 { return a.peak }
+
+// FreeBytes returns the bytes in large free extents (bin-cached small
+// blocks are not counted; they are committed to their class).
+func (a *Arena) FreeBytes() uint64 {
+	var n uint64
+	for _, e := range a.free {
+		n += e.size
+	}
+	return n
+}
+
+// LiveCount returns the number of live allocations.
+func (a *Arena) LiveCount() int { return len(a.live) }
+
+// SizeOf returns the usable size of a live allocation.
+func (a *Arena) SizeOf(addr mem.Addr) (uint64, bool) {
+	info, ok := a.live[addr]
+	return info.size, ok
+}
+
+// --- cache-colored page allocation ------------------------------------------
+
+// ColorOf returns the cache color of the page containing addr: the page's
+// index modulo the number of page colors the cache has (cache size divided
+// by way count and page size).
+func ColorOf(addr mem.Addr, numColors int) int {
+	if numColors <= 0 {
+		return 0
+	}
+	return int(addr.PageOf()) % numColors
+}
+
+// AllocPagesColored allocates npages whole pages whose colors all lie in
+// the allowed set (given numColors total). This is the layout policy that
+// lets two colocated uProcesses occupy disjoint cache partitions (Figure
+// 11): pages are taken from free extents page by page, skipping pages of
+// the wrong color.
+func (a *Arena) AllocPagesColored(npages int, allowed map[int]bool, numColors int) ([]mem.Addr, error) {
+	if npages <= 0 {
+		return nil, fmt.Errorf("alloc: npages must be positive")
+	}
+	var got []mem.Addr
+	// Scan free extents for correctly colored pages.
+	for _, e := range append([]extent(nil), a.free...) {
+		start := (e.base + mem.PageSize - 1) &^ (mem.PageSize - 1)
+		for p := start; p+mem.PageSize <= e.base+mem.Addr(e.size); p += mem.PageSize {
+			if len(got) == npages {
+				break
+			}
+			if allowed == nil || allowed[ColorOf(p, numColors)] {
+				got = append(got, p)
+			}
+		}
+	}
+	if len(got) < npages {
+		return nil, fmt.Errorf("alloc: only %d/%d pages available in allowed colors", len(got), npages)
+	}
+	got = got[:npages]
+	// Claim each page: split it out of its extent.
+	for _, p := range got {
+		if err := a.claimPage(p); err != nil {
+			return nil, err
+		}
+		a.live[p] = liveInfo{size: mem.PageSize, class: -1}
+		a.account(mem.PageSize)
+	}
+	return got, nil
+}
+
+// claimPage removes [p, p+PageSize) from the free list.
+func (a *Arena) claimPage(p mem.Addr) error {
+	for i := range a.free {
+		e := a.free[i]
+		if p >= e.base && p+mem.PageSize <= e.base+mem.Addr(e.size) {
+			// Split into up-to-two remainders.
+			before := extent{e.base, uint64(p - e.base)}
+			after := extent{p + mem.PageSize, uint64(e.base+mem.Addr(e.size)) - uint64(p+mem.PageSize)}
+			repl := a.free[:i]
+			repl = append(repl, a.free[i+1:]...)
+			a.free = repl
+			if before.size > 0 {
+				a.release(before.base, before.size)
+			}
+			if after.size > 0 {
+				a.release(after.base, after.size)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("alloc: page %#x not free", uint64(p))
+}

@@ -1,0 +1,292 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vessel/internal/mem"
+	"vessel/internal/sim"
+)
+
+func newArena(t *testing.T, size uint64) *Arena {
+	t.Helper()
+	a, err := NewArena(0x1000_0000, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewArenaValidation(t *testing.T) {
+	if _, err := NewArena(0x1001, 4096); err == nil {
+		t.Fatal("unaligned base accepted")
+	}
+	if _, err := NewArena(0x1000, 100); err == nil {
+		t.Fatal("unaligned size accepted")
+	}
+	if _, err := NewArena(0x1000, 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestSmallAllocFree(t *testing.T) {
+	a := newArena(t, 1<<20)
+	p1, err := a.Alloc(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.Alloc(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("duplicate allocation")
+	}
+	if uint64(p1)%16 != 0 || uint64(p2)%16 != 0 {
+		t.Fatal("misaligned")
+	}
+	if sz, ok := a.SizeOf(p1); !ok || sz != 32 {
+		t.Fatalf("size class for 24 = %d", sz)
+	}
+	if err := a.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	// Freed small blocks are recycled from the bin.
+	p3, err := a.Alloc(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 != p1 {
+		t.Fatalf("bin not recycled: %#x vs %#x", uint64(p3), uint64(p1))
+	}
+	if a.LiveCount() != 2 {
+		t.Fatalf("live = %d", a.LiveCount())
+	}
+}
+
+func TestZeroAndLargeAlloc(t *testing.T) {
+	a := newArena(t, 1<<20)
+	p, err := a.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := a.SizeOf(p); sz != 16 {
+		t.Fatalf("zero-byte alloc size = %d", sz)
+	}
+	big, err := a.Alloc(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := a.SizeOf(big); sz < 100_000 {
+		t.Fatalf("large size = %d", sz)
+	}
+	if err := a.Free(big); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleFreeAndBadFree(t *testing.T) {
+	a := newArena(t, 1<<20)
+	p, _ := a.Alloc(64)
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if err := a.Free(0xdead0); err == nil {
+		t.Fatal("wild free accepted")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := newArena(t, 64*1024)
+	var ptrs []mem.Addr
+	for {
+		p, err := a.Alloc(4096)
+		if err != nil {
+			break
+		}
+		ptrs = append(ptrs, p)
+	}
+	if len(ptrs) == 0 {
+		t.Fatal("nothing allocated before exhaustion")
+	}
+	// Freeing everything makes the full arena reusable (coalescing).
+	for _, p := range ptrs {
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.AllocatedBytes() != 0 {
+		t.Fatalf("allocated = %d after freeing all", a.AllocatedBytes())
+	}
+	if _, err := a.Alloc(48 * 1024); err != nil {
+		t.Fatalf("large alloc after free-all: %v", err)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	a := newArena(t, 1<<20)
+	p1, _ := a.Alloc(8192)
+	p2, _ := a.Alloc(8192)
+	p3, _ := a.Alloc(8192)
+	// Free middle, then neighbours: extents must coalesce so a larger
+	// allocation fits in the hole.
+	if err := a.Free(p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p3); err != nil {
+		t.Fatal(err)
+	}
+	p4, err := a.Alloc(24 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 != p1 {
+		t.Fatalf("coalesced hole not reused: got %#x want %#x", uint64(p4), uint64(p1))
+	}
+}
+
+func TestPeakAccounting(t *testing.T) {
+	a := newArena(t, 1<<20)
+	p1, _ := a.Alloc(1024)
+	p2, _ := a.Alloc(1024)
+	peak := a.PeakBytes()
+	a.Free(p1)
+	a.Free(p2)
+	if a.PeakBytes() != peak || peak < 2048 {
+		t.Fatalf("peak = %d", a.PeakBytes())
+	}
+}
+
+func TestColorOf(t *testing.T) {
+	if ColorOf(0, 64) != 0 {
+		t.Fatal("page 0 color")
+	}
+	if ColorOf(65*mem.PageSize, 64) != 1 {
+		t.Fatal("page 65 color with 64 colors")
+	}
+	if ColorOf(0x5000, 0) != 0 {
+		t.Fatal("zero colors should degrade to 0")
+	}
+}
+
+func TestColoredPageAllocation(t *testing.T) {
+	a := newArena(t, 4<<20)
+	const numColors = 8
+	evens := map[int]bool{0: true, 2: true, 4: true, 6: true}
+	odds := map[int]bool{1: true, 3: true, 5: true, 7: true}
+	pa, err := a.AllocPagesColored(64, evens, numColors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := a.AllocPagesColored(64, odds, numColors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pa {
+		if c := ColorOf(p, numColors); !evens[c] {
+			t.Fatalf("page %#x has color %d, want even", uint64(p), c)
+		}
+	}
+	for _, p := range pb {
+		if c := ColorOf(p, numColors); !odds[c] {
+			t.Fatalf("page %#x has color %d, want odd", uint64(p), c)
+		}
+	}
+	// No overlap.
+	seen := map[mem.Addr]bool{}
+	for _, p := range append(pa, pb...) {
+		if seen[p] {
+			t.Fatalf("page %#x allocated twice", uint64(p))
+		}
+		seen[p] = true
+	}
+	// Colored pages are live allocations and freeable.
+	if err := a.Free(pa[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColoredExhaustion(t *testing.T) {
+	a := newArena(t, 64*1024) // 16 pages
+	only0 := map[int]bool{0: true}
+	// With 8 colors over 16 pages only 2 pages have color 0.
+	if _, err := a.AllocPagesColored(3, only0, 8); err == nil {
+		t.Fatal("colored over-allocation accepted")
+	}
+	got, err := a.AllocPagesColored(2, only0, 8)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("colored alloc: %v", err)
+	}
+	if _, err := a.AllocPagesColored(0, only0, 8); err == nil {
+		t.Fatal("zero pages accepted")
+	}
+}
+
+func TestNilAllowedMeansAnyColor(t *testing.T) {
+	a := newArena(t, 64*1024)
+	got, err := a.AllocPagesColored(4, nil, 8)
+	if err != nil || len(got) != 4 {
+		t.Fatalf("nil allowed: %v", err)
+	}
+}
+
+func TestAllocFreeProperty(t *testing.T) {
+	// Property: after any interleaving of allocs and frees, live
+	// allocations never overlap and all fall inside the arena.
+	f := func(ops []uint16) bool {
+		a, err := NewArena(0x10000, 1<<20)
+		if err != nil {
+			return false
+		}
+		var ptrs []mem.Addr
+		for _, op := range ops {
+			if op%3 == 0 && len(ptrs) > 0 {
+				idx := int(op/3) % len(ptrs)
+				if a.Free(ptrs[idx]) != nil {
+					return false
+				}
+				ptrs = append(ptrs[:idx], ptrs[idx+1:]...)
+				continue
+			}
+			size := uint64(op%5000) + 1
+			p, err := a.Alloc(size)
+			if err != nil {
+				continue // exhaustion is fine
+			}
+			ptrs = append(ptrs, p)
+		}
+		// Verify no overlaps among live blocks.
+		type iv struct{ lo, hi uint64 }
+		var ivs []iv
+		for _, p := range ptrs {
+			sz, ok := a.SizeOf(p)
+			if !ok {
+				return false
+			}
+			if uint64(p) < 0x10000 || uint64(p)+sz > 0x10000+(1<<20) {
+				return false
+			}
+			ivs = append(ivs, iv{uint64(p), uint64(p) + sz})
+		}
+		for i := range ivs {
+			for j := i + 1; j < len(ivs); j++ {
+				if ivs[i].lo < ivs[j].hi && ivs[j].lo < ivs[i].hi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Keep sim import used for duration constants in future bench comparisons.
+var _ = sim.Microsecond

@@ -1,0 +1,78 @@
+package alloc
+
+import (
+	"testing"
+
+	"vessel/internal/mem"
+)
+
+func BenchmarkAllocFreeSmall(b *testing.B) {
+	a, err := NewArena(0x10000, 64<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := a.Alloc(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocFreeLarge(b *testing.B) {
+	a, err := NewArena(0x10000, 256<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := a.Alloc(64 << 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocChurn(b *testing.B) {
+	// Mixed-size churn with a live window, the realistic pattern.
+	a, err := NewArena(0x10000, 128<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var live []mem.Addr
+	sizes := []uint64{16, 96, 768, 4096, 20000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := a.Alloc(sizes[i%len(sizes)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = append(live, p)
+		if len(live) > 512 {
+			if err := a.Free(live[0]); err != nil {
+				b.Fatal(err)
+			}
+			live = live[1:]
+		}
+	}
+}
+
+func BenchmarkColoredPageAlloc(b *testing.B) {
+	allowed := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	for i := 0; i < b.N; i++ {
+		a, err := NewArena(0x10000, 8<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.AllocPagesColored(128, allowed, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package alloc
+
+import (
+	"testing"
+
+	"vessel/internal/mem"
+)
+
+// FuzzArena drives the allocator with an arbitrary op stream and checks
+// the no-overlap / in-bounds invariants after every operation.
+func FuzzArena(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 4, 0, 5, 6, 0})
+	f.Add([]byte{255, 255, 0, 0, 1})
+	f.Add([]byte{10, 20, 30, 40, 50, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		a, err := NewArena(0x10000, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live []mem.Addr
+		for _, op := range ops {
+			if op == 0 && len(live) > 0 {
+				if err := a.Free(live[0]); err != nil {
+					t.Fatalf("free: %v", err)
+				}
+				live = live[1:]
+				continue
+			}
+			size := uint64(op) * 97 // spread across size classes and large
+			p, err := a.Alloc(size)
+			if err != nil {
+				continue // exhaustion is legal
+			}
+			sz, ok := a.SizeOf(p)
+			if !ok || sz < size && size > 0 {
+				t.Fatalf("SizeOf(%#x) = %d, want ≥ %d", uint64(p), sz, size)
+			}
+			if uint64(p) < 0x10000 || uint64(p)+sz > 0x10000+(1<<20) {
+				t.Fatalf("allocation out of arena: %#x+%d", uint64(p), sz)
+			}
+			for _, q := range live {
+				qs, _ := a.SizeOf(q)
+				if uint64(p) < uint64(q)+qs && uint64(q) < uint64(p)+sz {
+					t.Fatalf("overlap: %#x+%d with %#x+%d", uint64(p), sz, uint64(q), qs)
+				}
+			}
+			live = append(live, p)
+		}
+	})
+}

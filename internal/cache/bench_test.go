@@ -1,0 +1,43 @@
+package cache
+
+import (
+	"testing"
+
+	"vessel/internal/mem"
+	"vessel/internal/sim"
+)
+
+func BenchmarkCacheAccessHit(b *testing.B) {
+	c, err := New(1<<20, 16, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Access(0x1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000)
+	}
+}
+
+func BenchmarkCacheAccessStream(b *testing.B) {
+	c, err := New(1<<20, 16, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(mem.Addr(i*64) % (4 << 20))
+	}
+}
+
+func BenchmarkObjectCopyWorkload(b *testing.B) {
+	w := DefaultWorkload()
+	w.Quanta = 200
+	for i := 0; i < b.N; i++ {
+		c, err := DefaultCache()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = Run(c, w, LayoutColored, 90, 4, 161, sim.NewRNG(1))
+	}
+}

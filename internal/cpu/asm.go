@@ -1,0 +1,144 @@
+package cpu
+
+import (
+	"fmt"
+
+	"vessel/internal/mem"
+)
+
+// Assembler builds instruction sequences with symbolic labels, resolving
+// forward references when the program is assembled at a base address. The
+// call gate, booting program, and test attack programs are all written with
+// it.
+type Assembler struct {
+	instrs []Instr
+	labels map[string]int // label -> instruction index
+	fixups []fixup
+}
+
+type fixup struct {
+	index int
+	label string
+	kind  fixupKind
+}
+
+type fixupKind uint8
+
+const (
+	fixJmp fixupKind = iota
+	fixJne
+	fixJeq
+	fixJnzDec
+	fixCall
+	fixMovImm
+)
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{labels: make(map[string]int)}
+}
+
+// Len returns the number of instructions emitted so far.
+func (a *Assembler) Len() int { return len(a.instrs) }
+
+// Emit appends raw instructions.
+func (a *Assembler) Emit(ins ...Instr) *Assembler {
+	a.instrs = append(a.instrs, ins...)
+	return a
+}
+
+// Label defines a label at the current position.
+func (a *Assembler) Label(name string) *Assembler {
+	if _, dup := a.labels[name]; dup {
+		panic(fmt.Sprintf("asm: duplicate label %q", name))
+	}
+	a.labels[name] = len(a.instrs)
+	return a
+}
+
+// JmpTo emits a jump to a label.
+func (a *Assembler) JmpTo(label string) *Assembler {
+	a.fixups = append(a.fixups, fixup{len(a.instrs), label, fixJmp})
+	return a.Emit(Jmp{})
+}
+
+// JneTo emits a conditional jump to a label when regs differ.
+func (a *Assembler) JneTo(x, y Reg, label string) *Assembler {
+	a.fixups = append(a.fixups, fixup{len(a.instrs), label, fixJne})
+	return a.Emit(Jne{A: x, B: y})
+}
+
+// JeqTo emits a conditional jump to a label when regs are equal.
+func (a *Assembler) JeqTo(x, y Reg, label string) *Assembler {
+	a.fixups = append(a.fixups, fixup{len(a.instrs), label, fixJeq})
+	return a.Emit(Jeq{A: x, B: y})
+}
+
+// LoopTo emits a dec-and-jump-if-nonzero to a label.
+func (a *Assembler) LoopTo(counter Reg, label string) *Assembler {
+	a.fixups = append(a.fixups, fixup{len(a.instrs), label, fixJnzDec})
+	return a.Emit(JnzDec{Dst: counter})
+}
+
+// CallTo emits a direct call to a label.
+func (a *Assembler) CallTo(label string) *Assembler {
+	a.fixups = append(a.fixups, fixup{len(a.instrs), label, fixCall})
+	return a.Emit(Call{})
+}
+
+// LeaTo loads a label's assembled address into a register.
+func (a *Assembler) LeaTo(dst Reg, label string) *Assembler {
+	a.fixups = append(a.fixups, fixup{len(a.instrs), label, fixMovImm})
+	return a.Emit(MovImm{Dst: dst})
+}
+
+// AddrOf returns the address a label will have when assembled at base.
+// It panics on undefined labels.
+func (a *Assembler) AddrOf(label string, base mem.Addr) mem.Addr {
+	idx, ok := a.labels[label]
+	if !ok {
+		panic(fmt.Sprintf("asm: undefined label %q", label))
+	}
+	return base + mem.Addr(idx*InstrSize)
+}
+
+// Assemble resolves all labels against the base address and returns the
+// final instruction slice. The assembler can be assembled repeatedly at
+// different bases.
+func (a *Assembler) Assemble(base mem.Addr) ([]Instr, error) {
+	out := make([]Instr, len(a.instrs))
+	copy(out, a.instrs)
+	for _, f := range a.fixups {
+		idx, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", f.label)
+		}
+		target := base + mem.Addr(idx*InstrSize)
+		switch f.kind {
+		case fixJmp:
+			out[f.index] = Jmp{Target: target}
+		case fixJne:
+			j := out[f.index].(Jne)
+			j.Target = target
+			out[f.index] = j
+		case fixJeq:
+			j := out[f.index].(Jeq)
+			j.Target = target
+			out[f.index] = j
+		case fixJnzDec:
+			j := out[f.index].(JnzDec)
+			j.Target = target
+			out[f.index] = j
+		case fixCall:
+			out[f.index] = Call{Target: target}
+		case fixMovImm:
+			mi := out[f.index].(MovImm)
+			mi.Imm = Word(target)
+			out[f.index] = mi
+		}
+	}
+	return out, nil
+}
+
+// SizeBytes returns the assembled size in bytes.
+func (a *Assembler) SizeBytes() uint64 { return uint64(len(a.instrs) * InstrSize) }

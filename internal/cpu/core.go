@@ -1,0 +1,263 @@
+package cpu
+
+import (
+	"fmt"
+
+	"vessel/internal/mem"
+	"vessel/internal/mpk"
+)
+
+// Hooks let higher layers observe and extend core execution.
+type Hooks struct {
+	// OnSendUIPI is invoked by the SENDUIPI instruction with the UITT
+	// index; the uintr package wires this to its routing tables.
+	OnSendUIPI func(c *Core, index Word)
+	// OnHalt fires when the core executes HLT.
+	OnHalt func(c *Core)
+	// OnFault is consulted before a memory fault halts the core. It
+	// plays the role of the kernel's SIGSEGV path: returning true means
+	// the fault was handled (e.g. redirected to a signal handler by
+	// updating PC) and execution continues.
+	OnFault func(c *Core, f *mem.Fault) bool
+}
+
+// Core is a simulated CPU core: register file, PKRU, program counter,
+// user-interrupt state, and a cycle counter. A core executes instruction
+// streams installed in a Machine through an AddressSpace, applying the
+// PTE∧PKRU check on every data access and the execute-permission check on
+// every fetch.
+type Core struct {
+	ID    int
+	Costs *CostModel
+	AS    *mem.AddressSpace
+	PKRU  mpk.PKRU
+	Regs  [NumRegs]Word
+	PC    mem.Addr
+
+	// UIF is the user-interrupt flag; pending vectors are only delivered
+	// while it is set (as after UIRET or STUI).
+	UIF bool
+	// PendingVectors is the posted-interrupt bitmap (the UPID's PIR in
+	// hardware). Bits are set by uintr posting and cleared on delivery.
+	PendingVectors uint64
+	// HandlerAddr is the registered user-interrupt handler entry point.
+	HandlerAddr mem.Addr
+	// PrivilegedPKRU, when non-nil, suppresses user-interrupt delivery
+	// while PKRU equals it — the runtime's CLUI/STUI discipline: a core
+	// executing in the userspace privileged mode must not be re-entered
+	// by its own scheduling interrupts until it drops back to an
+	// application PKRU (the stage-3 WRPKRU of the call gate).
+	PrivilegedPKRU *mpk.PKRU
+
+	Cycles int64
+	Halted bool
+	Fault  *mem.Fault
+	Hooks  Hooks
+
+	machine *Machine
+	nextPC  mem.Addr
+	jumped  bool
+}
+
+// setPC redirects control flow for the current instruction.
+func (c *Core) setPC(a mem.Addr) {
+	c.nextPC = a
+	c.jumped = true
+}
+
+// push writes v at [RSP-8] and decrements RSP.
+func (c *Core) push(v Word) *mem.Fault {
+	sp := mem.Addr(c.Regs[RSP] - 8)
+	if fault := c.AS.Write(sp, 8, v, c.PKRU); fault != nil {
+		return fault
+	}
+	c.Regs[RSP] = Word(sp)
+	return nil
+}
+
+// pop reads [RSP] and increments RSP.
+func (c *Core) pop() (Word, *mem.Fault) {
+	sp := mem.Addr(c.Regs[RSP])
+	v, fault := c.AS.Read(sp, 8, c.PKRU)
+	if fault != nil {
+		return 0, fault
+	}
+	c.Regs[RSP] = Word(sp + 8)
+	return v, nil
+}
+
+// PostUserInterrupt posts vector (0–63) into the core's pending bitmap.
+// Delivery happens before the next instruction boundary while UIF is set,
+// mirroring the hardware's recognition of posted user interrupts.
+func (c *Core) PostUserInterrupt(vector uint8) {
+	c.PendingVectors |= 1 << (vector & 63)
+}
+
+// deliverUserInterrupt vectors the core into its registered handler:
+// hardware pushes the interrupted PC and the vector number onto the current
+// stack, clears UIF, and jumps to the handler (§2.2).
+func (c *Core) deliverUserInterrupt() *mem.Fault {
+	vec := uint8(0)
+	for v := uint8(0); v < 64; v++ {
+		if c.PendingVectors&(1<<v) != 0 {
+			vec = v
+			break
+		}
+	}
+	c.PendingVectors &^= 1 << vec
+	if fault := c.push(Word(c.PC)); fault != nil {
+		return fault
+	}
+	if fault := c.push(Word(vec)); fault != nil {
+		return fault
+	}
+	c.UIF = false
+	c.PC = c.HandlerAddr
+	c.Cycles += int64(float64(c.Costs.UintrDeliver) * c.Costs.ClockGHz)
+	return nil
+}
+
+// raise routes a fault through the OnFault hook or halts the core.
+func (c *Core) raise(f *mem.Fault) {
+	if c.Hooks.OnFault != nil && c.Hooks.OnFault(c, f) {
+		return
+	}
+	c.Fault = f
+	c.Halted = true
+}
+
+// Step fetches, checks, and executes one instruction. It reports whether
+// the core can continue (i.e. it is not halted).
+func (c *Core) Step() bool {
+	if c.Halted {
+		return false
+	}
+	// Recognise pending user interrupts at the instruction boundary,
+	// unless the core is in the masked privileged mode.
+	if c.UIF && c.PendingVectors != 0 && c.HandlerAddr != 0 &&
+		(c.PrivilegedPKRU == nil || c.PKRU != *c.PrivilegedPKRU) {
+		if fault := c.deliverUserInterrupt(); fault != nil {
+			c.raise(fault)
+			return !c.Halted
+		}
+	}
+	instr, fault := c.machine.fetch(c.AS, c.PC, c.PKRU)
+	if fault != nil {
+		c.raise(fault)
+		return !c.Halted
+	}
+	c.nextPC = c.PC + InstrSize
+	c.jumped = false
+	c.Cycles += instr.Cycles(c.Costs)
+	if fault := instr.Exec(c); fault != nil {
+		c.raise(fault)
+		return !c.Halted
+	}
+	c.PC = c.nextPC
+	return !c.Halted
+}
+
+// Run executes up to maxSteps instructions, stopping early on halt or
+// fault. It returns the number of instructions executed.
+func (c *Core) Run(maxSteps int) int {
+	n := 0
+	for n < maxSteps && c.Step() {
+		n++
+	}
+	return n
+}
+
+// Machine groups physical memory, the cost model, and the global code map
+// keyed by physical location (so that text shared between address spaces is
+// the same code everywhere, as SMAS requires).
+type Machine struct {
+	Phys  *mem.Physical
+	Costs *CostModel
+	cores []*Core
+	code  map[codeKey]Instr
+}
+
+type codeKey struct {
+	frame int
+	off   uint64
+}
+
+// NewMachine creates a machine with the given number of cores, all sharing
+// physical memory but each with a nil address space until attached.
+func NewMachine(cores int, costs *CostModel) *Machine {
+	if costs == nil {
+		costs = Default()
+	}
+	m := &Machine{
+		Phys:  mem.NewPhysical(),
+		Costs: costs,
+		code:  make(map[codeKey]Instr),
+	}
+	for i := 0; i < cores; i++ {
+		m.cores = append(m.cores, &Core{
+			ID:      i,
+			Costs:   costs,
+			machine: m,
+			UIF:     true,
+		})
+	}
+	return m
+}
+
+// Core returns core i.
+func (m *Machine) Core(i int) *Core { return m.cores[i] }
+
+// NumCores returns the number of cores.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// InstallCode registers a program's instructions at virtual address base in
+// the given address space. The pages covering the program must already be
+// mapped; the instructions are recorded against the backing *frames*, so
+// any address space sharing those frames executes the same code.
+func (m *Machine) InstallCode(as *mem.AddressSpace, base mem.Addr, prog []Instr) error {
+	if base%InstrSize != 0 {
+		return fmt.Errorf("cpu: code base %#x not instruction aligned", uint64(base))
+	}
+	for i, ins := range prog {
+		a := base + mem.Addr(i*InstrSize)
+		pte, ok := as.Lookup(a)
+		if !ok {
+			return fmt.Errorf("cpu: code page %#x not mapped", uint64(a))
+		}
+		m.code[codeKey{pte.Frame.ID, a.Offset()}] = ins
+	}
+	return nil
+}
+
+// FetchAt returns the instruction mapped at addr in as, without permission
+// checks — used by the loader's static code inspection (§5.2.1), which reads
+// the program image it is installing.
+func (m *Machine) FetchAt(as *mem.AddressSpace, addr mem.Addr) (Instr, bool) {
+	pte, ok := as.Lookup(addr)
+	if !ok {
+		return nil, false
+	}
+	ins, ok := m.code[codeKey{pte.Frame.ID, addr.Offset()}]
+	return ins, ok
+}
+
+// fetch resolves PC to an instruction, enforcing the execute permission on
+// the text page. PKRU is not consulted for fetches (MPK does not mediate
+// execution), but the page must be executable.
+func (m *Machine) fetch(as *mem.AddressSpace, pc mem.Addr, pkru mpk.PKRU) (Instr, *mem.Fault) {
+	frame, fault := as.Check(pc, mpk.AccessExec, pkru)
+	if fault != nil {
+		return nil, fault
+	}
+	ins, ok := m.code[codeKey{frame.ID, pc.Offset()}]
+	if !ok {
+		return nil, &mem.Fault{Addr: pc, Kind: mem.FaultPerm, Op: mpk.AccessExec}
+	}
+	return ins, nil
+}
+
+// NsFor converts a core's accumulated cycles to nanoseconds under the
+// machine's cost model.
+func (m *Machine) NsFor(cycles int64) float64 {
+	return float64(cycles) / m.Costs.ClockGHz
+}

@@ -1,0 +1,220 @@
+package cpu
+
+import (
+	"testing"
+
+	"vessel/internal/mem"
+	"vessel/internal/mpk"
+)
+
+func TestAssemblerHelpers(t *testing.T) {
+	a := NewAssembler()
+	a.Emit(MovImm{RAX, 1}, MovImm{RBX, 2})
+	a.Label("eq")
+	a.JeqTo(RAX, RBX, "eq")
+	a.JneTo(RAX, RBX, "done")
+	a.Label("done")
+	a.Emit(Halt{})
+	if a.Len() != 5 {
+		t.Fatalf("len = %d", a.Len())
+	}
+	if a.SizeBytes() != 5*InstrSize {
+		t.Fatalf("size = %d", a.SizeBytes())
+	}
+	prog, err := a.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 5 {
+		t.Fatal("assembled length")
+	}
+	jeq := prog[2].(Jeq)
+	if jeq.Target != a.AddrOf("eq", 0x1000) {
+		t.Fatal("jeq target")
+	}
+	jne := prog[3].(Jne)
+	if jne.Target != a.AddrOf("done", 0x1000) {
+		t.Fatal("jne target")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddrOf of unknown label should panic")
+		}
+	}()
+	a.AddrOf("missing", 0)
+}
+
+func TestMachineAccessors(t *testing.T) {
+	m := NewMachine(3, nil)
+	if m.NumCores() != 3 {
+		t.Fatal("cores")
+	}
+	if m.NsFor(2000) != 1000 {
+		t.Fatalf("NsFor = %v", m.NsFor(2000))
+	}
+	as := mem.NewAddressSpace(m.Phys)
+	if err := as.MapRange(0x1000, mem.PageSize, mem.PermXOnly, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InstallCode(as, 0x1000, []Instr{Halt{}}); err != nil {
+		t.Fatal(err)
+	}
+	if ins, ok := m.FetchAt(as, 0x1000); !ok || ins.String() != "hlt" {
+		t.Fatalf("FetchAt = %v %v", ins, ok)
+	}
+	if _, ok := m.FetchAt(as, 0x2000); ok {
+		t.Fatal("FetchAt on unmapped page")
+	}
+	if _, ok := m.FetchAt(as, 0x1000+InstrSize); ok {
+		t.Fatal("FetchAt past code")
+	}
+}
+
+func TestInstrExecPaths(t *testing.T) {
+	m, c, as := buildEnv(t)
+	a := NewAssembler()
+	a.Emit(
+		MovImm{RAX, 7},
+		MovReg{RBX, RAX},       // rbx = 7
+		StoreAbs{RBX, 0x10008}, // [0x10008] = 7
+		LoadAbs{RCX, 0x10008},  // rcx = 7
+		MovImm{RDX, 5},
+		Jeq{RAX, RDX, 0}, // not taken (7 != 5)
+		MovImm{RSI, 9},
+	)
+	a.LeaTo(R8, "tail")
+	a.Emit(JmpReg{R8})
+	a.Emit(Halt{}) // skipped
+	a.Label("tail")
+	a.Emit(Halt{})
+	prog, err := a.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	install(t, m, as, 0x1000, prog)
+	c.Run(50)
+	if c.Fault != nil {
+		t.Fatal(c.Fault)
+	}
+	if c.Regs[RBX] != 7 || c.Regs[RCX] != 7 || c.Regs[RSI] != 9 {
+		t.Fatalf("regs: %v", c.Regs)
+	}
+}
+
+func TestInstrFaultPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		prog []Instr
+	}{
+		{"loadabs-unmapped", []Instr{LoadAbs{RAX, 0xdead0000}}},
+		{"storeabs-unmapped", []Instr{StoreAbs{RAX, 0xdead0000}}},
+		{"callmem-unmapped", []Instr{CallMem{0xdead0000}}},
+		{"ret-unmapped-stack", []Instr{MovImm{RSP, 0xdead0000}, Ret{}}},
+		{"push-unmapped-stack", []Instr{MovImm{RSP, 0xdead0000}, Push{RAX}}},
+		{"pop-unmapped-stack", []Instr{MovImm{RSP, 0xdead0000}, Pop{RAX}}},
+		{"callreg-push-fault", []Instr{MovImm{RSP, 0xdead0000}, CallReg{RAX}}},
+		{"call-push-fault", []Instr{MovImm{RSP, 0xdead0000}, Call{0x1000}}},
+	}
+	for _, tc := range cases {
+		m, c, as := buildEnv(t)
+		install(t, m, as, 0x1000, append(tc.prog, Halt{}))
+		c.Run(20)
+		if c.Fault == nil {
+			t.Fatalf("%s: no fault", tc.name)
+		}
+	}
+}
+
+func TestHookAndSendUIPIWithoutWiring(t *testing.T) {
+	m, c, as := buildEnv(t)
+	install(t, m, as, 0x1000, []Instr{
+		Hook{Name: "nil-fn"},  // nil Fn is a no-op
+		SendUIPI{IdxReg: RDI}, // no hook wired: drop
+		Halt{},
+	})
+	c.Run(10)
+	if c.Fault != nil {
+		t.Fatal(c.Fault)
+	}
+}
+
+func TestUiretFaultOnBadStack(t *testing.T) {
+	m, c, as := buildEnv(t)
+	install(t, m, as, 0x1000, []Instr{MovImm{RSP, 0xdead0000}, UiRet{}})
+	c.Run(10)
+	if c.Fault == nil {
+		t.Fatal("uiret with bad stack must fault")
+	}
+	_ = m
+}
+
+func TestCpuIDAndRegString(t *testing.T) {
+	m, c, as := buildEnv(t)
+	install(t, m, as, 0x1000, []Instr{CpuID{RDX}, Halt{}})
+	c.Run(10)
+	if c.Regs[RDX] != uint64(c.ID) {
+		t.Fatal("cpuid")
+	}
+	if RAX.String() != "rax" || Reg(99).String() == "" {
+		t.Fatal("reg strings")
+	}
+	_ = m
+}
+
+func TestStuiClui(t *testing.T) {
+	m, c, as := buildEnv(t)
+	install(t, m, as, 0x1000, []Instr{
+		Clui{},
+		AddImm{RBX, 1}, // with UIF clear, a posted vector stays pending
+		Stui{},
+		AddImm{RBX, 1}, // now delivery can happen
+		Jmp{0x1000 + 4*InstrSize},
+	})
+	c.HandlerAddr = 0x1000 // any valid code address
+	c.Step()               // clui (delivery is checked before each fetch, so mask first)
+	c.PostUserInterrupt(2)
+	c.Step() // add — no delivery
+	if c.PendingVectors == 0 || c.Regs[RBX] != 1 {
+		t.Fatal("delivery happened while masked")
+	}
+	c.Step() // stui
+	c.Step() // boundary: delivery fires before the next instruction
+	if c.PendingVectors != 0 {
+		t.Fatal("vector not delivered after stui")
+	}
+	_ = m
+}
+
+func TestCtrlScaling(t *testing.T) {
+	cm := Default()
+	base := cm.VesselCtrlFor(0)
+	if base != cm.VesselCtrlPerReq {
+		t.Fatalf("zero-core scaling = %v", base)
+	}
+	if cm.VesselCtrlFor(44) <= cm.VesselCtrlFor(32) {
+		t.Fatal("per-core control cost must grow")
+	}
+	if cm.CaladanCtrlFor(44) <= cm.CaladanCtrlFor(32) {
+		t.Fatal("IOKernel per-core cost must grow")
+	}
+	free := Default()
+	free.VesselCtrlPerReq = 0
+	if free.VesselCtrlFor(44) != 0 {
+		t.Fatal("disabled control cost must stay zero")
+	}
+}
+
+func TestDeliverFaultOnBadStack(t *testing.T) {
+	// User-interrupt delivery pushes to the stack; a bad RSP faults.
+	m, c, as := buildEnv(t)
+	install(t, m, as, 0x1000, []Instr{AddImm{RBX, 1}, Jmp{0x1000}})
+	c.HandlerAddr = 0x1000
+	c.Regs[RSP] = 0xdead0000
+	c.PostUserInterrupt(1)
+	c.Run(10)
+	if c.Fault == nil {
+		t.Fatal("delivery onto a bad stack must fault")
+	}
+	_ = m
+	_ = mpk.AllowAllValue
+}

@@ -1,0 +1,416 @@
+package cpu
+
+import (
+	"testing"
+
+	"vessel/internal/mem"
+	"vessel/internal/mpk"
+)
+
+// buildEnv maps a text page (exec-only), a data page, and a stack page and
+// attaches core 0.
+func buildEnv(t *testing.T) (*Machine, *Core, *mem.AddressSpace) {
+	t.Helper()
+	m := NewMachine(2, Default())
+	as := mem.NewAddressSpace(m.Phys)
+	if err := as.MapRange(0x1000, mem.PageSize, mem.PermXOnly, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MapRange(0x10000, mem.PageSize, mem.PermRW, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MapRange(0x20000, mem.PageSize, mem.PermRW, 0); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Core(0)
+	c.AS = as
+	c.PKRU = mpk.AllowAllValue
+	c.PC = 0x1000
+	c.Regs[RSP] = 0x21000 // top of stack page
+	return m, c, as
+}
+
+func install(t *testing.T, m *Machine, as *mem.AddressSpace, base mem.Addr, prog []Instr) {
+	t.Helper()
+	if err := m.InstallCode(as, base, prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasicALUAndMemory(t *testing.T) {
+	m, c, as := buildEnv(t)
+	prog := []Instr{
+		MovImm{RAX, 5},
+		MovImm{RBX, 7},
+		Add{RAX, RBX},
+		MulImm{RAX, 3},
+		AddImm{RAX, -6},
+		MovImm{RCX, 0x10000},
+		Store{RAX, RCX, 8},
+		Load{RDX, RCX, 8},
+		Halt{},
+	}
+	install(t, m, as, 0x1000, prog)
+	c.Run(100)
+	if c.Fault != nil {
+		t.Fatal(c.Fault)
+	}
+	if c.Regs[RAX] != 30 || c.Regs[RDX] != 30 {
+		t.Fatalf("rax=%d rdx=%d, want 30", c.Regs[RAX], c.Regs[RDX])
+	}
+	if !c.Halted {
+		t.Fatal("not halted")
+	}
+	if c.Cycles == 0 {
+		t.Fatal("no cycles accounted")
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	m, c, as := buildEnv(t)
+	a := NewAssembler()
+	a.Emit(MovImm{RAX, 0}, MovImm{RCX, 10})
+	a.Label("loop")
+	a.Emit(AddImm{RAX, 2})
+	a.LoopTo(RCX, "loop")
+	a.Emit(Halt{})
+	prog, err := a.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	install(t, m, as, 0x1000, prog)
+	c.Run(1000)
+	if c.Regs[RAX] != 20 {
+		t.Fatalf("rax = %d, want 20", c.Regs[RAX])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	m, c, as := buildEnv(t)
+	a := NewAssembler()
+	a.CallTo("fn")
+	a.Emit(AddImm{RAX, 1}, Halt{})
+	a.Label("fn")
+	a.Emit(MovImm{RAX, 41}, Ret{})
+	prog, err := a.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	install(t, m, as, 0x1000, prog)
+	c.Run(100)
+	if c.Fault != nil {
+		t.Fatal(c.Fault)
+	}
+	if c.Regs[RAX] != 42 {
+		t.Fatalf("rax = %d, want 42", c.Regs[RAX])
+	}
+	if c.Regs[RSP] != 0x21000 {
+		t.Fatalf("stack not balanced: rsp=%#x", c.Regs[RSP])
+	}
+}
+
+func TestIndirectCallAndJump(t *testing.T) {
+	m, c, as := buildEnv(t)
+	a := NewAssembler()
+	a.LeaTo(R8, "target")
+	a.Emit(CallReg{R8}, Halt{})
+	a.Label("target")
+	a.Emit(MovImm{RAX, 7}, Ret{})
+	prog, err := a.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	install(t, m, as, 0x1000, prog)
+	c.Run(100)
+	if c.Regs[RAX] != 7 {
+		t.Fatalf("rax = %d", c.Regs[RAX])
+	}
+}
+
+func TestCallMemReadsPointer(t *testing.T) {
+	m, c, as := buildEnv(t)
+	a := NewAssembler()
+	a.Emit(CallMem{Addr: 0x10000}, Halt{})
+	a.Label("fn")
+	a.Emit(MovImm{RAX, 99}, Ret{})
+	prog, err := a.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	install(t, m, as, 0x1000, prog)
+	// Write the function pointer into data memory.
+	if f := as.Write(0x10000, 8, uint64(a.AddrOf("fn", 0x1000)), mpk.AllowAllValue); f != nil {
+		t.Fatal(f)
+	}
+	c.Run(100)
+	if c.Regs[RAX] != 99 {
+		t.Fatalf("rax = %d", c.Regs[RAX])
+	}
+}
+
+func TestWrRdPkru(t *testing.T) {
+	m, c, as := buildEnv(t)
+	want := uint64(uint32(mpk.AllowNoneValue.WithAccess(3, true, true)))
+	install(t, m, as, 0x1000, []Instr{
+		MovImm{RAX, want},
+		WrPkru{},
+		MovImm{RAX, 0},
+		RdPkru{},
+		Halt{},
+	})
+	c.Run(100)
+	if uint64(uint32(c.PKRU)) != want {
+		t.Fatalf("pkru = %#x, want %#x", uint32(c.PKRU), want)
+	}
+	if c.Regs[RAX] != want {
+		t.Fatalf("rdpkru gave %#x", c.Regs[RAX])
+	}
+}
+
+func TestPKRUBlocksDataAccess(t *testing.T) {
+	m, c, as := buildEnv(t)
+	if err := as.SetPKey(0x10000, mem.PageSize, 5); err != nil {
+		t.Fatal(err)
+	}
+	install(t, m, as, 0x1000, []Instr{
+		MovImm{RCX, 0x10000},
+		Load{RAX, RCX, 0},
+		Halt{},
+	})
+	c.PKRU = mpk.AllowNoneValue // no access to key 5
+	c.Run(100)
+	if c.Fault == nil || c.Fault.Kind != mem.FaultPKU {
+		t.Fatalf("fault = %v, want PKU", c.Fault)
+	}
+	if !c.Halted {
+		t.Fatal("core should halt on unhandled fault")
+	}
+}
+
+func TestFaultHookRecovers(t *testing.T) {
+	m, c, as := buildEnv(t)
+	a := NewAssembler()
+	a.Emit(MovImm{RCX, 0xdead000}) // unmapped
+	a.Emit(Load{RAX, RCX, 0})
+	a.Label("after")
+	a.Emit(MovImm{RBX, 1}, Halt{})
+	prog, err := a.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	install(t, m, as, 0x1000, prog)
+	handled := 0
+	c.Hooks.OnFault = func(core *Core, f *mem.Fault) bool {
+		handled++
+		core.PC = a.AddrOf("after", 0x1000) // signal handler skips the access
+		return true
+	}
+	c.Run(100)
+	if handled != 1 || c.Regs[RBX] != 1 || c.Fault != nil {
+		t.Fatalf("handled=%d rbx=%d fault=%v", handled, c.Regs[RBX], c.Fault)
+	}
+}
+
+func TestExecuteNonExecutableFaults(t *testing.T) {
+	m, c, as := buildEnv(t)
+	install(t, m, as, 0x1000, []Instr{Jmp{Target: 0x10000}})
+	// The data page holds no code and is not executable.
+	c.Run(10)
+	if c.Fault == nil || c.Fault.Op != mpk.AccessExec {
+		t.Fatalf("fault = %v", c.Fault)
+	}
+	_ = m
+}
+
+func TestExecOnlyTextRunsUnderStrictPKRU(t *testing.T) {
+	// A core with AllowNone PKRU can still *execute* exec-only text —
+	// the property that lets any uProcess invoke the shared call gate.
+	m, c, as := buildEnv(t)
+	install(t, m, as, 0x1000, []Instr{MovImm{RBX, 3}, Halt{}})
+	c.PKRU = mpk.AllowNoneValue
+	c.Run(10)
+	if c.Fault != nil {
+		t.Fatal(c.Fault)
+	}
+	if c.Regs[RBX] != 3 {
+		t.Fatal("did not execute")
+	}
+}
+
+func TestUserInterruptDeliveryAndUiret(t *testing.T) {
+	m, c, as := buildEnv(t)
+	a := NewAssembler()
+	// Main: spin incrementing RBX.
+	a.Label("main")
+	a.Emit(AddImm{RBX, 1})
+	a.JmpTo("main")
+	// Handler: set RDX, pop vector, uiret.
+	a.Label("handler")
+	a.Emit(MovImm{RDX, 0xAB})
+	a.Emit(Pop{R9}) // vector number pushed by delivery
+	a.Emit(UiRet{})
+	prog, err := a.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	install(t, m, as, 0x1000, prog)
+	c.HandlerAddr = a.AddrOf("handler", 0x1000)
+
+	c.Run(5)
+	if c.Regs[RDX] == 0xAB {
+		t.Fatal("handler ran before interrupt posted")
+	}
+	c.PostUserInterrupt(3)
+	c.Run(2) // delivery + first two handler instructions (mov, pop)
+	if c.Regs[RDX] != 0xAB {
+		t.Fatalf("handler did not run: rdx=%#x", c.Regs[RDX])
+	}
+	if c.UIF {
+		t.Fatal("UIF must be clear inside handler")
+	}
+	if c.Regs[R9] != 3 {
+		t.Fatalf("vector = %d, want 3", c.Regs[R9])
+	}
+	before := c.Regs[RBX]
+	c.Run(5) // uiret + resume main loop
+	if !c.UIF {
+		t.Fatal("UIF must be restored after uiret")
+	}
+	if c.Regs[RBX] <= before {
+		t.Fatal("main loop did not resume")
+	}
+}
+
+func TestUIFMasksDelivery(t *testing.T) {
+	m, c, as := buildEnv(t)
+	install(t, m, as, 0x1000, []Instr{AddImm{RBX, 1}, Jmp{Target: 0x1000}})
+	c.HandlerAddr = 0x1000
+	c.UIF = false
+	c.PostUserInterrupt(1)
+	c.Run(10)
+	if c.PendingVectors == 0 {
+		t.Fatal("vector should stay pending while UIF clear")
+	}
+}
+
+func TestSendUIPIHook(t *testing.T) {
+	m, c, as := buildEnv(t)
+	var gotIdx Word
+	c.Hooks.OnSendUIPI = func(core *Core, idx Word) { gotIdx = idx }
+	install(t, m, as, 0x1000, []Instr{
+		MovImm{RDI, 7},
+		SendUIPI{IdxReg: RDI},
+		Halt{},
+	})
+	c.Run(10)
+	if gotIdx != 7 {
+		t.Fatalf("senduipi index = %d", gotIdx)
+	}
+}
+
+func TestHookInstr(t *testing.T) {
+	m, c, as := buildEnv(t)
+	ran := false
+	install(t, m, as, 0x1000, []Instr{
+		Hook{Name: "probe", Fn: func(core *Core) *mem.Fault { ran = true; return nil }, Cost: 10},
+		Halt{},
+	})
+	c.Run(10)
+	if !ran {
+		t.Fatal("hook did not run")
+	}
+}
+
+func TestSharedTextAcrossAddressSpaces(t *testing.T) {
+	// Two address spaces sharing the same frames execute the same code —
+	// the SMAS property.
+	m := NewMachine(2, Default())
+	as1 := mem.NewAddressSpace(m.Phys)
+	if err := as1.MapRange(0x1000, mem.PageSize, mem.PermXOnly, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := as1.MapRange(0x20000, mem.PageSize, mem.PermRW, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InstallCode(as1, 0x1000, []Instr{MovImm{RAX, 77}, Halt{}}); err != nil {
+		t.Fatal(err)
+	}
+	as2 := mem.NewAddressSpace(m.Phys)
+	if err := as2.ShareRange(as1, 0x1000, mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := as2.MapRange(0x30000, mem.PageSize, mem.PermRW, 0); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Core(1)
+	c.AS = as2
+	c.PKRU = mpk.AllowAllValue
+	c.PC = 0x1000
+	c.Regs[RSP] = 0x31000
+	c.Run(10)
+	if c.Regs[RAX] != 77 {
+		t.Fatalf("shared text did not execute: rax=%d", c.Regs[RAX])
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	cm := Default()
+	if cm.CaladanReallocTotal() != 5300 {
+		t.Fatalf("Caladan realloc total = %v, want 5.3µs", cm.CaladanReallocTotal())
+	}
+	if got := cm.CyclesToNs(28); got != 14 {
+		t.Fatalf("28 cycles at 2GHz = %v ns, want 14", got)
+	}
+	clone := cm.Clone()
+	clone.WrPkruCycles = 999
+	if cm.WrPkruCycles == 999 {
+		t.Fatal("Clone did not copy")
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	a := NewAssembler()
+	a.JmpTo("nowhere")
+	if _, err := a.Assemble(0x1000); err == nil {
+		t.Fatal("undefined label should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate label should panic")
+		}
+	}()
+	b := NewAssembler()
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestInstrStrings(t *testing.T) {
+	ins := []Instr{
+		MovImm{RAX, 1}, MovReg{RAX, RBX}, Load{RAX, RBX, 8}, Store{RAX, RBX, -8},
+		LoadAbs{RAX, 0x10}, StoreAbs{RAX, 0x10}, Add{RAX, RBX}, AddImm{RAX, 1},
+		MulImm{RAX, 2}, Jmp{0x10}, JmpReg{RAX}, Jne{RAX, RBX, 0x10},
+		Jeq{RAX, RBX, 0x10}, JnzDec{RAX, 0x10}, Call{0x10}, CallReg{RAX},
+		CallMem{0x10}, Ret{}, Push{RAX}, Pop{RAX}, WrPkru{}, RdPkru{},
+		CpuID{RAX}, SendUIPI{RAX}, UiRet{}, Halt{}, Work{100}, Hook{Name: "h"},
+	}
+	cm := Default()
+	for _, in := range ins {
+		if in.String() == "" {
+			t.Fatalf("%T has empty String", in)
+		}
+		if in.Cycles(cm) <= 0 {
+			t.Fatalf("%T has non-positive cycles", in)
+		}
+	}
+}
+
+func TestInstallCodeValidation(t *testing.T) {
+	m := NewMachine(1, nil)
+	as := mem.NewAddressSpace(m.Phys)
+	if err := m.InstallCode(as, 0x1001, []Instr{Halt{}}); err == nil {
+		t.Fatal("unaligned base must fail")
+	}
+	if err := m.InstallCode(as, 0x1000, []Instr{Halt{}}); err == nil {
+		t.Fatal("unmapped page must fail")
+	}
+}

@@ -1,0 +1,128 @@
+// Package dataplane models VESSEL's kernel-bypass network/storage libraries
+// (§5.2.5): polled descriptor queues mapped into the runtime, instrumented
+// with park() so threads busy-spinning on completions yield their cores,
+// with queue depths exposed to the scheduler as load signals.
+//
+// The paper reuses Caladan's dataplane and SPDK; this package provides the
+// simulated equivalent the examples and scheduler tests drive.
+package dataplane
+
+import (
+	"fmt"
+
+	"vessel/internal/sim"
+)
+
+// Packet is one unit of dataplane work (an RX descriptor or an NVMe
+// completion).
+type Packet struct {
+	Arrive  sim.Time
+	Payload uint64
+}
+
+// Queue is a polled single-consumer descriptor ring.
+type Queue struct {
+	Name string
+	ring []Packet
+	cap  int
+	// Dropped counts ring-full drops (backpressure signal).
+	Dropped uint64
+	// Polls and EmptyPolls measure spinning behaviour.
+	Polls      uint64
+	EmptyPolls uint64
+}
+
+// NewQueue builds a ring with the given capacity.
+func NewQueue(name string, capacity int) (*Queue, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("dataplane: capacity must be positive")
+	}
+	return &Queue{Name: name, cap: capacity}, nil
+}
+
+// Push enqueues a packet, dropping it when the ring is full.
+func (q *Queue) Push(p Packet) bool {
+	if len(q.ring) >= q.cap {
+		q.Dropped++
+		return false
+	}
+	q.ring = append(q.ring, p)
+	return true
+}
+
+// Poll dequeues up to batch packets.
+func (q *Queue) Poll(batch int) []Packet {
+	q.Polls++
+	if len(q.ring) == 0 {
+		q.EmptyPolls++
+		return nil
+	}
+	if batch > len(q.ring) {
+		batch = len(q.ring)
+	}
+	out := q.ring[:batch:batch]
+	q.ring = q.ring[batch:]
+	return out
+}
+
+// Depth returns the current occupancy — the queueing signal the scheduler
+// consumes (§5.2.5: "software queues ... exposed to the scheduler to assist
+// in making scheduling decisions").
+func (q *Queue) Depth() int { return len(q.ring) }
+
+// OldestAge returns the age of the head packet, the queueing-delay metric.
+func (q *Queue) OldestAge(now sim.Time) sim.Duration {
+	if len(q.ring) == 0 {
+		return 0
+	}
+	return now.Sub(q.ring[0].Arrive)
+}
+
+// Poller drives a queue with park() discipline: after MaxEmptyPolls
+// consecutive empty polls it invokes Park instead of continuing to spin —
+// the instrumentation the paper adds to the dataplane libraries so
+// busy-spinning threads do not hold cores (§5.2.5).
+type Poller struct {
+	Q             *Queue
+	Batch         int
+	MaxEmptyPolls int
+	// Park is the runtime's park gate; called when the poller gives up
+	// its core. Must not be nil.
+	Park func()
+	// Handle processes one packet.
+	Handle func(Packet)
+
+	emptyStreak int
+	Handled     uint64
+	Parks       uint64
+}
+
+// Step performs one poll iteration, parking when the empty-poll budget is
+// exhausted. It reports whether any packet was processed.
+func (p *Poller) Step() (bool, error) {
+	if p.Q == nil || p.Park == nil {
+		return false, fmt.Errorf("dataplane: poller not wired")
+	}
+	batch := p.Batch
+	if batch <= 0 {
+		batch = 16
+	}
+	pkts := p.Q.Poll(batch)
+	if len(pkts) == 0 {
+		p.emptyStreak++
+		if p.emptyStreak >= p.MaxEmptyPolls {
+			p.emptyStreak = 0
+			p.Parks++
+			p.Park()
+		}
+		return false, nil
+	}
+	p.emptyStreak = 0
+	for _, pkt := range pkts {
+		p.Handled++
+		if p.Handle != nil {
+			p.Handle(pkt)
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,102 @@
+package dataplane
+
+import (
+	"testing"
+)
+
+func TestQueueBasics(t *testing.T) {
+	if _, err := NewQueue("bad", 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	q, err := NewQueue("rx", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !q.Push(Packet{Arrive: 10, Payload: uint64(i)}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if q.Push(Packet{}) {
+		t.Fatal("overfull push accepted")
+	}
+	if q.Dropped != 1 {
+		t.Fatalf("dropped = %d", q.Dropped)
+	}
+	if q.Depth() != 4 {
+		t.Fatalf("depth = %d", q.Depth())
+	}
+	if q.OldestAge(110) != 100 {
+		t.Fatalf("age = %v", q.OldestAge(110))
+	}
+	got := q.Poll(2)
+	if len(got) != 2 || got[0].Payload != 0 || got[1].Payload != 1 {
+		t.Fatalf("poll = %v", got)
+	}
+	rest := q.Poll(10)
+	if len(rest) != 2 {
+		t.Fatalf("rest = %v", rest)
+	}
+	if q.Poll(1) != nil {
+		t.Fatal("empty poll returned packets")
+	}
+	if q.EmptyPolls != 1 {
+		t.Fatalf("empty polls = %d", q.EmptyPolls)
+	}
+	if q.OldestAge(0) != 0 {
+		t.Fatal("empty queue age")
+	}
+}
+
+func TestPollerParksAfterEmptyBudget(t *testing.T) {
+	q, _ := NewQueue("rx", 64)
+	parks := 0
+	handled := 0
+	p := &Poller{
+		Q:             q,
+		Batch:         8,
+		MaxEmptyPolls: 3,
+		Park:          func() { parks++ },
+		Handle:        func(Packet) { handled++ },
+	}
+	// Three empty polls → one park.
+	for i := 0; i < 3; i++ {
+		if ok, err := p.Step(); ok || err != nil {
+			t.Fatalf("step %d: %v %v", i, ok, err)
+		}
+	}
+	if parks != 1 {
+		t.Fatalf("parks = %d", parks)
+	}
+	// Work resets the streak.
+	q.Push(Packet{Payload: 7})
+	if ok, _ := p.Step(); !ok {
+		t.Fatal("packet not processed")
+	}
+	if handled != 1 || p.Handled != 1 {
+		t.Fatal("handle accounting")
+	}
+	// Streak restarts from zero after work.
+	p.Step()
+	p.Step()
+	if parks != 1 {
+		t.Fatal("parked too eagerly after work")
+	}
+	p.Step()
+	if parks != 2 {
+		t.Fatalf("parks = %d", parks)
+	}
+}
+
+func TestPollerValidation(t *testing.T) {
+	p := &Poller{}
+	if _, err := p.Step(); err == nil {
+		t.Fatal("unwired poller accepted")
+	}
+	q, _ := NewQueue("rx", 4)
+	p = &Poller{Q: q, Park: func() {}, MaxEmptyPolls: 1}
+	q.Push(Packet{})
+	if ok, err := p.Step(); !ok || err != nil {
+		t.Fatal("default batch should process")
+	}
+}

@@ -1,0 +1,115 @@
+package dataplane
+
+import (
+	"testing"
+
+	"vessel/internal/sim"
+)
+
+func TestNVMeBasics(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewNVMe(nil, 8, 16); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := NewNVMe(eng, 0, 16); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+	d, err := NewNVMe(eng, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(Cmd{Op: OpRead, Tag: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(Cmd{Op: OpWrite, Tag: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if d.QueueDepth() != 2 {
+		t.Fatalf("depth = %d", d.QueueDepth())
+	}
+	eng.RunAll(100)
+	if d.Completed != 2 || d.QueueDepth() != 0 {
+		t.Fatalf("completed=%d depth=%d", d.Completed, d.QueueDepth())
+	}
+	got := d.CQ.Poll(8)
+	if len(got) != 2 || got[0].Payload != 1 || got[1].Payload != 2 {
+		t.Fatalf("completions: %+v", got)
+	}
+	// Read finished before write (shorter media latency).
+	if got[0].Arrive >= got[1].Arrive {
+		t.Fatal("read should complete before write")
+	}
+	if d.AvgLatency() < 10*sim.Microsecond {
+		t.Fatalf("avg latency = %v", d.AvgLatency())
+	}
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Fatal("op strings")
+	}
+}
+
+func TestNVMeBackpressureAndQueueing(t *testing.T) {
+	eng := sim.NewEngine()
+	d, err := NewNVMe(eng, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := d.Submit(Cmd{Op: OpRead, Tag: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Submit(Cmd{Op: OpRead, Tag: 99}); err == nil {
+		t.Fatal("over-depth submit accepted")
+	}
+	if d.Rejected != 1 {
+		t.Fatalf("rejected = %d", d.Rejected)
+	}
+	eng.RunAll(100)
+	// Serialisation: the 4th command waits behind 3 others at 1µs each,
+	// so its latency is ~3µs above the first's.
+	got := d.CQ.Poll(8)
+	if len(got) != 4 {
+		t.Fatalf("completions = %d", len(got))
+	}
+	spread := got[3].Arrive.Sub(got[0].Arrive)
+	if spread < 2*sim.Microsecond {
+		t.Fatalf("no device queueing visible: spread %v", spread)
+	}
+}
+
+func TestNVMePollerIntegration(t *testing.T) {
+	// The §5.2.5 wiring: a polling thread submits a batch, drains
+	// completions through an instrumented poller, and parks once the
+	// stream runs dry.
+	eng := sim.NewEngine()
+	d, err := NewNVMe(eng, 32, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parks := 0
+	var handled []uint64
+	p := &Poller{
+		Q:             d.CQ,
+		Batch:         8,
+		MaxEmptyPolls: 4,
+		Park:          func() { parks++ },
+		Handle:        func(pk Packet) { handled = append(handled, pk.Payload) },
+	}
+	for i := 0; i < 16; i++ {
+		if err := d.Submit(Cmd{Op: OpRead, Tag: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunAll(1000)
+	for i := 0; i < 40; i++ {
+		if _, err := p.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(handled) != 16 {
+		t.Fatalf("handled = %d", len(handled))
+	}
+	if parks == 0 {
+		t.Fatal("poller never parked after the stream ran dry")
+	}
+}

@@ -1,0 +1,138 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§6) on the simulated substrate. Each Figure*/Table* function
+// runs the corresponding workloads under the relevant schedulers and
+// returns a structured result whose String method renders a paper-style
+// text table; cmd/experiments prints them and the root bench_test.go wraps
+// each in a testing.B benchmark.
+//
+// Absolute numbers are simulated (2 GHz virtual clock, 40 GB/s memory);
+// EXPERIMENTS.md records how each reproduced shape compares with the
+// paper's published numbers.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vessel/internal/cpu"
+	"vessel/internal/sched"
+	"vessel/internal/sim"
+	"vessel/internal/workload"
+)
+
+// Options configures experiment scale.
+type Options struct {
+	Seed uint64
+	// Quick shrinks durations and sweep density for unit tests; the full
+	// runs are used by cmd/experiments and the benchmarks.
+	Quick bool
+	// Cores is the worker-core count for the colocation experiments
+	// (default 8 quick / 16 full — normalized metrics are
+	// core-count-invariant in shape).
+	Cores int
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 42
+	}
+	return o.Seed
+}
+
+func (o Options) cores() int {
+	if o.Cores > 0 {
+		return o.Cores
+	}
+	if o.Quick {
+		return 8
+	}
+	return 16
+}
+
+func (o Options) duration() sim.Duration {
+	if o.Quick {
+		return 20 * sim.Millisecond
+	}
+	return 60 * sim.Millisecond
+}
+
+func (o Options) warmup() sim.Duration {
+	if o.Quick {
+		return 4 * sim.Millisecond
+	}
+	return 10 * sim.Millisecond
+}
+
+// loadFractions returns the sweep grid.
+func (o Options) loadFractions() []float64 {
+	if o.Quick {
+		return []float64{0.2, 0.5, 0.8}
+	}
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+}
+
+// baseConfig assembles a sched.Config for the given apps.
+func (o Options) baseConfig(apps ...*workload.App) sched.Config {
+	return sched.Config{
+		Seed:     o.seed(),
+		Cores:    o.cores(),
+		Duration: o.duration(),
+		Warmup:   o.warmup(),
+		Apps:     apps,
+		Costs:    cpu.Default(),
+	}
+}
+
+// mcApp builds a fresh memcached app at a fraction of ideal capacity.
+func (o Options) mcApp(loadFrac float64) *workload.App {
+	rate := loadFrac * sched.IdealLCapacity(o.cores(), workload.Memcached())
+	return workload.NewLApp("memcached", workload.Memcached(), rate)
+}
+
+// siloApp builds a fresh Silo app at a fraction of ideal capacity.
+func (o Options) siloApp(loadFrac float64) *workload.App {
+	rate := loadFrac * sched.IdealLCapacity(o.cores(), workload.Silo())
+	return workload.NewLApp("silo", workload.Silo(), rate)
+}
+
+// ---- rendering helpers ------------------------------------------------------
+
+// table renders rows of columns with a header, padded.
+func table(title string, header []string, rows [][]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func us(ns int64) string  { return fmt.Sprintf("%.1f", float64(ns)/1000) }
+func pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", v*100)
+}

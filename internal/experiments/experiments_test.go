@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vessel/internal/sim"
+)
+
+var quick = Options{Seed: 42, Quick: true}
+
+func TestFigure1Shape(t *testing.T) {
+	f, err := Figure1(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) == 0 {
+		t.Fatal("no points")
+	}
+	// Paper: total normalized throughput declines up to ~18%; cycles
+	// not on application logic reach double digits.
+	if f.MaxDecline < 0.05 || f.MaxDecline > 0.45 {
+		t.Fatalf("max decline %.3f out of plausible band", f.MaxDecline)
+	}
+	if f.MaxOverhead < 0.04 || f.MaxOverhead > 0.40 {
+		t.Fatalf("max overhead %.3f out of plausible band", f.MaxOverhead)
+	}
+	if !strings.Contains(f.String(), "Figure 1") {
+		t.Fatal("render")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	f, err := Figure2(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) < 3 {
+		t.Fatal("points")
+	}
+	first, last := f.Points[0], f.Points[len(f.Points)-1]
+	if first.Apps != 1 || last.Apps != 10 {
+		t.Fatal("sweep order")
+	}
+	// Kernel cycles grow with colocation density.
+	if last.KernelFrac <= first.KernelFrac {
+		t.Fatalf("kernel frac must grow: 1-app %.3f vs 10-app %.3f",
+			first.KernelFrac, last.KernelFrac)
+	}
+	if !strings.Contains(f.String(), "Figure 2") {
+		t.Fatal("render")
+	}
+}
+
+func TestFigure3Timeline(t *testing.T) {
+	f := Figure3()
+	if len(f.Phases) != 6 {
+		t.Fatalf("phases = %d", len(f.Phases))
+	}
+	if f.Total != 5300*sim.Nanosecond {
+		t.Fatalf("total = %v, want 5.3µs", f.Total)
+	}
+	if f.VesselPreempt >= f.Total/5 {
+		t.Fatalf("VESSEL preempt %v should be far below Caladan %v", f.VesselPreempt, f.Total)
+	}
+	if !strings.Contains(f.String(), "5.3µs") {
+		t.Fatal("render")
+	}
+}
+
+func TestFigure9MemcachedShape(t *testing.T) {
+	f, err := Figure9(quick, "memcached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim 1: VESSEL's average decline below Caladan's.
+	if f.AvgDecline["VESSEL"] >= f.AvgDecline["Caladan"] {
+		t.Fatalf("VESSEL decline %.3f should beat Caladan %.3f",
+			f.AvgDecline["VESSEL"], f.AvgDecline["Caladan"])
+	}
+	// Claim 2: DR tradeoff — DR-H more efficient than DR-L, but with
+	// higher tails at high load.
+	drl := f.SystemPoints("Caladan-DR-L")
+	drh := f.SystemPoints("Caladan-DR-H")
+	if len(drl) == 0 || len(drh) == 0 {
+		t.Fatal("missing DR points")
+	}
+	lastL, lastH := drl[len(drl)-1], drh[len(drh)-1]
+	if lastH.P999Ns <= lastL.P999Ns {
+		t.Fatalf("DR-H p999 %d should exceed DR-L %d", lastH.P999Ns, lastL.P999Ns)
+	}
+	// Claim 3: VESSEL's P999 at the highest load beats plain Caladan's.
+	ves := f.SystemPoints("VESSEL")
+	cal := f.SystemPoints("Caladan")
+	if ves[len(ves)-1].P999Ns >= cal[len(cal)-1].P999Ns {
+		t.Fatalf("VESSEL p999 %d should beat Caladan %d at high load",
+			ves[len(ves)-1].P999Ns, cal[len(cal)-1].P999Ns)
+	}
+	// Claim 4: Linux CFS appears only at low load, with far higher tails.
+	lx := f.SystemPoints("Linux")
+	if len(lx) == 0 {
+		t.Fatal("Linux missing")
+	}
+	if lx[0].P999Ns < 10*ves[0].P999Ns {
+		t.Fatalf("Linux p999 %d should dwarf VESSEL %d", lx[0].P999Ns, ves[0].P999Ns)
+	}
+	if !strings.Contains(f.String(), "Figure 9") {
+		t.Fatal("render")
+	}
+}
+
+func TestFigure9SiloShape(t *testing.T) {
+	f, err := Figure9(quick, "silo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 20–280µs services, reallocation overhead amortises: both
+	// VESSEL and Caladan approach the ideal.
+	for _, name := range []string{"VESSEL", "Caladan"} {
+		if d := f.AvgDecline[name]; d > 0.15 {
+			t.Fatalf("%s decline %.3f too high for Silo", name, d)
+		}
+	}
+	if _, err := Figure9(quick, "nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	f, err := Figure10(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lf = 0.5
+	c1, ok1 := f.At("Caladan-DR-L", 1, lf)
+	c10, ok10 := f.At("Caladan-DR-L", 10, lf)
+	v10, okv := f.At("VESSEL", 10, lf)
+	v1, okv1 := f.At("VESSEL", 1, lf)
+	if !ok1 || !ok10 || !okv || !okv1 {
+		t.Fatal("missing points")
+	}
+	// Caladan's tail inflates sharply with 10 instances; VESSEL's stays
+	// within a small factor.
+	if c10.MaxP999Ns < 3*c1.MaxP999Ns {
+		t.Fatalf("Caladan dense p999 %d vs single %d: insufficient degradation",
+			c10.MaxP999Ns, c1.MaxP999Ns)
+	}
+	if v10.MaxP999Ns > 3*v1.MaxP999Ns {
+		t.Fatalf("VESSEL dense p999 %d vs single %d: should be almost unchanged",
+			v10.MaxP999Ns, v1.MaxP999Ns)
+	}
+	if v10.AggTputMops < 0.9*c10.AggTputMops {
+		t.Fatalf("VESSEL dense tput %.3f should not trail Caladan %.3f",
+			v10.AggTputMops, c10.AggTputMops)
+	}
+	if !strings.Contains(f.String(), "Figure 10") {
+		t.Fatal("render")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tb, err := RunTable1(quick, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatal("rows")
+	}
+	v, c := tb.Rows[0].Summary, tb.Rows[1].Summary
+	// VESSEL: sub-µs average (paper 161ns), sub-µs-ish P999 (706ns).
+	if v.Avg < 100 || v.Avg > 300 {
+		t.Fatalf("VESSEL avg %.1f ns, want ~161", v.Avg)
+	}
+	if v.P999 < 300 || v.P999 > 1500 {
+		t.Fatalf("VESSEL p999 %d ns, want ~706", v.P999)
+	}
+	// Caladan: ~2.1µs average, ~5.5µs P999.
+	if c.Avg < 1800 || c.Avg > 2600 {
+		t.Fatalf("Caladan avg %.1f ns, want ~2103", c.Avg)
+	}
+	if c.P999 < 4000 || c.P999 > 7000 {
+		t.Fatalf("Caladan p999 %d ns, want ~5461", c.P999)
+	}
+	// The ratio is the paper's headline: >10x cheaper switches.
+	if c.Avg < 10*v.Avg {
+		t.Fatalf("ratio %.1f should exceed 10x", c.Avg/v.Avg)
+	}
+	if tb.MeasuredVesselBaseNs <= 0 {
+		t.Fatal("layer-1 base not measured")
+	}
+	if !strings.Contains(tb.String(), "Table 1") {
+		t.Fatal("render")
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	f, err := Figure11(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Colored.MissRate > f.Interleaved.MissRate/20 {
+		t.Fatalf("colored miss %.5f not ≪ interleaved %.4f",
+			f.Colored.MissRate, f.Interleaved.MissRate)
+	}
+	if f.TimeReduction < 0.04 || f.TimeReduction > 0.40 {
+		t.Fatalf("time reduction %.3f outside the paper's 6–24%% band (with slack)", f.TimeReduction)
+	}
+	if !strings.Contains(f.String(), "Figure 11") {
+		t.Fatal("render")
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	f, err := Figure12(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ves := f.SystemPoints("VESSEL")
+	cal := f.SystemPoints("Caladan-DR-L")
+	if len(ves) == 0 || len(cal) == 0 {
+		t.Fatal("points missing")
+	}
+	// VESSEL keeps scaling past the point Caladan flattens: compare
+	// goodput growth from 32 cores to 42.
+	growth := func(pts []Fig12Point) float64 {
+		var at32, at42 float64
+		for _, p := range pts {
+			if p.Cores == 32 {
+				at32 = p.GoodputMops
+			}
+			if p.Cores == 42 {
+				at42 = p.GoodputMops
+			}
+		}
+		if at32 == 0 {
+			return 0
+		}
+		return at42/at32 - 1
+	}
+	gv, gc := growth(ves), growth(cal)
+	if gv < 0.10 {
+		t.Fatalf("VESSEL 32→42 growth %.3f, want ≥ 10%% (paper 25.4%%)", gv)
+	}
+	if gc > gv/2 {
+		t.Fatalf("Caladan growth %.3f should be well below VESSEL's %.3f", gc, gv)
+	}
+	// And VESSEL's absolute goodput dominates.
+	if ves[len(ves)-1].GoodputMops < cal[len(cal)-1].GoodputMops {
+		t.Fatal("VESSEL goodput should dominate at high core counts")
+	}
+	if !strings.Contains(f.String(), "Figure 12") {
+		t.Fatal("render")
+	}
+}
+
+func TestFigure13aShape(t *testing.T) {
+	f, err := Figure13a(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Advantage <= 0 {
+		t.Fatalf("VESSEL advantage %.3f should be positive (paper: up to 43%%)", f.Advantage)
+	}
+	if !strings.Contains(f.String(), "Figure 13a") {
+		t.Fatal("render")
+	}
+}
+
+func TestFigure13bShape(t *testing.T) {
+	f, err := Figure13b(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.AvgError["VESSEL"]
+	m := f.AvgError["Intel-MBA"]
+	g := f.AvgError["Linux-CFS"]
+	if v > 0.10 {
+		t.Fatalf("VESSEL avg error %.3f, want accurate", v)
+	}
+	if m < 3*v || g < 3*v {
+		t.Fatalf("comparators should be far less accurate: VESSEL %.3f MBA %.3f CFS %.3f", v, m, g)
+	}
+	if !strings.Contains(f.String(), "Figure 13b") {
+		t.Fatal("render")
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vessel/internal/sched"
+	"vessel/internal/sched/caladan"
+	"vessel/internal/workload"
+)
+
+// Fig1Point is one load level of Figure 1.
+type Fig1Point struct {
+	LoadFrac float64
+	// TotalNorm is the colocated pair's total normalized throughput
+	// (Figure 1a; ideal = 1).
+	TotalNorm float64
+	// OverheadFrac is the fraction of CPU cycles not spent on
+	// application logic (Figure 1b's kernel + runtime share).
+	OverheadFrac float64
+	KernelFrac   float64
+	RuntimeFrac  float64
+	// LCores/BCores/OverheadCores are Figure 1b's per-application core
+	// consumption: how many cores each application (and the kernel +
+	// runtime) actually occupied on average.
+	LCores        float64
+	BCores        float64
+	OverheadCores float64
+}
+
+// Fig1 reproduces Figure 1: the cost of application colocation under
+// Caladan (memcached + Linpack).
+type Fig1 struct {
+	Points []Fig1Point
+	// MaxDecline is 1 − min(TotalNorm): the paper reports up to 18%.
+	MaxDecline float64
+	// MaxOverhead is the peak overhead fraction: the paper reports up
+	// to 17%.
+	MaxOverhead float64
+}
+
+// Figure1 runs the experiment.
+func Figure1(o Options) (Fig1, error) {
+	var out Fig1
+	for _, lf := range o.loadFractions() {
+		cfg := o.baseConfig(o.mcApp(lf), workload.Linpack())
+		res, err := caladan.Simulator{Variant: caladan.Plain}.Run(cfg)
+		if err != nil {
+			return Fig1{}, err
+		}
+		bd := res.Cycles
+		total := float64(bd.Total())
+		la, _ := res.App("memcached")
+		ba, _ := res.App("linpack")
+		durF := float64(cfg.Duration)
+		p := Fig1Point{
+			LoadFrac:      lf,
+			TotalNorm:     res.TotalNormTput(),
+			OverheadFrac:  bd.OverheadFrac(),
+			KernelFrac:    float64(bd.KernelNs) / total,
+			RuntimeFrac:   float64(bd.RuntimeNs) / total,
+			LCores:        float64(la.LBusyNs) / durF,
+			BCores:        float64(ba.BWallNs) / durF,
+			OverheadCores: float64(bd.KernelNs+bd.RuntimeNs+bd.SwitchNs) / durF,
+		}
+		out.Points = append(out.Points, p)
+		if d := 1 - p.TotalNorm; d > out.MaxDecline {
+			out.MaxDecline = d
+		}
+		if p.OverheadFrac > out.MaxOverhead {
+			out.MaxOverhead = p.OverheadFrac
+		}
+	}
+	return out, nil
+}
+
+// String renders the figure as a table.
+func (f Fig1) String() string {
+	rows := make([][]string, 0, len(f.Points))
+	for _, p := range f.Points {
+		rows = append(rows, []string{
+			f2(p.LoadFrac), f3(p.TotalNorm), pct(p.OverheadFrac), pct(p.KernelFrac), pct(p.RuntimeFrac),
+			f2(p.LCores), f2(p.BCores), f2(p.OverheadCores),
+		})
+	}
+	s := table("Figure 1 — cost of colocation under Caladan (memcached + Linpack)",
+		[]string{"load", "total-norm-tput", "overhead", "kernel", "runtime",
+			"L-cores", "B-cores", "ovh-cores"}, rows)
+	s += fmt.Sprintf("max total-throughput decline: %s (paper: up to 18%%)\n", pct(f.MaxDecline))
+	s += fmt.Sprintf("max non-application cycles:   %s (paper: up to 17%%)\n", pct(f.MaxOverhead))
+	return s
+}
+
+// Fig2Point is one app count of Figure 2.
+type Fig2Point struct {
+	Apps         int
+	AggTputMops  float64
+	KernelFrac   float64
+	OverheadFrac float64
+}
+
+// Fig2 reproduces Figure 2: dense colocation of memcached instances on a
+// single core under Caladan — CPU cycles spent in the kernel grow with the
+// number of colocated applications.
+type Fig2 struct {
+	Points []Fig2Point
+}
+
+// Figure2 runs the experiment.
+func Figure2(o Options) (Fig2, error) {
+	counts := []int{1, 2, 4, 6, 8, 10}
+	if o.Quick {
+		counts = []int{1, 4, 10}
+	}
+	const aggFrac = 0.6 // aggregate load, fraction of a single core's capacity
+	var out Fig2
+	for _, n := range counts {
+		apps := make([]*workload.App, n)
+		agg := aggFrac * sched.IdealLCapacity(1, workload.Memcached())
+		for i := range apps {
+			apps[i] = workload.NewLApp(fmt.Sprintf("mc-%d", i), workload.Memcached(), agg/float64(n))
+		}
+		cfg := o.baseConfig(apps...)
+		cfg.Cores = 1
+		res, err := caladan.Simulator{Variant: caladan.DRLow}.Run(cfg)
+		if err != nil {
+			return Fig2{}, err
+		}
+		var tput float64
+		for _, a := range res.Apps {
+			tput += a.Tput.PerSecond()
+		}
+		bd := res.Cycles
+		out.Points = append(out.Points, Fig2Point{
+			Apps:         n,
+			AggTputMops:  tput / 1e6,
+			KernelFrac:   float64(bd.KernelNs) / float64(bd.Total()),
+			OverheadFrac: bd.OverheadFrac(),
+		})
+	}
+	return out, nil
+}
+
+// String renders the figure as a table.
+func (f Fig2) String() string {
+	rows := make([][]string, 0, len(f.Points))
+	for _, p := range f.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Apps), f3(p.AggTputMops), pct(p.KernelFrac), pct(p.OverheadFrac),
+		})
+	}
+	return table("Figure 2 — dense colocation on one core under Caladan (kernel cycles grow with apps)",
+		[]string{"apps", "agg-tput-Mops", "kernel", "overhead"}, rows)
+}

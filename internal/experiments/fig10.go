@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vessel/internal/sched"
+	"vessel/internal/sched/caladan"
+	"vessel/internal/vessel"
+	"vessel/internal/workload"
+)
+
+// Fig10Point is one (system, instances, load) cell.
+type Fig10Point struct {
+	System      string
+	Instances   int
+	LoadFrac    float64
+	AggTputMops float64
+	MaxP999Ns   int64
+}
+
+// Fig10 reproduces Figure 10: a varying number of memcached instances
+// densely colocated on a single core, under bursty arrivals, comparing
+// VESSEL with Caladan-DR-L (the only baseline within range, as in the
+// paper).
+type Fig10 struct {
+	Points []Fig10Point
+}
+
+// Figure10 runs the dense-colocation sweep.
+func Figure10(o Options) (Fig10, error) {
+	systems := []sched.Scheduler{
+		vessel.Simulator{},
+		caladan.Simulator{Variant: caladan.DRLow},
+	}
+	instances := []int{1, 10}
+	loads := o.loadFractions()
+	var out Fig10
+	for _, s := range systems {
+		for _, n := range instances {
+			for _, lf := range loads {
+				agg := lf * sched.IdealLCapacity(1, workload.Memcached())
+				apps := make([]*workload.App, n)
+				for i := range apps {
+					apps[i] = workload.NewLApp(fmt.Sprintf("mc-%d", i), workload.Memcached(), agg/float64(n))
+					// Bursty arrivals, as §6.2.2 specifies.
+					apps[i].Burst = &workload.Burst{
+						OnMean:  200 * 1000, // 200µs
+						OffMean: 200 * 1000,
+						Factor:  2,
+					}
+				}
+				cfg := o.baseConfig(apps...)
+				cfg.Cores = 1
+				res, err := s.Run(cfg)
+				if err != nil {
+					return Fig10{}, err
+				}
+				var tput float64
+				var p999 int64
+				for _, a := range res.Apps {
+					tput += a.Tput.PerSecond()
+					if a.Latency.P999 > p999 {
+						p999 = a.Latency.P999
+					}
+				}
+				out.Points = append(out.Points, Fig10Point{
+					System:      s.Name(),
+					Instances:   n,
+					LoadFrac:    lf,
+					AggTputMops: tput / 1e6,
+					MaxP999Ns:   p999,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// String renders the figure.
+func (f Fig10) String() string {
+	rows := make([][]string, 0, len(f.Points))
+	for _, p := range f.Points {
+		rows = append(rows, []string{
+			p.System, fmt.Sprintf("%d", p.Instances), f2(p.LoadFrac), f3(p.AggTputMops), us(p.MaxP999Ns),
+		})
+	}
+	s := table("Figure 10 — dense colocation of memcached instances on one core (bursty load)",
+		[]string{"system", "instances", "load", "agg-Mops", "p999-µs"}, rows)
+	s += "(paper: with 10 instances Caladan loses ~25% peak throughput and +20% P999;\n" +
+		" VESSEL is almost unchanged)\n"
+	return s
+}
+
+// At returns the point for (system, instances, closest load ≥ lf).
+func (f Fig10) At(system string, instances int, lf float64) (Fig10Point, bool) {
+	for _, p := range f.Points {
+		if p.System == system && p.Instances == instances && p.LoadFrac >= lf-1e-9 && p.LoadFrac <= lf+1e-9 {
+			return p, true
+		}
+	}
+	return Fig10Point{}, false
+}

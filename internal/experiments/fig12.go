@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vessel/internal/sched"
+	"vessel/internal/sched/caladan"
+	"vessel/internal/sim"
+	"vessel/internal/vessel"
+	"vessel/internal/workload"
+)
+
+// Fig12Point is one (system, cores) goodput measurement.
+type Fig12Point struct {
+	System      string
+	Cores       int
+	GoodputMops float64
+}
+
+// Fig12 reproduces CPU-core scalability (§6.3.3): goodput — the maximum
+// throughput achievable within a 60 µs P999 limit — as the domain's core
+// count grows. The control-plane saturation model (a single scheduler /
+// IOKernel server) produces the same shape the paper measures: VESSEL
+// scales to ~42 cores per domain, Caladan to ~34.
+type Fig12 struct {
+	Points []Fig12Point
+	// Peak maps system → (cores, goodput) at its maximum.
+	PeakCores map[string]int
+}
+
+// p999Limit is the goodput constraint.
+const p999Limit = 60_000 // ns
+
+// goodput binary-searches the max load meeting the P999 limit.
+func goodput(s sched.Scheduler, o Options, cores int) (float64, error) {
+	mk := func(rate float64) sched.Config {
+		app := workload.NewLApp("memcached", workload.Memcached(), rate)
+		cfg := o.baseConfig(app, workload.Linpack())
+		cfg.Cores = cores
+		if o.Quick {
+			cfg.Duration = 8 * sim.Millisecond
+			cfg.Warmup = 2 * sim.Millisecond
+		} else {
+			cfg.Duration = 25 * sim.Millisecond
+			cfg.Warmup = 5 * sim.Millisecond
+		}
+		return cfg
+	}
+	meets := func(rate float64) (bool, float64, error) {
+		res, err := s.Run(mk(rate))
+		if err != nil {
+			return false, 0, err
+		}
+		a, _ := res.App("memcached")
+		ok := a.Latency.P999 <= p999Limit && a.Tput.PerSecond() >= 0.93*rate
+		return ok, a.Tput.PerSecond(), nil
+	}
+	lo, hi := 0.0, 1.1*sched.IdealLCapacity(cores, workload.Memcached())
+	iters := 9
+	if o.Quick {
+		iters = 6
+	}
+	var best float64
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		ok, tput, err := meets(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			best = tput
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return best, nil
+}
+
+// Figure12 runs the core sweep.
+func Figure12(o Options) (Fig12, error) {
+	coreCounts := []int{32, 34, 36, 38, 40, 42, 44}
+	if o.Quick {
+		coreCounts = []int{32, 38, 42, 44}
+	}
+	systems := []sched.Scheduler{
+		vessel.Simulator{},
+		caladan.Simulator{Variant: caladan.DRLow},
+	}
+	out := Fig12{PeakCores: make(map[string]int)}
+	bestGoodput := make(map[string]float64)
+	for _, s := range systems {
+		for _, n := range coreCounts {
+			g, err := goodput(s, o, n)
+			if err != nil {
+				return Fig12{}, err
+			}
+			out.Points = append(out.Points, Fig12Point{System: s.Name(), Cores: n, GoodputMops: g / 1e6})
+			if g > bestGoodput[s.Name()] {
+				bestGoodput[s.Name()] = g
+				out.PeakCores[s.Name()] = n
+			}
+		}
+	}
+	return out, nil
+}
+
+// String renders the figure.
+func (f Fig12) String() string {
+	rows := make([][]string, 0, len(f.Points))
+	for _, p := range f.Points {
+		rows = append(rows, []string{p.System, fmt.Sprintf("%d", p.Cores), f3(p.GoodputMops)})
+	}
+	s := table("Figure 12 — goodput (P999 ≤ 60µs) vs domain core count",
+		[]string{"system", "cores", "goodput-Mops"}, rows)
+	for name, cores := range f.PeakCores {
+		s += fmt.Sprintf("%s peaks at %d cores\n", name, cores)
+	}
+	s += "(paper: VESSEL scales to 42 cores (+25.4%% from 32), dips at 44; Caladan peaks at 34)\n"
+	return s
+}
+
+// SystemPoints filters one system's points.
+func (f Fig12) SystemPoints(name string) []Fig12Point {
+	var out []Fig12Point
+	for _, p := range f.Points {
+		if p.System == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vessel/internal/sched"
+	"vessel/internal/sched/arachne"
+	"vessel/internal/sched/caladan"
+	"vessel/internal/sched/cfs"
+	"vessel/internal/vessel"
+	"vessel/internal/workload"
+)
+
+// Fig9Point is one (system, load) cell of Figure 9.
+type Fig9Point struct {
+	System    string
+	LoadFrac  float64
+	TotalNorm float64
+	BNorm     float64
+	LTputMops float64
+	P999Ns    int64
+}
+
+// Fig9 reproduces Figure 9: colocating an L-app with Linpack across load
+// levels under VESSEL, Caladan (plain, DR-L, DR-H), Arachne and Linux CFS.
+type Fig9 struct {
+	Workload string
+	Points   []Fig9Point
+	// AvgDecline maps system → average (1 − total normalized
+	// throughput) across its swept loads.
+	AvgDecline map[string]float64
+}
+
+// fig9Systems lists the compared schedulers. Arachne and Linux are swept
+// only over the low-load region, as in the paper (their latencies explode
+// beyond it).
+func fig9Systems() []sched.Scheduler {
+	return []sched.Scheduler{
+		vessel.Simulator{},
+		caladan.Simulator{Variant: caladan.Plain},
+		caladan.Simulator{Variant: caladan.DRLow},
+		caladan.Simulator{Variant: caladan.DRHigh},
+		arachne.Simulator{},
+		cfs.Simulator{},
+	}
+}
+
+// maxLoadFor caps the sweep per system the way the paper does ("we only
+// increase the load to 1 Mops/s at most for Arachne and 0.3 Mops/s for
+// Linux CFS" — expressed here as capacity fractions).
+func maxLoadFor(name string) float64 {
+	switch name {
+	case "Arachne":
+		return 0.15
+	case "Linux":
+		return 0.05
+	default:
+		return 1
+	}
+}
+
+// Figure9 runs the sweep for "memcached" or "silo".
+func Figure9(o Options, wl string) (Fig9, error) {
+	out := Fig9{Workload: wl, AvgDecline: make(map[string]float64)}
+	counts := make(map[string]int)
+	for _, s := range fig9Systems() {
+		cap := maxLoadFor(s.Name())
+		loads := make([]float64, 0, len(o.loadFractions()))
+		for _, lf := range o.loadFractions() {
+			if lf <= cap {
+				loads = append(loads, lf)
+			}
+		}
+		if len(loads) == 0 {
+			// Capped systems still get their in-range point, as the
+			// paper sweeps Arachne to 1 Mops and CFS to 0.3 Mops.
+			loads = []float64{cap}
+		}
+		for _, lf := range loads {
+			var lapp *workload.App
+			switch wl {
+			case "silo":
+				lapp = o.siloApp(lf)
+			case "memcached":
+				lapp = o.mcApp(lf)
+			default:
+				return Fig9{}, fmt.Errorf("experiments: unknown workload %q", wl)
+			}
+			cfg := o.baseConfig(lapp, workload.Linpack())
+			if wl == "silo" && !o.Quick {
+				cfg.Duration = 150 * o.duration() / 60
+				cfg.Warmup = 3 * o.warmup()
+			}
+			res, err := s.Run(cfg)
+			if err != nil {
+				return Fig9{}, err
+			}
+			la, _ := res.App(lapp.Name)
+			ba, _ := res.App("linpack")
+			out.Points = append(out.Points, Fig9Point{
+				System:    s.Name(),
+				LoadFrac:  lf,
+				TotalNorm: res.TotalNormTput(),
+				BNorm:     ba.NormTput,
+				LTputMops: la.Tput.PerSecond() / 1e6,
+				P999Ns:    la.Latency.P999,
+			})
+			out.AvgDecline[s.Name()] += 1 - res.TotalNormTput()
+			counts[s.Name()]++
+		}
+	}
+	for name, n := range counts {
+		if n > 0 {
+			out.AvgDecline[name] /= float64(n)
+		}
+	}
+	return out, nil
+}
+
+// String renders the sweep.
+func (f Fig9) String() string {
+	rows := make([][]string, 0, len(f.Points))
+	for _, p := range f.Points {
+		rows = append(rows, []string{
+			p.System, f2(p.LoadFrac), f3(p.TotalNorm), f3(p.BNorm), f3(p.LTputMops), us(p.P999Ns),
+		})
+	}
+	s := table(fmt.Sprintf("Figure 9 — colocating %s with Linpack", f.Workload),
+		[]string{"system", "load", "total-norm", "B-norm", "L-Mops", "p999-µs"}, rows)
+	for _, name := range []string{"VESSEL", "Caladan", "Caladan-DR-L", "Caladan-DR-H"} {
+		if d, ok := f.AvgDecline[name]; ok {
+			s += fmt.Sprintf("avg total-throughput decline %-14s %s\n", name+":", pct(d))
+		}
+	}
+	s += "(paper: VESSEL 6.6% average decline; Caladan 16.1% average, 32.1% max)\n"
+	return s
+}
+
+// SystemPoints filters the points of one system.
+func (f Fig9) SystemPoints(name string) []Fig9Point {
+	var out []Fig9Point
+	for _, p := range f.Points {
+		if p.System == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}

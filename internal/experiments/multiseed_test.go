@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+
+	"vessel/internal/sched"
+	"vessel/internal/sched/caladan"
+	"vessel/internal/stats"
+	"vessel/internal/vessel"
+	"vessel/internal/workload"
+)
+
+// TestConclusionsAreSeedRobust re-runs the headline comparison across
+// several independent seeds and checks that the paper's qualitative
+// conclusions hold for every seed, not just the committed one:
+//
+//   - VESSEL's total normalized throughput beats Caladan's;
+//   - VESSEL's P999 beats Caladan's;
+//   - the run-to-run spread of VESSEL's throughput is small (the
+//     simulation is well-converged at the configured duration).
+func TestConclusionsAreSeedRobust(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed robustness skipped in -short mode")
+	}
+	seeds := []uint64{11, 23, 57, 101, 997}
+	var vNorm, cNorm stats.MeanVar
+	for _, seed := range seeds {
+		run := func(s sched.Scheduler) sched.Result {
+			o := Options{Seed: seed, Quick: true}
+			cfg := o.baseConfig(o.mcApp(0.5), workload.Linpack())
+			res, err := s.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		v := run(vessel.Simulator{})
+		c := run(caladan.Simulator{Variant: caladan.Plain})
+		if v.TotalNormTput() <= c.TotalNormTput() {
+			t.Errorf("seed %d: VESSEL norm %.3f ≤ Caladan %.3f",
+				seed, v.TotalNormTput(), c.TotalNormTput())
+		}
+		if v.LAppP999() >= c.LAppP999() {
+			t.Errorf("seed %d: VESSEL p999 %d ≥ Caladan %d",
+				seed, v.LAppP999(), c.LAppP999())
+		}
+		vNorm.Add(v.TotalNormTput())
+		cNorm.Add(c.TotalNormTput())
+	}
+	// Convergence: the coefficient of variation across seeds stays tiny.
+	if cv := vNorm.StdDev() / vNorm.Mean(); cv > 0.02 {
+		t.Errorf("VESSEL norm CV across seeds = %.4f, poorly converged", cv)
+	}
+	if cv := cNorm.StdDev() / cNorm.Mean(); cv > 0.05 {
+		t.Errorf("Caladan norm CV across seeds = %.4f, poorly converged", cv)
+	}
+}

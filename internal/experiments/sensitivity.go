@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vessel/internal/cpu"
+	"vessel/internal/sched"
+	"vessel/internal/sched/caladan"
+	"vessel/internal/sim"
+	"vessel/internal/vessel"
+	"vessel/internal/workload"
+)
+
+// SensPoint is one (knob, value) measurement of the standard colocation.
+type SensPoint struct {
+	Knob      string
+	Value     string
+	System    string
+	TotalNorm float64
+	P999Ns    int64
+}
+
+// Sensitivity sweeps the design-choice constants DESIGN.md §6 calls out —
+// the UINTR delivery latency, the WRPKRU cost, Caladan's steal window and
+// reallocation interval — and reports how the standard colocation responds.
+// It quantifies which of the paper's bets each result rests on.
+type Sensitivity struct {
+	Points []SensPoint
+}
+
+// sensRun runs the standard memcached+Linpack colocation at 50% load.
+func sensRun(o Options, s sched.Scheduler, cm *cpu.CostModel) (SensPoint, error) {
+	cfg := o.baseConfig(o.mcApp(0.5), workload.Linpack())
+	cfg.Costs = cm
+	res, err := s.Run(cfg)
+	if err != nil {
+		return SensPoint{}, err
+	}
+	la, _ := res.App("memcached")
+	return SensPoint{
+		System:    s.Name(),
+		TotalNorm: res.TotalNormTput(),
+		P999Ns:    la.Latency.P999,
+	}, nil
+}
+
+// RunSensitivity executes the sweep.
+func RunSensitivity(o Options) (Sensitivity, error) {
+	var out Sensitivity
+	add := func(knob, value string, s sched.Scheduler, cm *cpu.CostModel) error {
+		p, err := sensRun(o, s, cm)
+		if err != nil {
+			return err
+		}
+		p.Knob = knob
+		p.Value = value
+		out.Points = append(out.Points, p)
+		return nil
+	}
+
+	// 1. UINTR delivery latency: the paper's 15× claim (§2.2) swept from
+	// hardware-fast to kernel-IPI-slow, inside VESSEL.
+	for _, mult := range []int{1, 5, 15} {
+		cm := cpu.Default()
+		cm.UintrDeliver *= sim.Duration(mult)
+		cm.VesselPreemptSwitch += cm.UintrDeliver - cpu.Default().UintrDeliver
+		if err := add("uintr-delivery", fmt.Sprintf("%v", cm.UintrDeliver), vessel.Simulator{}, cm); err != nil {
+			return out, err
+		}
+	}
+	// 2. WRPKRU cost across the §2.3 range (two per gate crossing).
+	for _, cycles := range []int64{11, 28, 260} {
+		cm := cpu.Default()
+		delta := cm.CyclesToNs(2 * (cycles - cm.WrPkruCycles))
+		cm.WrPkruCycles = cycles
+		cm.VesselParkSwitch += delta
+		cm.VesselPreemptSwitch += delta
+		if err := add("wrpkru-cycles", fmt.Sprintf("%d", cycles), vessel.Simulator{}, cm); err != nil {
+			return out, err
+		}
+	}
+	// 3. Caladan's steal window (§4.5): the conservative-policy dial.
+	for _, win := range []sim.Duration{500, 2000, 8000} {
+		cm := cpu.Default()
+		cm.CaladanStealWin = win
+		if err := add("steal-window", fmt.Sprintf("%v", win), caladan.Simulator{Variant: caladan.Plain}, cm); err != nil {
+			return out, err
+		}
+	}
+	// 4. Caladan's core-reallocation interval (§4.5).
+	for _, iv := range []sim.Duration{5000, 10000, 20000} {
+		cm := cpu.Default()
+		cm.CaladanReallocMs = iv
+		if err := add("realloc-interval", fmt.Sprintf("%v", iv), caladan.Simulator{Variant: caladan.Plain}, cm); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// String renders the sweep.
+func (s Sensitivity) String() string {
+	rows := make([][]string, 0, len(s.Points))
+	for _, p := range s.Points {
+		rows = append(rows, []string{p.Knob, p.Value, p.System, f3(p.TotalNorm), us(p.P999Ns)})
+	}
+	out := table("Sensitivity — design-choice constants vs the standard colocation (50% load)",
+		[]string{"knob", "value", "system", "total-norm", "p999-µs"}, rows)
+	out += "(rows isolate one constant each; DESIGN.md §6 lists the corresponding design choices)\n"
+	return out
+}

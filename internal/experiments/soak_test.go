@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"vessel/internal/sched"
+	"vessel/internal/sim"
+	"vessel/internal/workload"
+)
+
+// TestSoakLongDeterministicRuns exercises every scheduler for a long
+// (100 ms virtual) run under bursty load, re-checking the conservation
+// invariants and byte-for-byte determinism. Skipped under -short.
+func TestSoakLongDeterministicRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	o := Options{Seed: 21, Quick: true}
+	build := func() sched.Config {
+		mc := workload.NewLApp("memcached", workload.Memcached(), 0.4*8e6)
+		mc.Burst = &workload.Burst{
+			OnMean:  500 * sim.Microsecond,
+			OffMean: 500 * sim.Microsecond,
+			Factor:  2,
+		}
+		cfg := o.baseConfig(mc, workload.Linpack())
+		cfg.Cores = 8
+		cfg.Duration = 100 * sim.Millisecond
+		cfg.Warmup = 10 * sim.Millisecond
+		return cfg
+	}
+	for _, s := range fig9Systems() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			cfg1 := build()
+			res1, err := s.Run(cfg1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkInvariants(t, "soak/"+s.Name(), cfg1, res1)
+			// Determinism across an identical rebuild.
+			cfg2 := build()
+			res2, err := s.Run(cfg2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a1, _ := res1.App("memcached")
+			a2, _ := res2.App("memcached")
+			if a1.Completed != a2.Completed || a1.Latency.P999 != a2.Latency.P999 {
+				t.Fatalf("soak nondeterminism: %d/%d vs %d/%d",
+					a1.Completed, a1.Latency.P999, a2.Completed, a2.Latency.P999)
+			}
+		})
+	}
+}

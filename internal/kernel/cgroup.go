@@ -1,0 +1,64 @@
+package kernel
+
+import "vessel/internal/sim"
+
+// CPUQuota models the cgroup-v2 cpu.max controller used as a Figure 13b
+// comparator: a task group may run for at most Quota out of every Period of
+// wall time; once the budget is exhausted the group is throttled until the
+// period refills. Enforcement granularity is the period (100ms by default)
+// — four to five orders of magnitude coarser than VESSEL's core scheduling,
+// which is exactly why it regulates memory bandwidth poorly.
+type CPUQuota struct {
+	Period sim.Duration
+	Quota  sim.Duration
+
+	windowStart sim.Time
+	used        sim.Duration
+	// ThrottledNs accumulates time spent throttled, for reporting.
+	ThrottledNs sim.Duration
+}
+
+// NewCPUQuota returns a controller granting quota out of every period.
+func NewCPUQuota(period, quota sim.Duration) *CPUQuota {
+	return &CPUQuota{Period: period, Quota: quota}
+}
+
+// refill advances the window to contain now.
+func (q *CPUQuota) refill(now sim.Time) {
+	for now >= q.windowStart.Add(q.Period) {
+		q.windowStart = q.windowStart.Add(q.Period)
+		q.used = 0
+	}
+}
+
+// Grant asks to run for want starting at now. It returns the duration the
+// group may actually run before throttling, and the time at which the next
+// budget becomes available if the returned grant is zero.
+func (q *CPUQuota) Grant(now sim.Time, want sim.Duration) (run sim.Duration, nextRefill sim.Time) {
+	q.refill(now)
+	remaining := q.Quota - q.used
+	if remaining <= 0 {
+		return 0, q.windowStart.Add(q.Period)
+	}
+	if want > remaining {
+		want = remaining
+	}
+	return want, 0
+}
+
+// Charge records that the group ran for d starting at now.
+func (q *CPUQuota) Charge(now sim.Time, d sim.Duration) {
+	q.refill(now)
+	q.used += d
+}
+
+// Throttled records throttled time (for reporting).
+func (q *CPUQuota) Throttled(d sim.Duration) { q.ThrottledNs += d }
+
+// Fraction returns the configured CPU fraction quota/period.
+func (q *CPUQuota) Fraction() float64 {
+	if q.Period <= 0 {
+		return 1
+	}
+	return float64(q.Quota) / float64(q.Period)
+}

@@ -1,0 +1,187 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the minimal in-memory file system and per-process
+// descriptor tables needed to reproduce the §5.2.4 scenarios:
+//
+//   - Security: two uProcesses scheduled into the same kProcess share its
+//     fd table, so without interposition uProcess B can brute-force
+//     descriptors opened by uProcess A.
+//   - Correctness: a uProcess rescheduled into a different kProcess loses
+//     descriptors (and may lack ACL permission to reopen files) unless the
+//     runtime proxies syscalls and the manager aligns kProcess ACLs.
+
+// File is an in-memory file with a simple owner/mode ACL.
+type File struct {
+	Name  string
+	Owner int // uid
+	Mode  uint32
+	Data  []byte
+}
+
+// FS is a flat in-memory namespace.
+type FS struct {
+	files map[string]*File
+}
+
+// NewFS returns an empty file system.
+func NewFS() *FS { return &FS{files: make(map[string]*File)} }
+
+// Create makes a file owned by uid with the given mode. Creating an
+// existing name truncates it (like O_CREAT|O_TRUNC) if uid may write.
+func (fs *FS) Create(name string, uid int, mode uint32) (*File, error) {
+	if f, ok := fs.files[name]; ok {
+		if !f.mayWrite(uid) {
+			return nil, fmt.Errorf("fs: %s: permission denied", name)
+		}
+		f.Data = nil
+		return f, nil
+	}
+	f := &File{Name: name, Owner: uid, Mode: mode}
+	fs.files[name] = f
+	return f, nil
+}
+
+// Lookup finds a file.
+func (fs *FS) Lookup(name string) (*File, bool) {
+	f, ok := fs.files[name]
+	return f, ok
+}
+
+// Names lists all file names, sorted (for deterministic tests).
+func (fs *FS) Names() []string {
+	out := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (f *File) mayRead(uid int) bool {
+	if uid == f.Owner {
+		return f.Mode&0o400 != 0
+	}
+	return f.Mode&0o004 != 0
+}
+
+func (f *File) mayWrite(uid int) bool {
+	if uid == f.Owner {
+		return f.Mode&0o200 != 0
+	}
+	return f.Mode&0o002 != 0
+}
+
+// FD is a file descriptor number.
+type FD int
+
+// openFile is a descriptor-table entry.
+type openFile struct {
+	file   *File
+	offset int
+	write  bool
+}
+
+// FDTable is a per-kProcess descriptor table. Descriptors are allocated
+// lowest-first, as POSIX requires — which is exactly what makes them
+// brute-forceable by a colocated uProcess (§5.2.4).
+type FDTable struct {
+	next FD
+	open map[FD]*openFile
+}
+
+// NewFDTable returns an empty table starting at fd 3 (0–2 reserved).
+func NewFDTable() *FDTable {
+	return &FDTable{next: 3, open: make(map[FD]*openFile)}
+}
+
+// Open opens name in fs for uid, enforcing the ACL, and returns a new fd.
+func (p *KProcess) Open(fs *FS, name string, write bool) (FD, error) {
+	f, ok := fs.Lookup(name)
+	if !ok {
+		return -1, fmt.Errorf("fs: %s: no such file", name)
+	}
+	if write && !f.mayWrite(p.UID) {
+		return -1, fmt.Errorf("fs: %s: permission denied (uid %d)", name, p.UID)
+	}
+	if !write && !f.mayRead(p.UID) {
+		return -1, fmt.Errorf("fs: %s: permission denied (uid %d)", name, p.UID)
+	}
+	fd := p.fds.next
+	p.fds.next++
+	p.fds.open[fd] = &openFile{file: f, write: write}
+	return fd, nil
+}
+
+// Creat creates a file and opens it for writing.
+func (p *KProcess) Creat(fs *FS, name string, mode uint32) (FD, error) {
+	f, err := fs.Create(name, p.UID, mode)
+	if err != nil {
+		return -1, err
+	}
+	fd := p.fds.next
+	p.fds.next++
+	p.fds.open[fd] = &openFile{file: f, write: true}
+	return fd, nil
+}
+
+// ReadFD reads up to n bytes from fd.
+func (p *KProcess) ReadFD(fd FD, n int) ([]byte, error) {
+	of, ok := p.fds.open[fd]
+	if !ok {
+		return nil, fmt.Errorf("fs: bad fd %d (EBADF)", fd)
+	}
+	if of.offset >= len(of.file.Data) {
+		return nil, nil
+	}
+	end := of.offset + n
+	if end > len(of.file.Data) {
+		end = len(of.file.Data)
+	}
+	out := of.file.Data[of.offset:end]
+	of.offset = end
+	return out, nil
+}
+
+// WriteFD appends data through fd.
+func (p *KProcess) WriteFD(fd FD, data []byte) error {
+	of, ok := p.fds.open[fd]
+	if !ok {
+		return fmt.Errorf("fs: bad fd %d (EBADF)", fd)
+	}
+	if !of.write {
+		return fmt.Errorf("fs: fd %d not open for writing", fd)
+	}
+	of.file.Data = append(of.file.Data, data...)
+	return nil
+}
+
+// Close closes fd.
+func (p *KProcess) Close(fd FD) error {
+	if _, ok := p.fds.open[fd]; !ok {
+		return fmt.Errorf("fs: bad fd %d (EBADF)", fd)
+	}
+	delete(p.fds.open, fd)
+	return nil
+}
+
+// FDValid reports whether fd is open — the brute-force probe a malicious
+// colocated uProcess would use.
+func (p *KProcess) FDValid(fd FD) bool {
+	_, ok := p.fds.open[fd]
+	return ok
+}
+
+// OpenFDs returns the open descriptor numbers, sorted.
+func (p *KProcess) OpenFDs() []FD {
+	out := make([]FD, 0, len(p.fds.open))
+	for fd := range p.fds.open {
+		out = append(out, fd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,106 @@
+package arachne
+
+import (
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/sched"
+	"vessel/internal/sim"
+	"vessel/internal/workload"
+)
+
+func runA(t *testing.T, cfg sched.Config) sched.Result {
+	t.Helper()
+	res, err := Simulator{}.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func baseCfg(apps ...*workload.App) sched.Config {
+	return sched.Config{
+		Seed:     1,
+		Cores:    8,
+		Duration: 300 * sim.Millisecond,
+		Warmup:   100 * sim.Millisecond, // past the first arbiter rounds
+		Apps:     apps,
+		Costs:    cpu.Default(),
+	}
+}
+
+func TestLowLoadWorks(t *testing.T) {
+	mc := workload.NewLApp("memcached", workload.Memcached(), 200_000)
+	res := runA(t, baseCfg(mc, workload.Linpack()))
+	a, _ := res.App("memcached")
+	if got := a.Tput.PerSecond(); got < 0.9*200_000 {
+		t.Fatalf("throughput %.0f below offered 200k", got)
+	}
+	if a.Latency.P50 > 100_000 {
+		t.Fatalf("p50 = %dns at low load", a.Latency.P50)
+	}
+}
+
+func TestDispatcherBottleneckCapsThroughput(t *testing.T) {
+	// Arachne's per-request dispatch (~1µs) caps the app near 1 Mops no
+	// matter how many cores — the paper's "sharp decline" beyond 1 Mops.
+	mc := workload.NewLApp("memcached", workload.Memcached(), 2_000_000)
+	res := runA(t, baseCfg(mc, workload.Linpack()))
+	a, _ := res.App("memcached")
+	got := a.Tput.PerSecond()
+	if got > 1.15e6 {
+		t.Fatalf("throughput %.2f Mops should be capped near 1 Mops", got/1e6)
+	}
+	if a.Latency.P999 < 5_000_000 {
+		t.Fatalf("p999 = %.2fms; overload beyond the dispatcher cap should explode", float64(a.Latency.P999)/1e6)
+	}
+}
+
+func TestSlowArbiterWastesCores(t *testing.T) {
+	// Granted cores spin between arbiter rounds instead of being
+	// returned: runtime waste visible in the breakdown.
+	mc := workload.NewLApp("memcached", workload.Memcached(), 500_000)
+	res := runA(t, baseCfg(mc, workload.Linpack()))
+	if res.Cycles.RuntimeNs == 0 {
+		t.Fatal("no runtime (spin) waste recorded")
+	}
+	frac := float64(res.Cycles.RuntimeNs) / float64(res.Cycles.Total())
+	if frac < 0.01 {
+		t.Fatalf("spin waste fraction %.4f suspiciously low", frac)
+	}
+	if res.Reallocations == 0 {
+		t.Fatal("arbiter never moved cores")
+	}
+}
+
+func TestBAppGetsRemainingCores(t *testing.T) {
+	mc := workload.NewLApp("memcached", workload.Memcached(), 200_000)
+	res := runA(t, baseCfg(mc, workload.Linpack()))
+	b, _ := res.App("linpack")
+	// L needs ~2-3 of 8 cores (dispatcher+workers); B gets most of the
+	// rest.
+	if b.NormTput < 0.4 {
+		t.Fatalf("B norm tput = %.3f, want substantial share", b.NormTput)
+	}
+	if b.NormTput > 0.9 {
+		t.Fatalf("B norm tput = %.3f — L must be holding some cores", b.NormTput)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() sched.Config {
+		return baseCfg(workload.NewLApp("memcached", workload.Memcached(), 400_000), workload.Linpack())
+	}
+	a, b := runA(t, mk()), runA(t, mk())
+	aa, _ := a.App("memcached")
+	bb, _ := b.App("memcached")
+	if aa.Completed != bb.Completed || a.Reallocations != b.Reallocations {
+		t.Fatal("non-deterministic")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := (Simulator{}).Run(sched.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

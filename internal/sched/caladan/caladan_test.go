@@ -1,0 +1,214 @@
+package caladan
+
+import (
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/sched"
+	"vessel/internal/sim"
+	"vessel/internal/vessel"
+	"vessel/internal/workload"
+)
+
+func runC(t *testing.T, v Variant, cfg sched.Config) sched.Result {
+	t.Helper()
+	res, err := Simulator{Variant: v}.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func baseCfg(apps ...*workload.App) sched.Config {
+	return sched.Config{
+		Seed:     1,
+		Cores:    8,
+		Duration: 40 * sim.Millisecond,
+		Warmup:   5 * sim.Millisecond,
+		Apps:     apps,
+		Costs:    cpu.Default(),
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Simulator{Plain}).Name() != "Caladan" ||
+		(Simulator{DRLow}).Name() != "Caladan-DR-L" ||
+		(Simulator{DRHigh}).Name() != "Caladan-DR-H" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestLAppAloneWorks(t *testing.T) {
+	mc := workload.NewLApp("memcached", workload.Memcached(), 2e6)
+	res := runC(t, DRLow, baseCfg(mc))
+	a, _ := res.App("memcached")
+	got := a.Tput.PerSecond()
+	if got < 1.9e6 || got > 2.1e6 {
+		t.Fatalf("throughput = %.2f Mops", got/1e6)
+	}
+	if a.Latency.P999 > 150_000 {
+		t.Fatalf("p999 = %dns alone at 25%% load", a.Latency.P999)
+	}
+}
+
+func TestColocationLosesThroughputVsVessel(t *testing.T) {
+	// The paper's core claim (Fig. 1a/9): Caladan's total normalized
+	// throughput declines measurably under colocation while VESSEL's
+	// stays near 1.
+	load := 0.5 * 8e6
+	mkApps := func() []*workload.App {
+		return []*workload.App{
+			workload.NewLApp("memcached", workload.Memcached(), load),
+			workload.Linpack(),
+		}
+	}
+	cal := runC(t, Plain, baseCfg(mkApps()...))
+	ves, err := vessel.Simulator{}.Run(baseCfg(mkApps()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.TotalNormTput() >= ves.TotalNormTput() {
+		t.Fatalf("Caladan total %.3f should trail VESSEL %.3f",
+			cal.TotalNormTput(), ves.TotalNormTput())
+	}
+	if cal.TotalNormTput() > 0.95 {
+		t.Fatalf("Caladan colocation too efficient: %.3f", cal.TotalNormTput())
+	}
+	if cal.TotalNormTput() < 0.55 {
+		t.Fatalf("Caladan colocation unreasonably bad: %.3f", cal.TotalNormTput())
+	}
+}
+
+func TestOverheadCyclesVisible(t *testing.T) {
+	// Figure 1b: a meaningful share of cycles goes to kernel + runtime.
+	mc := workload.NewLApp("memcached", workload.Memcached(), 0.5*8e6)
+	res := runC(t, Plain, baseCfg(mc, workload.Linpack()))
+	f := res.Cycles.OverheadFrac()
+	if f < 0.03 || f > 0.35 {
+		t.Fatalf("overhead fraction = %.3f, want 5–30%%", f)
+	}
+	if res.Cycles.KernelNs == 0 || res.Cycles.RuntimeNs == 0 {
+		t.Fatal("kernel and runtime time must both appear")
+	}
+}
+
+func TestDelayRangeTradeoff(t *testing.T) {
+	// DR-H must be more CPU-efficient but higher latency than DR-L
+	// (Fig. 9's explicit tradeoff).
+	load := 0.6 * 8e6
+	mk := func() []*workload.App {
+		return []*workload.App{
+			workload.NewLApp("memcached", workload.Memcached(), load),
+			workload.Linpack(),
+		}
+	}
+	lo := runC(t, DRLow, baseCfg(mk()...))
+	hi := runC(t, DRHigh, baseCfg(mk()...))
+	loApp, _ := lo.App("memcached")
+	hiApp, _ := hi.App("memcached")
+	if hiApp.Latency.P999 <= loApp.Latency.P999 {
+		t.Fatalf("DR-H p999 %d must exceed DR-L %d", hiApp.Latency.P999, loApp.Latency.P999)
+	}
+	if hi.TotalNormTput() < lo.TotalNormTput()-0.02 {
+		t.Fatalf("DR-H total %.3f should be >= DR-L %.3f (efficiency side of the tradeoff)",
+			hi.TotalNormTput(), lo.TotalNormTput())
+	}
+}
+
+func TestReallocationCostsKernelTime(t *testing.T) {
+	mc := workload.NewLApp("memcached", workload.Memcached(), 0.4*8e6)
+	res := runC(t, Plain, baseCfg(mc, workload.Linpack()))
+	if res.Reallocations == 0 {
+		t.Fatal("no core reallocations at 40% load with a B-app")
+	}
+	if res.Cycles.KernelNs == 0 {
+		t.Fatal("reallocations must charge kernel time")
+	}
+}
+
+func TestDenseColocationDegrades(t *testing.T) {
+	// Fig. 10: 10 L-apps on one core degrade Caladan's aggregate
+	// throughput and tail while VESSEL stays put.
+	mk := func(n int, aggregate float64) []*workload.App {
+		apps := make([]*workload.App, n)
+		for i := range apps {
+			apps[i] = workload.NewLApp(string(rune('a'+i)), workload.Memcached(), aggregate/float64(n))
+		}
+		return apps
+	}
+	maxP999 := func(res sched.Result) int64 {
+		var p int64
+		for _, a := range res.Apps {
+			if a.Latency.P999 > p {
+				p = a.Latency.P999
+			}
+		}
+		return p
+	}
+	agg := func(res sched.Result) float64 {
+		var tput float64
+		for _, a := range res.Apps {
+			tput += a.Tput.PerSecond()
+		}
+		return tput
+	}
+	const load = 0.8e6
+	cfg1 := baseCfg(mk(1, load)...)
+	cfg1.Cores = 1
+	one := runC(t, DRLow, cfg1)
+	cfg10 := baseCfg(mk(10, load)...)
+	cfg10.Cores = 1
+	ten := runC(t, DRLow, cfg10)
+	// Throughput keeps up below saturation, but the tail explodes:
+	// the paper's P999 inflation under dense colocation.
+	if maxP999(ten) < 4*maxP999(one) {
+		t.Fatalf("dense Caladan p999 %dns should be several times single-app %dns",
+			maxP999(ten), maxP999(one))
+	}
+	// VESSEL on the identical dense workload keeps throughput AND a far
+	// lower tail (paper: "almost unchanged").
+	vcfg := baseCfg(mk(10, load)...)
+	vcfg.Cores = 1
+	vres, err := vessel.Simulator{}.Run(vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg(vres) < 0.95*load {
+		t.Fatalf("VESSEL dense aggregate %.2f Mops, want ~%.2f", agg(vres)/1e6, load/1e6)
+	}
+	if maxP999(vres) > maxP999(ten)/3 {
+		t.Fatalf("VESSEL dense p999 %dns should be well below Caladan's %dns",
+			maxP999(vres), maxP999(ten))
+	}
+}
+
+func TestBandwidthRegulationCoarser(t *testing.T) {
+	// Both systems support bandwidth thresholds; Caladan enforces at
+	// 10 µs with expensive reallocations.
+	mb := workload.Membench()
+	cfg := baseCfg(mb)
+	cfg.BWTargetFrac = 0.3
+	res := runC(t, Plain, cfg)
+	b, _ := res.App("membench")
+	target := 0.3 * cfg.Costs.MemBWTotal
+	if b.AvgBWGBs > target*1.6 {
+		t.Fatalf("Caladan bw %.1f wildly above target %.1f", b.AvgBWGBs, target)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() sched.Config {
+		return baseCfg(workload.NewLApp("memcached", workload.Memcached(), 3e6), workload.Linpack())
+	}
+	a := runC(t, DRLow, mk())
+	b := runC(t, DRLow, mk())
+	if a.Switches != b.Switches || a.Reallocations != b.Reallocations {
+		t.Fatal("non-deterministic")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := (Simulator{}).Run(sched.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package cfs
+
+import (
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/sched"
+	"vessel/internal/sim"
+	"vessel/internal/vessel"
+	"vessel/internal/workload"
+)
+
+func runL(t *testing.T, cfg sched.Config) sched.Result {
+	t.Helper()
+	res, err := Simulator{}.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func baseCfg(apps ...*workload.App) sched.Config {
+	return sched.Config{
+		Seed:     1,
+		Cores:    8,
+		Duration: 80 * sim.Millisecond,
+		Warmup:   10 * sim.Millisecond,
+		Apps:     apps,
+		Costs:    cpu.Default(),
+	}
+}
+
+func TestThroughputSustainedAtLowLoad(t *testing.T) {
+	// Paper: "Linux CFS shows good total throughput given our provided
+	// load (0 to 0.3 Mops/s)". Scaled to 8 cores: 0.075 Mops.
+	mc := workload.NewLApp("memcached", workload.Memcached(), 75_000)
+	res := runL(t, baseCfg(mc, workload.Linpack()))
+	a, _ := res.App("memcached")
+	got := a.Tput.PerSecond()
+	if got < 0.9*75_000 {
+		t.Fatalf("throughput %.0f below offered 75k", got)
+	}
+	b, _ := res.App("linpack")
+	if b.NormTput < 0.85 {
+		t.Fatalf("B-app should harvest nearly everything at tiny L load: %.3f", b.NormTput)
+	}
+}
+
+func TestTailLatencyOrdersOfMagnitudeWorse(t *testing.T) {
+	// The paper's headline CFS result: extremely high L-app latencies
+	// under colocation (>10ms P999) while VESSEL stays in the tens of µs.
+	mk := func() []*workload.App {
+		return []*workload.App{
+			workload.NewLApp("memcached", workload.Memcached(), 75_000),
+			workload.Linpack(),
+		}
+	}
+	linux := runL(t, baseCfg(mk()...))
+	ves, err := vessel.Simulator{}.Run(baseCfg(mk()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lx, _ := linux.App("memcached")
+	vs, _ := ves.App("memcached")
+	if lx.Latency.P999 < 2_000_000 {
+		t.Fatalf("CFS P999 = %.2fms, want multi-ms", float64(lx.Latency.P999)/1e6)
+	}
+	if lx.Latency.P999 < 100*vs.Latency.P999 {
+		t.Fatalf("CFS P999 %dns should be ≫ VESSEL's %dns", lx.Latency.P999, vs.Latency.P999)
+	}
+}
+
+func TestAloneNoSoftirqStarvation(t *testing.T) {
+	// Without a B-app occupying the receive cores, the softirq deferral
+	// never triggers and CFS latency is only the wakeup/switch path.
+	mc := workload.NewLApp("memcached", workload.Memcached(), 75_000)
+	res := runL(t, baseCfg(mc))
+	a, _ := res.App("memcached")
+	if a.Latency.P999 > 2_000_000 {
+		t.Fatalf("alone P999 = %.2fms, should not see B-induced starvation", float64(a.Latency.P999)/1e6)
+	}
+	if a.Latency.P50 < 5_000 {
+		t.Fatalf("P50 %dns should still include wakeup+switch costs", a.Latency.P50)
+	}
+}
+
+func TestKernelTimeCharged(t *testing.T) {
+	mc := workload.NewLApp("memcached", workload.Memcached(), 200_000)
+	res := runL(t, baseCfg(mc, workload.Linpack()))
+	if res.Cycles.KernelNs == 0 {
+		t.Fatal("CFS must charge kernel switch time")
+	}
+	if res.Switches == 0 || res.Preemptions == 0 {
+		t.Fatalf("switches=%d preempts=%d", res.Switches, res.Preemptions)
+	}
+}
+
+func TestBreakdownCoversAllTime(t *testing.T) {
+	mc := workload.NewLApp("memcached", workload.Memcached(), 100_000)
+	res := runL(t, baseCfg(mc, workload.Linpack()))
+	total := res.Cycles.Total()
+	want := sim.Duration(8) * 80 * sim.Millisecond
+	if total < want*98/100 || total > want*102/100 {
+		t.Fatalf("breakdown %v, want %v", total, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() sched.Config {
+		return baseCfg(workload.NewLApp("memcached", workload.Memcached(), 100_000), workload.Linpack())
+	}
+	a, b := runL(t, mk()), runL(t, mk())
+	aa, _ := a.App("memcached")
+	bb, _ := b.App("memcached")
+	if aa.Latency.P999 != bb.Latency.P999 || a.Switches != b.Switches {
+		t.Fatal("non-deterministic")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := (Simulator{}).Run(sched.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

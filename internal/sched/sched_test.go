@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/sim"
+	"vessel/internal/stats"
+	"vessel/internal/workload"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{
+		Cores:    4,
+		Duration: sim.Millisecond,
+		Apps:     []*workload.App{workload.Linpack()},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.Costs == nil {
+		t.Fatal("Validate must fill default costs")
+	}
+	bad := []Config{
+		{Cores: 0, Duration: 1, Apps: good.Apps},
+		{Cores: 1, Duration: 0, Apps: good.Apps},
+		{Cores: 1, Duration: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestCycleBreakdown(t *testing.T) {
+	c := CycleBreakdown{AppNs: 700, RuntimeNs: 100, KernelNs: 100, SwitchNs: 50, IdleNs: 50}
+	if c.Total() != 1000 {
+		t.Fatalf("total = %v", c.Total())
+	}
+	if math.Abs(c.OverheadFrac()-0.25) > 1e-9 {
+		t.Fatalf("overhead = %v", c.OverheadFrac())
+	}
+	var zero CycleBreakdown
+	if zero.OverheadFrac() != 0 {
+		t.Fatal("zero breakdown overhead")
+	}
+	zero.Add(c)
+	if zero.Total() != 1000 {
+		t.Fatal("Add broken")
+	}
+}
+
+func TestAccountantClipping(t *testing.T) {
+	a := Accountant{From: 100, To: 200}
+	a.Accrue(ActApp, 0, 50) // entirely before window
+	if a.Breakdown.AppNs != 0 {
+		t.Fatal("pre-window time accrued")
+	}
+	a.Accrue(ActApp, 50, 150) // straddles start
+	if a.Breakdown.AppNs != 50 {
+		t.Fatalf("app = %v", a.Breakdown.AppNs)
+	}
+	a.Accrue(ActKernel, 150, 300) // straddles end
+	if a.Breakdown.KernelNs != 50 {
+		t.Fatalf("kernel = %v", a.Breakdown.KernelNs)
+	}
+	a.Accrue(ActIdle, 250, 400) // entirely after
+	if a.Breakdown.IdleNs != 0 {
+		t.Fatal("post-window time accrued")
+	}
+	a.Accrue(ActSwitch, 120, 120)  // empty span
+	a.Accrue(ActRuntime, 130, 120) // inverted span
+	if a.Breakdown.SwitchNs != 0 || a.Breakdown.RuntimeNs != 0 {
+		t.Fatal("degenerate spans accrued")
+	}
+	if a.Clip(90, 110) != 10 {
+		t.Fatalf("clip = %v", a.Clip(90, 110))
+	}
+}
+
+func TestBWInflationAndAverage(t *testing.T) {
+	b := NewBW(40)
+	if b.Inflation() != 1 {
+		t.Fatal("empty inflation")
+	}
+	b.Add(0, 30)
+	if b.Inflation() != 1 {
+		t.Fatal("under capacity should not inflate")
+	}
+	b.Add(0, 30) // 60 total over 40 capacity
+	if math.Abs(b.Inflation()-1.5) > 1e-9 {
+		t.Fatalf("inflation = %v", b.Inflation())
+	}
+	b.Remove(1000, 30)
+	if b.Demand() != 30 {
+		t.Fatalf("demand = %v", b.Demand())
+	}
+	// Average: 40 (capped) for 1µs then 30 for 1µs = 35.
+	if avg := b.AvgGBs(0, 2000); math.Abs(avg-35) > 1e-6 {
+		t.Fatalf("avg = %v", avg)
+	}
+	b.ResetAvg(2000)
+	b.Remove(3000, 30)
+	if avg := b.AvgGBs(2000, 4000); math.Abs(avg-15) > 1e-6 {
+		t.Fatalf("avg after reset = %v", avg)
+	}
+	// Unlimited capacity never inflates.
+	free := NewBW(0)
+	free.Add(0, 1000)
+	if free.Inflation() != 1 {
+		t.Fatal("zero-capacity BW should not inflate")
+	}
+}
+
+func TestIdealCapacityAndNormalize(t *testing.T) {
+	capacity := IdealLCapacity(8, workload.Memcached())
+	if math.Abs(capacity-8e6) > 1 {
+		t.Fatalf("capacity = %v", capacity)
+	}
+	if IdealLCapacity(8, workload.FixedDist{D: 0}) != 0 {
+		t.Fatal("zero service time capacity")
+	}
+	mc := workload.NewLApp("mc", workload.Memcached(), 4e6)
+	lp := workload.Linpack()
+	cfg := Config{Cores: 8, Duration: 10 * sim.Millisecond, Apps: []*workload.App{mc, lp}, Costs: cpu.Default()}
+	res := Result{
+		Cores:    8,
+		Measured: 10 * sim.Millisecond,
+		Apps: []AppResult{
+			{Name: "mc", Kind: workload.LatencyCritical, Tput: stats.Rate{Count: 40000, Elapsed: int64(10 * sim.Millisecond)}},
+			{Name: "lp", Kind: workload.BestEffort, BUsefulNs: sim.Duration(4) * 10 * sim.Millisecond},
+		},
+	}
+	Normalize(&res, cfg)
+	if math.Abs(res.Apps[0].NormTput-0.5) > 1e-9 {
+		t.Fatalf("L norm = %v", res.Apps[0].NormTput)
+	}
+	if math.Abs(res.Apps[1].NormTput-0.5) > 1e-9 {
+		t.Fatalf("B norm = %v", res.Apps[1].NormTput)
+	}
+	if math.Abs(res.TotalNormTput()-1.0) > 1e-9 {
+		t.Fatalf("total = %v", res.TotalNormTput())
+	}
+	if _, ok := res.App("mc"); !ok {
+		t.Fatal("App lookup")
+	}
+	if _, ok := res.App("nope"); ok {
+		t.Fatal("phantom app")
+	}
+	res.Apps[0].Latency.P999 = 42
+	if res.LAppP999() != 42 {
+		t.Fatal("LAppP999")
+	}
+}

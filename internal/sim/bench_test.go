@@ -1,0 +1,65 @@
+package sim
+
+import "testing"
+
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(Time(i), fn)
+	}
+}
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(Time(i), fn)
+		e.Step()
+	}
+}
+
+func BenchmarkEngineSelfScheduling(b *testing.B) {
+	// The common simulation pattern: each event schedules its successor.
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(10, tick)
+		}
+	}
+	e.After(0, tick)
+	b.ResetTimer()
+	e.RunAll(uint64(b.N) + 1)
+}
+
+func BenchmarkEngineCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	evs := make([]*Event, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		evs = append(evs, e.At(Time(i), fn))
+	}
+	b.ResetTimer()
+	for _, ev := range evs {
+		e.Cancel(ev)
+	}
+}
+
+func BenchmarkRNGExp(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Exp(1000)
+	}
+}
+
+func BenchmarkRNGLogNormal(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.LogNormal(9.9, 0.85)
+	}
+}

@@ -1,0 +1,215 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with a virtual nanosecond clock.
+//
+// Every component of the VESSEL reproduction — the simulated CPU cores, the
+// simulated Linux kernel, the schedulers, and the workload generators — is
+// driven by a single Engine. Events are executed in strictly non-decreasing
+// time order; ties are broken by scheduling order, so a run is a pure
+// function of its inputs and seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// String formats a duration using the most natural unit.
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return "-" + (-d).String()
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.3fµs", float64(d)/float64(Microsecond))
+	case d < Second:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", float64(d)/float64(Second))
+	}
+}
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros returns the duration as a floating-point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel it before it fires.
+type Event struct {
+	at     Time
+	seq    uint64
+	index  int // heap index; -1 once fired or cancelled
+	fn     func()
+	cancel bool
+}
+
+// At reports when the event is (or was) scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Engine is a discrete-event scheduler over virtual time.
+//
+// Engine is not safe for concurrent use: the simulation is single-threaded
+// by design so that results are deterministic.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far (useful in tests and
+// for detecting runaway simulations).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at time t. Scheduling in the past (t < Now) panics:
+// it is always a logic error in a discrete-event model.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time. A non-positive d means
+// "as soon as possible, after already-queued events at the current instant".
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired (or was already cancelled) is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		if ev != nil {
+			ev.cancel = true
+		}
+		return
+	}
+	ev.cancel = true
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	ev.index = -1
+	if ev.at < e.now {
+		panic("sim: event heap out of order")
+	}
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty, Stop is called, or the next
+// event would fire after `until`. The clock is left at the time of the last
+// executed event (or advanced to `until` if it ran dry earlier).
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= until {
+		e.Step()
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+}
+
+// RunAll executes events until the queue is empty or Stop is called.
+// It panics if more than maxEvents fire, to catch runaway simulations.
+func (e *Engine) RunAll(maxEvents uint64) {
+	e.stopped = false
+	start := e.fired
+	for !e.stopped && e.Step() {
+		if e.fired-start > maxEvents {
+			panic(fmt.Sprintf("sim: more than %d events fired; runaway simulation?", maxEvents))
+		}
+	}
+}
+
+// Stop halts Run/RunAll after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = Time(math.MaxInt64)
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

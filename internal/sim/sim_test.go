@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.RunAll(100)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineTieBreakFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.RunAll(100)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	e.Cancel(ev)
+	e.RunAll(100)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	// Double-cancel is a no-op.
+	e.Cancel(ev)
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	evs := make([]*Event, 0, 20)
+	for i := 1; i <= 20; i++ {
+		tt := Time(i * 10)
+		evs = append(evs, e.At(tt, func() { got = append(got, tt) }))
+	}
+	// Cancel every third event.
+	for i := 2; i < len(evs); i += 3 {
+		e.Cancel(evs[i])
+	}
+	e.RunAll(1000)
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("order violated after mid-heap cancel: %v", got)
+		}
+	}
+	if len(got) != 14 {
+		t.Fatalf("got %d events, want 14", len(got))
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*100, func() { count++ })
+	}
+	e.Run(500)
+	if count != 5 {
+		t.Fatalf("Run(500) fired %d events, want 5", count)
+	}
+	if e.Now() != 500 {
+		t.Fatalf("clock = %v, want 500", e.Now())
+	}
+	e.Run(2000)
+	if count != 10 {
+		t.Fatalf("after Run(2000): %d events, want 10", count)
+	}
+}
+
+func TestEngineSelfScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.After(10, tick)
+		}
+	}
+	e.After(0, tick)
+	e.RunAll(1000)
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if e.Now() != 990 {
+		t.Fatalf("clock = %v, want 990", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.RunAll(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunAll(100)
+	if count != 3 {
+		t.Fatalf("Stop did not halt run: count=%d", count)
+	}
+}
+
+func TestEngineRunAllRunawayGuard(t *testing.T) {
+	e := NewEngine()
+	var loop func()
+	loop = func() { e.After(1, loop) }
+	e.After(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("runaway simulation did not panic")
+		}
+	}()
+	e.RunAll(1000)
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500µs"},
+		{2500000, "2.500ms"},
+		{3 * Second, "3.000s"},
+		{-500, "-500ns"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewRNG(42).Fork(uint64(i)).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("forked streams suspiciously correlated: %d matches", same)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(7)
+	const mean = 1000 * Nanosecond
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.Exp(mean))
+	}
+	got := sum / n
+	if math.Abs(got-float64(mean)) > 0.02*float64(mean) {
+		t.Fatalf("Exp mean = %.1f, want ~%d", got, mean)
+	}
+}
+
+func TestRNGLogNormalMedian(t *testing.T) {
+	r := NewRNG(9)
+	mu := math.Log(20000) // 20µs median
+	var below int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.LogNormal(mu, 1.0) < 20000 {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("median fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestRNGExpNonNegativeProperty(t *testing.T) {
+	f := func(seed uint64, meanRaw uint32) bool {
+		r := NewRNG(seed)
+		mean := Duration(meanRaw%1000000 + 1)
+		for i := 0; i < 100; i++ {
+			if r.Exp(mean) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventOrderingProperty(t *testing.T) {
+	// Property: regardless of insertion order, events always fire in
+	// non-decreasing time order.
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, tt := range times {
+			at := Time(tt)
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.RunAll(uint64(len(times)) + 1)
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBernoulliAndPareto(t *testing.T) {
+	r := NewRNG(11)
+	hits := 0
+	for i := 0; i < 100000; i++ {
+		if r.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / 100000; math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bernoulli(0.25) frequency = %.3f", frac)
+	}
+	for i := 0; i < 1000; i++ {
+		if v := r.Pareto(2.0, 1.5); v < 2.0 {
+			t.Fatalf("Pareto below minimum: %v", v)
+		}
+	}
+}

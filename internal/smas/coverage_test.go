@@ -1,0 +1,91 @@
+package smas
+
+import (
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/mem"
+)
+
+func TestAccessors(t *testing.T) {
+	s := newSMAS(t, 3)
+	if s.Cores() != 3 {
+		t.Fatal("cores")
+	}
+	if s.NextTextBase() != TextBase {
+		t.Fatal("initial text base")
+	}
+	if s.RuntimeHeapBase() != RuntimeBase {
+		t.Fatal("runtime heap base")
+	}
+	if _, err := s.InstallText([]cpu.Instr{cpu.Halt{}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.NextTextBase() != TextBase+mem.PageSize {
+		t.Fatalf("text base after install = %#x", uint64(s.NextTextBase()))
+	}
+}
+
+func TestAllocRegionZeroSize(t *testing.T) {
+	s := newSMAS(t, 1)
+	r, err := s.AllocRegion(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size != mem.PageSize {
+		t.Fatalf("zero-size region rounds to one page, got %d", r.Size)
+	}
+}
+
+func TestLoadWithAssemblerErrors(t *testing.T) {
+	s := newSMAS(t, 1)
+	// Undefined label surfaces as a load error.
+	bad := cpu.NewAssembler()
+	bad.JmpTo("nowhere")
+	if _, err := s.Load(&Program{Name: "bad", Asm: bad, PIE: true}); err == nil {
+		t.Fatal("assembler error not surfaced")
+	}
+	// Empty assembler.
+	if _, err := s.Load(&Program{Name: "empty", Asm: cpu.NewAssembler(), PIE: true}); err == nil {
+		t.Fatal("empty assembler accepted")
+	}
+}
+
+func TestFreeRegionTwice(t *testing.T) {
+	s := newSMAS(t, 1)
+	r, err := s.AllocRegion(mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FreeRegion(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FreeRegion(r); err == nil {
+		t.Fatal("double free of region key must fail")
+	}
+}
+
+func TestTaskMapAllCores(t *testing.T) {
+	s := newSMAS(t, 8)
+	for core := 0; core < 8; core++ {
+		if err := s.SetTask(core, mem.Addr(0x1000*core), 0, uint64(core)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetRuntimeStack(core, s.RuntimeStackTop(core)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for core := 0; core < 8; core++ {
+		rsp, _, id, err := s.Task(core)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rsp != mem.Addr(0x1000*core) || id != uint64(core) {
+			t.Fatalf("core %d entry corrupted", core)
+		}
+	}
+	// Runtime stacks are distinct per core.
+	if s.RuntimeStackTop(0) == s.RuntimeStackTop(1) {
+		t.Fatal("runtime stacks alias")
+	}
+}

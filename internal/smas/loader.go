@@ -1,0 +1,157 @@
+package smas
+
+import (
+	"fmt"
+
+	"vessel/internal/cpu"
+	"vessel/internal/mem"
+	"vessel/internal/mpk"
+)
+
+// This file implements the VESSEL program loader (§5.2.1). It replaces a
+// kProcess's booting program with the real application: validate the image,
+// statically inspect the code for illegal WRPKRU (and other privileged-
+// state) instructions, install the text executable-only into the shared
+// text region, carve out the uProcess region for data/stack/heap, and
+// return the entry state. It also enforces the §4.2 hardening: any attempt
+// to map new executable memory outside the loader is refused — on-demand
+// loading must go through LoadLibrary, which re-runs the inspection.
+
+// Program is a loadable image: the simulated equivalent of a PIE ELF
+// executable plus its libraries.
+type Program struct {
+	Name string
+	// Text is the program's code. The loader inspects and installs it.
+	Text []cpu.Instr
+	// Asm, when non-nil, takes precedence over Text: the loader
+	// assembles it at the final text base (the PIE relocation step) and
+	// installs the result.
+	Asm *cpu.Assembler
+	// DataSize, StackSize and HeapSize dimension the uProcess region.
+	DataSize  uint64
+	StackSize uint64
+	HeapSize  uint64
+	// PIE must be true: position-dependent executables would collide in
+	// the shared address space (§5.3).
+	PIE bool
+	// EntryOffset is the entry point, as an instruction index into Text.
+	EntryOffset int
+}
+
+// Image is a loaded program: where its pieces landed in SMAS.
+type Image struct {
+	Name     string
+	TextBase mem.Addr
+	Entry    mem.Addr
+	Region   *Region
+	// DataBase/HeapBase partition the region: data at the bottom, heap
+	// above it, stack at the top growing down.
+	DataBase mem.Addr
+	HeapBase mem.Addr
+	HeapSize uint64
+}
+
+// InspectionError reports an illegal instruction found during static code
+// inspection.
+type InspectionError struct {
+	Program string
+	Index   int
+	Instr   cpu.Instr
+}
+
+func (e *InspectionError) Error() string {
+	return fmt.Sprintf("smas: %s: illegal instruction %q at index %d rejected by code inspection",
+		e.Program, e.Instr.String(), e.Index)
+}
+
+// Inspect statically scans code for instructions an application image must
+// not contain: WRPKRU (privilege escalation), SENDUIPI and UIRET (interrupt
+// state manipulation belongs to the runtime), and runtime hooks. This is
+// the ERIM/Hodor-style inspection the loader performs during validation
+// (§5.2.1), minus their binary-rewriting subtleties — in the model, an
+// instruction either is or is not of a forbidden type.
+func Inspect(name string, code []cpu.Instr) error {
+	for i, ins := range code {
+		switch ins.(type) {
+		case cpu.WrPkru, cpu.SendUIPI, cpu.UiRet:
+			return &InspectionError{Program: name, Index: i, Instr: ins}
+		case cpu.Hook:
+			// Hooks are runtime-internal escape hatches; application
+			// images must not carry them.
+			return &InspectionError{Program: name, Index: i, Instr: ins}
+		}
+	}
+	return nil
+}
+
+// Load validates, inspects, and installs a program, returning its image.
+func (s *SMAS) Load(p *Program) (*Image, error) {
+	if p == nil || (len(p.Text) == 0 && p.Asm == nil) {
+		return nil, fmt.Errorf("smas: empty program")
+	}
+	if !p.PIE {
+		return nil, fmt.Errorf("smas: %s: only PIE executables are supported (§5.3)", p.Name)
+	}
+	text := p.Text
+	if p.Asm != nil {
+		// Relocate against the base InstallText will choose.
+		var err error
+		text, err = p.Asm.Assemble(s.NextTextBase())
+		if err != nil {
+			return nil, fmt.Errorf("smas: %s: %w", p.Name, err)
+		}
+	}
+	if len(text) == 0 {
+		return nil, fmt.Errorf("smas: %s: empty program", p.Name)
+	}
+	if p.EntryOffset < 0 || p.EntryOffset >= len(text) {
+		return nil, fmt.Errorf("smas: %s: entry offset %d out of range", p.Name, p.EntryOffset)
+	}
+	if err := Inspect(p.Name, text); err != nil {
+		return nil, err
+	}
+	stack := p.StackSize
+	if stack == 0 {
+		stack = 4 * mem.PageSize
+	}
+	size := p.DataSize + p.HeapSize + stack
+	region, err := s.AllocRegion(size)
+	if err != nil {
+		return nil, err
+	}
+	textBase, err := s.InstallText(text, region.Key)
+	if err != nil {
+		s.FreeRegion(region)
+		return nil, err
+	}
+	dataBase := region.Base
+	heapBase := dataBase + mem.Addr((p.DataSize+7)/8*8)
+	return &Image{
+		Name:     p.Name,
+		TextBase: textBase,
+		Entry:    textBase + mem.Addr(p.EntryOffset*cpu.InstrSize),
+		Region:   region,
+		DataBase: dataBase,
+		HeapBase: heapBase,
+		HeapSize: p.HeapSize,
+	}, nil
+}
+
+// LoadLibrary performs on-demand loading (the dlopen path of §5.3): the
+// code is inspected while still non-executable, installed into the text
+// region, and only then made reachable. It returns the library's base.
+func (s *SMAS) LoadLibrary(name string, code []cpu.Instr, key mpk.PKey) (mem.Addr, error) {
+	if err := Inspect(name, code); err != nil {
+		return 0, err
+	}
+	return s.InstallText(code, key)
+}
+
+// MProtectExec models the runtime's syscall interposition for memory
+// permissions (§4.2): any mmap/mprotect that would make pages executable is
+// intercepted and prohibited; callers must use LoadLibrary, which inspects
+// first. It always fails, by design.
+func (s *SMAS) MProtectExec(base mem.Addr, length uint64) error {
+	return fmt.Errorf("smas: mprotect(PROT_EXEC) at %#x is prohibited; use LoadLibrary for on-demand code",
+		uint64(base))
+}

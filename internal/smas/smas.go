@@ -1,0 +1,348 @@
+// Package smas implements the Shared Memory Address Space of §4.1 (Figure
+// 5): one address space shared by every uProcess in a scheduling domain,
+// split into
+//
+//   - uProcess regions (data/stack/heap), one MPK key each, private to the
+//     owning uProcess;
+//   - a text region holding every uProcess's code, the call gate, and the
+//     runtime — executable-only, so any uProcess can *enter* the gate but
+//     nobody can read or rewrite code;
+//   - a runtime region (privileged data and per-core runtime stacks),
+//     invisible to uProcesses;
+//   - a message-pipe region, read-only to uProcesses, holding
+//     CPUID_TO_TASK_MAP, CPUID_TO_RUNTIME_MAP, and the static function-
+//     pointer vector the call gate calls through (§4.2).
+//
+// One domain supports 13 uProcess keys: of the 16 architectural keys, key 0
+// is reserved for unmanaged kProcess memory, one key protects the runtime
+// region and one the message pipe.
+package smas
+
+import (
+	"fmt"
+
+	"vessel/internal/cpu"
+	"vessel/internal/mem"
+	"vessel/internal/mpk"
+)
+
+// Region layout constants. All addresses live inside the shared mapping
+// that the manager creates with one big mmap (§5.1).
+const (
+	// TextBase is where installed text segments start; the region grows
+	// upward as programs are loaded.
+	TextBase mem.Addr = 0x0100_0000
+	TextMax  uint64   = 8 << 20
+
+	// PipeBase holds the message-pipe region.
+	PipeBase  mem.Addr = 0x0200_0000
+	pipePages          = 4
+
+	// RuntimeBase holds privileged runtime data; per-core runtime stacks
+	// follow at RuntimeStacksBase.
+	RuntimeBase       mem.Addr = 0x0300_0000
+	runtimeDataPages           = 16
+	RuntimeStacksBase mem.Addr = RuntimeBase + runtimeDataPages*mem.PageSize
+
+	// UProcBase is where uProcess regions are carved out.
+	UProcBase mem.Addr = 0x1000_0000
+)
+
+// Message-pipe internal layout.
+const (
+	// taskMapOff: CPUID_TO_TASK_MAP, one entry per core.
+	taskMapOff = 0
+	// runtimeMapOff: CPUID_TO_RUNTIME_MAP.
+	runtimeMapOff = 4096
+	// fnVecOff: static function-pointer vector.
+	fnVecOff = 8192
+	// entrySize is the per-core map entry size.
+	entrySize = 32
+	// MaxRuntimeFuncs bounds the function-pointer vector.
+	MaxRuntimeFuncs = 256
+)
+
+// Offsets within a CPUID_TO_TASK_MAP entry (used by gate code).
+const (
+	TaskRSPOff  = 0  // saved application stack pointer
+	TaskPKRUOff = 8  // the task's PKRU value
+	TaskIDOff   = 16 // opaque task identifier maintained by the runtime
+)
+
+// MaxUProcs is the number of uProcesses one scheduling domain supports:
+// 16 keys − key 0 − runtime key − pipe key (§4.1).
+const MaxUProcs = 13
+
+// Keys with fixed roles.
+const (
+	RuntimeKey mpk.PKey = 14
+	PipeKey    mpk.PKey = 15
+)
+
+// SMAS is one scheduling domain's shared memory address space.
+type SMAS struct {
+	Machine *cpu.Machine
+	// AS is the manager's master mapping; kProcesses share its frames.
+	AS   *mem.AddressSpace
+	Keys *mpk.Allocator
+
+	cores      int
+	textCursor mem.Addr
+	dataCursor mem.Addr
+}
+
+// New creates and maps a domain's SMAS on the given machine for the given
+// number of managed cores.
+func New(m *cpu.Machine, cores int) (*SMAS, error) {
+	if cores <= 0 || cores > 128 {
+		return nil, fmt.Errorf("smas: unreasonable core count %d", cores)
+	}
+	s := &SMAS{
+		Machine:    m,
+		AS:         mem.NewAddressSpace(m.Phys),
+		Keys:       mpk.NewAllocator(),
+		cores:      cores,
+		textCursor: TextBase,
+		dataCursor: UProcBase,
+	}
+	// Reserve the fixed-role keys so region allocation never hands them
+	// out: allocate everything, then release the 13 uProcess keys.
+	for i := 0; i < 15; i++ {
+		if _, err := s.Keys.Alloc(); err != nil {
+			return nil, fmt.Errorf("smas: reserving fixed keys: %w", err)
+		}
+	}
+	if err := freeRange(s.Keys, 1, RuntimeKey-1); err != nil {
+		return nil, err
+	}
+	// Message pipe: RW pages tagged PipeKey. uProcess PKRUs grant
+	// read-only on this key; the runtime PKRU grants RW.
+	if err := s.AS.MapRange(PipeBase, pipePages*mem.PageSize, mem.PermRW, PipeKey); err != nil {
+		return nil, err
+	}
+	// Runtime data + stacks: RW pages tagged RuntimeKey, invisible to
+	// uProcesses.
+	runtimeSize := uint64(runtimeDataPages*mem.PageSize) + uint64(cores)*mem.PageSize
+	if err := s.AS.MapRange(RuntimeBase, runtimeSize, mem.PermRW, RuntimeKey); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// freeRange releases keys [lo, hi] back to the allocator.
+func freeRange(a *mpk.Allocator, lo, hi mpk.PKey) error {
+	for k := lo; k <= hi; k++ {
+		if err := a.Free(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cores returns the number of managed cores.
+func (s *SMAS) Cores() int { return s.cores }
+
+// RuntimePKRU is the privileged-mode register value: full access to every
+// key (the userspace analogue of kernel mode).
+func (s *SMAS) RuntimePKRU() mpk.PKRU { return mpk.AllowAllValue }
+
+// AppPKRU builds the PKRU value for a uProcess owning key k: its own region
+// read-write, the message pipe read-only, key 0 (unmanaged kProcess memory)
+// read-write, everything else inaccessible.
+func (s *SMAS) AppPKRU(k mpk.PKey) mpk.PKRU {
+	return mpk.AllowNoneValue.
+		WithAccess(0, true, true).
+		WithAccess(k, true, true).
+		WithAccess(PipeKey, true, false)
+}
+
+// Region is a uProcess's private area within SMAS.
+type Region struct {
+	Base mem.Addr
+	Size uint64
+	Key  mpk.PKey
+	// StackTop is the initial stack pointer (stacks grow down from the
+	// end of the region).
+	StackTop mem.Addr
+}
+
+// AllocRegion carves out a uProcess region of at least size bytes, tags it
+// with a freshly allocated key, and returns it. Mirrors the manager's
+// pkey_mprotect of a newly created region (§5.1).
+func (s *SMAS) AllocRegion(size uint64) (*Region, error) {
+	key, err := s.Keys.Alloc()
+	if err != nil {
+		return nil, fmt.Errorf("smas: domain full (13 uProcesses max): %w", err)
+	}
+	if key >= RuntimeKey {
+		// Defensive: fixed-role keys must never be handed out.
+		return nil, fmt.Errorf("smas: allocator returned reserved key %d", key)
+	}
+	pages := (size + mem.PageSize - 1) / mem.PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	base := s.dataCursor
+	if err := s.AS.MapRange(base, pages*mem.PageSize, mem.PermRW, key); err != nil {
+		s.Keys.Free(key)
+		return nil, err
+	}
+	s.dataCursor += mem.Addr(pages*mem.PageSize) + mem.PageSize // guard gap
+	return &Region{
+		Base:     base,
+		Size:     pages * mem.PageSize,
+		Key:      key,
+		StackTop: base + mem.Addr(pages*mem.PageSize),
+	}, nil
+}
+
+// FreeRegion unmaps a region and releases its key, as uProcess destruction
+// does (§5.1).
+func (s *SMAS) FreeRegion(r *Region) error {
+	s.AS.Unmap(r.Base, r.Size)
+	return s.Keys.Free(r.Key)
+}
+
+// NextTextBase returns the address the next InstallText call will use —
+// needed by code generators (the call gate) that must assemble
+// position-dependent jumps before installing.
+func (s *SMAS) NextTextBase() mem.Addr { return s.textCursor }
+
+// InstallText maps fresh executable-only pages, installs the program, and
+// returns its base address. Text pages carry the given key — the paper tags
+// a uProcess's text with its own key but relies on page permissions (no
+// read, no write) for protection, since PKRU does not mediate execution.
+func (s *SMAS) InstallText(prog []cpu.Instr, key mpk.PKey) (mem.Addr, error) {
+	size := uint64(len(prog) * cpu.InstrSize)
+	if size == 0 {
+		return 0, fmt.Errorf("smas: empty program")
+	}
+	pages := (size + mem.PageSize - 1) / mem.PageSize
+	base := s.textCursor
+	if uint64(base-TextBase)+pages*mem.PageSize > TextMax {
+		return 0, fmt.Errorf("smas: text region exhausted")
+	}
+	if err := s.AS.MapRange(base, pages*mem.PageSize, mem.PermXOnly, key); err != nil {
+		return 0, err
+	}
+	if err := s.Machine.InstallCode(s.AS, base, prog); err != nil {
+		return 0, err
+	}
+	s.textCursor += mem.Addr(pages * mem.PageSize)
+	return base, nil
+}
+
+// --- message-pipe accessors -------------------------------------------------
+//
+// Writes go through the address space with the runtime PKRU: they are
+// privileged stores the runtime performs; uProcess code can only read these
+// words (PipeKey is read-only in every AppPKRU).
+
+// TaskMapEntry returns the address of core's CPUID_TO_TASK_MAP entry.
+func (s *SMAS) TaskMapEntry(core int) mem.Addr {
+	return PipeBase + taskMapOff + mem.Addr(core*entrySize)
+}
+
+// RuntimeMapEntry returns the address of core's CPUID_TO_RUNTIME_MAP entry.
+func (s *SMAS) RuntimeMapEntry(core int) mem.Addr {
+	return PipeBase + runtimeMapOff + mem.Addr(core*entrySize)
+}
+
+// FnVecSlot returns the address of function-vector slot fid.
+func (s *SMAS) FnVecSlot(fid int) mem.Addr {
+	return PipeBase + fnVecOff + mem.Addr(fid*8)
+}
+
+// SetFnVec installs a runtime function address into the vector (privileged).
+func (s *SMAS) SetFnVec(fid int, fn mem.Addr) error {
+	if fid < 0 || fid >= MaxRuntimeFuncs {
+		return fmt.Errorf("smas: function id %d out of range", fid)
+	}
+	if f := s.AS.Write(s.FnVecSlot(fid), 8, uint64(fn), s.RuntimePKRU()); f != nil {
+		return f
+	}
+	return nil
+}
+
+// SetRuntimeStack records core's runtime stack top in CPUID_TO_RUNTIME_MAP.
+func (s *SMAS) SetRuntimeStack(core int, top mem.Addr) error {
+	if f := s.AS.Write(s.RuntimeMapEntry(core)+TaskRSPOff, 8, uint64(top), s.RuntimePKRU()); f != nil {
+		return f
+	}
+	return nil
+}
+
+// RuntimeStackTop returns the conventional runtime stack top for a core.
+func (s *SMAS) RuntimeStackTop(core int) mem.Addr {
+	return RuntimeStacksBase + mem.Addr((core+1)*mem.PageSize)
+}
+
+// SetTask records the current task's saved RSP and PKRU for a core
+// (privileged; the gate itself updates RSP on entry).
+func (s *SMAS) SetTask(core int, rsp mem.Addr, pkru mpk.PKRU, taskID uint64) error {
+	e := s.TaskMapEntry(core)
+	rt := s.RuntimePKRU()
+	if f := s.AS.Write(e+TaskRSPOff, 8, uint64(rsp), rt); f != nil {
+		return f
+	}
+	if f := s.AS.Write(e+TaskPKRUOff, 8, uint64(uint32(pkru)), rt); f != nil {
+		return f
+	}
+	if f := s.AS.Write(e+TaskIDOff, 8, taskID, rt); f != nil {
+		return f
+	}
+	return nil
+}
+
+// Task reads back a core's task-map entry (privileged).
+func (s *SMAS) Task(core int) (rsp mem.Addr, pkru mpk.PKRU, taskID uint64, err error) {
+	e := s.TaskMapEntry(core)
+	rt := s.RuntimePKRU()
+	v, f := s.AS.Read(e+TaskRSPOff, 8, rt)
+	if f != nil {
+		return 0, 0, 0, f
+	}
+	rsp = mem.Addr(v)
+	v, f = s.AS.Read(e+TaskPKRUOff, 8, rt)
+	if f != nil {
+		return 0, 0, 0, f
+	}
+	pkru = mpk.PKRU(uint32(v))
+	taskID, f = s.AS.Read(e+TaskIDOff, 8, rt)
+	if f != nil {
+		return 0, 0, 0, f
+	}
+	return rsp, pkru, taskID, nil
+}
+
+// RuntimeHeapBase returns the start of the runtime region's data area,
+// usable for privileged bookkeeping structures.
+func (s *SMAS) RuntimeHeapBase() mem.Addr { return RuntimeBase }
+
+// AttachKProcess maps the whole SMAS (text, pipe, runtime, and all current
+// uProcess regions) into a kProcess address space — the booting program's
+// first act (§5.1).
+func (s *SMAS) AttachKProcess(as *mem.AddressSpace) error {
+	if s.textCursor > TextBase {
+		if err := as.ShareRange(s.AS, TextBase, uint64(s.textCursor-TextBase)); err != nil {
+			return err
+		}
+	}
+	if err := as.ShareRange(s.AS, PipeBase, pipePages*mem.PageSize); err != nil {
+		return err
+	}
+	runtimeSize := uint64(runtimeDataPages*mem.PageSize) + uint64(s.cores)*mem.PageSize
+	if err := as.ShareRange(s.AS, RuntimeBase, runtimeSize); err != nil {
+		return err
+	}
+	// Share each mapped uProcess page individually (regions may be
+	// interleaved with guard gaps).
+	for a := UProcBase; a < s.dataCursor; a += mem.PageSize {
+		if s.AS.Mapped(a) {
+			if err := as.ShareRange(s.AS, a, mem.PageSize); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,379 @@
+package smas
+
+import (
+	"strings"
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/mem"
+	"vessel/internal/mpk"
+)
+
+func newSMAS(t *testing.T, cores int) *SMAS {
+	t.Helper()
+	m := cpu.NewMachine(cores, cpu.Default())
+	s, err := New(m, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewReservesFixedKeys(t *testing.T) {
+	s := newSMAS(t, 4)
+	if !s.Keys.InUse(RuntimeKey) || !s.Keys.InUse(PipeKey) {
+		t.Fatal("fixed-role keys not reserved")
+	}
+	if s.Keys.Available() != MaxUProcs {
+		t.Fatalf("available keys = %d, want %d", s.Keys.Available(), MaxUProcs)
+	}
+	if _, err := New(cpu.NewMachine(1, nil), 0); err == nil {
+		t.Fatal("zero cores must fail")
+	}
+}
+
+func TestThirteenUProcessLimit(t *testing.T) {
+	s := newSMAS(t, 2)
+	regions := make([]*Region, 0, MaxUProcs)
+	for i := 0; i < MaxUProcs; i++ {
+		r, err := s.AllocRegion(mem.PageSize)
+		if err != nil {
+			t.Fatalf("region %d: %v", i, err)
+		}
+		if r.Key == 0 || r.Key >= RuntimeKey {
+			t.Fatalf("region %d got reserved key %d", i, r.Key)
+		}
+		regions = append(regions, r)
+	}
+	if _, err := s.AllocRegion(mem.PageSize); err == nil {
+		t.Fatal("14th uProcess must be refused (13 max, §4.1)")
+	}
+	// Destroying one makes room again.
+	if err := s.FreeRegion(regions[5]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AllocRegion(mem.PageSize); err != nil {
+		t.Fatalf("after free: %v", err)
+	}
+}
+
+func TestRegionIsolationByPKRU(t *testing.T) {
+	s := newSMAS(t, 2)
+	ra, err := s.AllocRegion(2 * mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := s.AllocRegion(2 * mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkruA := s.AppPKRU(ra.Key)
+	// A can write its own region.
+	if f := s.AS.Write(ra.Base, 8, 1, pkruA); f != nil {
+		t.Fatalf("A writing own region: %v", f)
+	}
+	// A cannot touch B's region.
+	if f := s.AS.Write(rb.Base, 8, 1, pkruA); f == nil {
+		t.Fatal("A wrote B's region")
+	}
+	if _, f := s.AS.Read(rb.Base, 8, pkruA); f == nil {
+		t.Fatal("A read B's region")
+	}
+	// A can read but not write the message pipe.
+	if _, f := s.AS.Read(PipeBase, 8, pkruA); f != nil {
+		t.Fatalf("A reading pipe: %v", f)
+	}
+	if f := s.AS.Write(PipeBase, 8, 1, pkruA); f == nil {
+		t.Fatal("A wrote the pipe")
+	}
+	// A cannot touch the runtime region at all.
+	if _, f := s.AS.Read(RuntimeBase, 8, pkruA); f == nil {
+		t.Fatal("A read the runtime region")
+	}
+	// The runtime PKRU sees everything.
+	rt := s.RuntimePKRU()
+	for _, a := range []mem.Addr{ra.Base, rb.Base, PipeBase, RuntimeBase} {
+		if _, f := s.AS.Read(a, 8, rt); f != nil {
+			t.Fatalf("runtime read %#x: %v", uint64(a), f)
+		}
+	}
+}
+
+func TestTaskMapAccessors(t *testing.T) {
+	s := newSMAS(t, 4)
+	if err := s.SetTask(2, 0xbeef0, mpk.PKRU(0x1234), 77); err != nil {
+		t.Fatal(err)
+	}
+	rsp, pkru, id, err := s.Task(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsp != 0xbeef0 || pkru != mpk.PKRU(0x1234) || id != 77 {
+		t.Fatalf("task entry = %#x %#x %d", uint64(rsp), uint32(pkru), id)
+	}
+	// Entries are 32 bytes apart per core.
+	if s.TaskMapEntry(3)-s.TaskMapEntry(2) != 32 {
+		t.Fatal("task map stride")
+	}
+	if err := s.SetRuntimeStack(1, s.RuntimeStackTop(1)); err != nil {
+		t.Fatal(err)
+	}
+	v, f := s.AS.Read(s.RuntimeMapEntry(1), 8, s.RuntimePKRU())
+	if f != nil || mem.Addr(v) != s.RuntimeStackTop(1) {
+		t.Fatalf("runtime map entry = %#x, %v", v, f)
+	}
+}
+
+func TestFnVec(t *testing.T) {
+	s := newSMAS(t, 1)
+	if err := s.SetFnVec(3, 0x1234000); err != nil {
+		t.Fatal(err)
+	}
+	v, f := s.AS.Read(s.FnVecSlot(3), 8, s.AppPKRU(1)) // apps may READ the vector
+	if f != nil || v != 0x1234000 {
+		t.Fatalf("fnvec read: %v %v", v, f)
+	}
+	// But never write it.
+	if f := s.AS.Write(s.FnVecSlot(3), 8, 0xbad, s.AppPKRU(1)); f == nil {
+		t.Fatal("app overwrote the function vector")
+	}
+	if err := s.SetFnVec(-1, 1); err == nil {
+		t.Fatal("negative fid")
+	}
+	if err := s.SetFnVec(MaxRuntimeFuncs, 1); err == nil {
+		t.Fatal("fid beyond vector")
+	}
+}
+
+func TestInstallTextExecOnly(t *testing.T) {
+	s := newSMAS(t, 1)
+	base, err := s.InstallText([]cpu.Instr{cpu.MovImm{Dst: cpu.RAX, Imm: 9}, cpu.Halt{}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Text must be executable-only: reads fault even for the runtime
+	// PKRU (page permissions, not MPK, enforce this).
+	if _, f := s.AS.Read(base, 8, s.RuntimePKRU()); f == nil {
+		t.Fatal("text readable")
+	}
+	if f := s.AS.Write(base, 8, 1, s.RuntimePKRU()); f == nil {
+		t.Fatal("text writable")
+	}
+	// And executable by a core with a strict PKRU.
+	core := s.Machine.Core(0)
+	core.AS = s.AS
+	core.PKRU = mpk.AllowNoneValue
+	core.PC = base
+	core.Run(5)
+	if core.Regs[cpu.RAX] != 9 {
+		t.Fatal("text did not execute")
+	}
+	if _, err := s.InstallText(nil, 1); err == nil {
+		t.Fatal("empty program must fail")
+	}
+}
+
+func TestLoaderRejectsWrPkru(t *testing.T) {
+	s := newSMAS(t, 1)
+	evil := &Program{
+		Name: "evil",
+		Text: []cpu.Instr{
+			cpu.MovImm{Dst: cpu.RAX, Imm: 0}, // PKRU=allow-all
+			cpu.WrPkru{},
+			cpu.Halt{},
+		},
+		PIE: true,
+	}
+	_, err := s.Load(evil)
+	if err == nil {
+		t.Fatal("loader accepted WRPKRU in application code")
+	}
+	var ie *InspectionError
+	if !errorsAs(err, &ie) {
+		t.Fatalf("error type = %T: %v", err, err)
+	}
+	if ie.Index != 1 {
+		t.Fatalf("flagged index %d, want 1", ie.Index)
+	}
+	if !strings.Contains(err.Error(), "wrpkru") {
+		t.Fatalf("error should name the instruction: %v", err)
+	}
+}
+
+func errorsAs(err error, target **InspectionError) bool {
+	for err != nil {
+		if e, ok := err.(*InspectionError); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestLoaderRejectsOtherPrivilegedInstrs(t *testing.T) {
+	s := newSMAS(t, 1)
+	for _, bad := range []cpu.Instr{
+		cpu.SendUIPI{IdxReg: cpu.RDI},
+		cpu.UiRet{},
+		cpu.Hook{Name: "smuggled"},
+	} {
+		p := &Program{Name: "evil", Text: []cpu.Instr{bad}, PIE: true}
+		if _, err := s.Load(p); err == nil {
+			t.Fatalf("loader accepted %T", bad)
+		}
+	}
+}
+
+func TestLoaderRejectsNonPIE(t *testing.T) {
+	s := newSMAS(t, 1)
+	p := &Program{Name: "static", Text: []cpu.Instr{cpu.Halt{}}, PIE: false}
+	if _, err := s.Load(p); err == nil {
+		t.Fatal("non-PIE must be rejected (§5.3)")
+	}
+}
+
+func TestLoaderValidation(t *testing.T) {
+	s := newSMAS(t, 1)
+	if _, err := s.Load(nil); err == nil {
+		t.Fatal("nil program")
+	}
+	if _, err := s.Load(&Program{Name: "x", PIE: true}); err == nil {
+		t.Fatal("empty text")
+	}
+	if _, err := s.Load(&Program{Name: "x", PIE: true,
+		Text: []cpu.Instr{cpu.Halt{}}, EntryOffset: 5}); err == nil {
+		t.Fatal("bad entry offset")
+	}
+}
+
+func TestLoadGoodProgram(t *testing.T) {
+	s := newSMAS(t, 1)
+	p := &Program{
+		Name:      "good",
+		Text:      []cpu.Instr{cpu.MovImm{Dst: cpu.RAX, Imm: 1}, cpu.Halt{}},
+		DataSize:  mem.PageSize,
+		HeapSize:  2 * mem.PageSize,
+		StackSize: mem.PageSize,
+		PIE:       true,
+	}
+	img, err := s.Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Entry != img.TextBase {
+		t.Fatal("entry should be text base for offset 0")
+	}
+	if img.Region.Key == 0 {
+		t.Fatal("region must have a real key")
+	}
+	if img.HeapBase < img.DataBase {
+		t.Fatal("heap below data")
+	}
+	// The program executes from its entry under its own PKRU and can
+	// use its region.
+	core := s.Machine.Core(0)
+	core.AS = s.AS
+	core.PKRU = s.AppPKRU(img.Region.Key)
+	core.PC = img.Entry
+	core.Regs[cpu.RSP] = uint64(img.Region.StackTop)
+	core.Run(5)
+	if core.Fault != nil || core.Regs[cpu.RAX] != 1 {
+		t.Fatalf("program run: fault=%v rax=%d", core.Fault, core.Regs[cpu.RAX])
+	}
+}
+
+func TestLoadLibraryInspects(t *testing.T) {
+	s := newSMAS(t, 1)
+	if _, err := s.LoadLibrary("libevil", []cpu.Instr{cpu.WrPkru{}}, 1); err == nil {
+		t.Fatal("dlopen path accepted WRPKRU")
+	}
+	base, err := s.LoadLibrary("libgood", []cpu.Instr{cpu.Ret{}}, 1)
+	if err != nil || base == 0 {
+		t.Fatalf("good library: %v", err)
+	}
+}
+
+func TestMProtectExecProhibited(t *testing.T) {
+	s := newSMAS(t, 1)
+	if err := s.MProtectExec(0x10000, mem.PageSize); err == nil {
+		t.Fatal("mprotect(PROT_EXEC) must always be refused (§4.2)")
+	}
+}
+
+func TestAttachKProcessSharesEverything(t *testing.T) {
+	s := newSMAS(t, 2)
+	r, err := s.AllocRegion(mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.InstallText([]cpu.Instr{cpu.MovImm{Dst: cpu.RBX, Imm: 5}, cpu.Halt{}}, r.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := s.AS.Write(r.Base, 8, 1234, s.RuntimePKRU()); f != nil {
+		t.Fatal(f)
+	}
+	kas := mem.NewAddressSpace(s.Machine.Phys)
+	if err := s.AttachKProcess(kas); err != nil {
+		t.Fatal(err)
+	}
+	// Data visible through the kProcess mapping.
+	v, f := kas.Read(r.Base, 8, s.RuntimePKRU())
+	if f != nil || v != 1234 {
+		t.Fatalf("shared data: %v %v", v, f)
+	}
+	// Code executes through the kProcess mapping.
+	core := s.Machine.Core(1)
+	core.AS = kas
+	core.PKRU = s.AppPKRU(r.Key)
+	core.PC = base
+	core.Regs[cpu.RSP] = uint64(r.StackTop)
+	core.Run(5)
+	if core.Regs[cpu.RBX] != 5 {
+		t.Fatal("shared text did not execute in kProcess")
+	}
+	// Task map writes by the runtime are visible to gates running in any
+	// kProcess.
+	if err := s.SetTask(0, 0xabc0, mpk.PKRU(1), 9); err != nil {
+		t.Fatal(err)
+	}
+	v, f = kas.Read(s.TaskMapEntry(0)+TaskRSPOff, 8, s.RuntimePKRU())
+	if f != nil || v != 0xabc0 {
+		t.Fatalf("task map not shared: %v %v", v, f)
+	}
+}
+
+func TestTextRegionExhaustion(t *testing.T) {
+	s := newSMAS(t, 1)
+	big := make([]cpu.Instr, (TextMax/cpu.InstrSize)+1)
+	for i := range big {
+		big[i] = cpu.Work{N: 1}
+	}
+	if _, err := s.InstallText(big, 1); err == nil {
+		t.Fatal("text overflow must fail")
+	}
+}
+
+func TestAppPKRUShape(t *testing.T) {
+	s := newSMAS(t, 1)
+	p := s.AppPKRU(5)
+	if !p.CanWrite(5) || !p.CanWrite(0) {
+		t.Fatal("own key / key 0 must be writable")
+	}
+	if !p.CanRead(PipeKey) || p.CanWrite(PipeKey) {
+		t.Fatal("pipe must be read-only")
+	}
+	if p.CanRead(RuntimeKey) {
+		t.Fatal("runtime must be invisible")
+	}
+	for k := mpk.PKey(1); k < 14; k++ {
+		if k != 5 && p.CanRead(k) {
+			t.Fatalf("foreign key %d readable", k)
+		}
+	}
+}

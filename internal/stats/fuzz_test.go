@@ -1,0 +1,42 @@
+package stats
+
+import "testing"
+
+// FuzzHistogram checks the histogram's invariants on arbitrary input
+// streams: count conservation, min ≤ every quantile ≤ max, monotone
+// quantiles, and mean within [min, max].
+func FuzzHistogram(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{255, 1, 128, 7})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 {
+			return
+		}
+		h := NewHistogram()
+		var n uint64
+		for i, b := range raw {
+			// Spread values over many orders of magnitude.
+			v := int64(b) << (uint(i%7) * 8)
+			h.Record(v)
+			n++
+		}
+		if h.Count() != n {
+			t.Fatalf("count %d != %d", h.Count(), n)
+		}
+		prev := int64(-1)
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+			v := h.Quantile(q)
+			if v < h.Min() || v > h.Max() {
+				t.Fatalf("q%v=%d outside [%d,%d]", q, v, h.Min(), h.Max())
+			}
+			if v < prev {
+				t.Fatalf("quantiles not monotone at %v", q)
+			}
+			prev = v
+		}
+		if m := h.Mean(); m < float64(h.Min()) || m > float64(h.Max()) {
+			t.Fatalf("mean %f outside [%d,%d]", m, h.Min(), h.Max())
+		}
+	})
+}

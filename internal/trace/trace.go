@@ -1,0 +1,247 @@
+// Package trace records per-core execution segments from the scheduling
+// simulators and renders them as the core-occupancy timelines of the
+// paper's Figure 7: what each core was doing (application, runtime,
+// kernel, switching, idle) instant by instant. Recorders are bounded ring
+// buffers, so tracing a long run costs a fixed amount of memory.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"vessel/internal/sim"
+)
+
+// Kind classifies a segment, mirroring sched.Activity.
+type Kind uint8
+
+// Segment kinds.
+const (
+	Idle Kind = iota
+	App
+	Runtime
+	Kernel
+	Switch
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Idle:
+		return "idle"
+	case App:
+		return "app"
+	case Runtime:
+		return "runtime"
+	case Kernel:
+		return "kernel"
+	case Switch:
+		return "switch"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// glyph is the timeline character for each kind.
+func (k Kind) glyph() byte {
+	switch k {
+	case App:
+		return '#'
+	case Runtime:
+		return 'r'
+	case Kernel:
+		return 'K'
+	case Switch:
+		return 's'
+	default:
+		return '.'
+	}
+}
+
+// Segment is one contiguous span of a core doing one thing.
+type Segment struct {
+	Core  int
+	Start sim.Time
+	End   sim.Time
+	Kind  Kind
+	// Label optionally names the occupant (app name).
+	Label string
+}
+
+// Duration returns the segment length.
+func (s Segment) Duration() sim.Duration { return s.End.Sub(s.Start) }
+
+// Recorder is a bounded segment buffer.
+type Recorder struct {
+	max     int
+	segs    []Segment
+	start   int // ring start when full
+	Dropped uint64
+}
+
+// NewRecorder returns a recorder keeping at most max segments (oldest
+// evicted first). max ≤ 0 selects a generous default.
+func NewRecorder(max int) *Recorder {
+	if max <= 0 {
+		max = 1 << 16
+	}
+	return &Recorder{max: max}
+}
+
+// Add records a segment. Zero-length segments are ignored.
+func (r *Recorder) Add(core int, start, end sim.Time, kind Kind, label string) {
+	if r == nil || end <= start {
+		return
+	}
+	s := Segment{Core: core, Start: start, End: end, Kind: kind, Label: label}
+	if len(r.segs) < r.max {
+		r.segs = append(r.segs, s)
+		return
+	}
+	r.segs[r.start] = s
+	r.start = (r.start + 1) % r.max
+	r.Dropped++
+}
+
+// Segments returns the recorded segments in insertion order.
+func (r *Recorder) Segments() []Segment {
+	if r == nil {
+		return nil
+	}
+	if len(r.segs) < r.max || r.start == 0 {
+		out := make([]Segment, len(r.segs))
+		copy(out, r.segs)
+		return out
+	}
+	out := make([]Segment, 0, len(r.segs))
+	out = append(out, r.segs[r.start:]...)
+	out = append(out, r.segs[:r.start]...)
+	return out
+}
+
+// Len returns the number of retained segments.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.segs)
+}
+
+// Totals sums retained time per kind.
+func (r *Recorder) Totals() map[Kind]sim.Duration {
+	out := make(map[Kind]sim.Duration, numKinds)
+	for _, s := range r.Segments() {
+		out[s.Kind] += s.Duration()
+	}
+	return out
+}
+
+// Timeline renders core's activity over [from, to) as a width-character
+// bar: '#' application, 'r' runtime, 'K' kernel, 's' switch, '.' idle.
+// Each character covers (to-from)/width; the dominant kind in each bucket
+// wins.
+func (r *Recorder) Timeline(core int, from, to sim.Time, width int) string {
+	if width <= 0 || to <= from {
+		return ""
+	}
+	bucketNs := float64(to-from) / float64(width)
+	// Per-bucket per-kind occupancy.
+	occ := make([][numKinds]float64, width)
+	for _, s := range r.Segments() {
+		if s.Core != core || s.End <= from || s.Start >= to {
+			continue
+		}
+		lo, hi := s.Start, s.End
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		b0 := int(float64(lo-from) / bucketNs)
+		b1 := int(float64(hi-from-1) / bucketNs)
+		if b1 >= width {
+			b1 = width - 1
+		}
+		for b := b0; b <= b1; b++ {
+			bs := from.Add(sim.Duration(float64(b) * bucketNs))
+			be := from.Add(sim.Duration(float64(b+1) * bucketNs))
+			l, h := lo, hi
+			if l < bs {
+				l = bs
+			}
+			if h > be {
+				h = be
+			}
+			if h > l {
+				occ[b][s.Kind] += float64(h - l)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, bucket := range occ {
+		best := Idle
+		var bestV float64
+		for k := Kind(0); k < numKinds; k++ {
+			if bucket[k] > bestV {
+				bestV = bucket[k]
+				best = k
+			}
+		}
+		b.WriteByte(best.glyph())
+	}
+	return b.String()
+}
+
+// chromeEvent is one Chrome-tracing "complete" event.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeJSON emits the retained segments in the Chrome tracing
+// format (chrome://tracing, Perfetto): one track per core, one complete
+// event per segment. Idle segments are omitted — the gaps read as idle.
+func (r *Recorder) WriteChromeJSON(w io.Writer) error {
+	events := make([]chromeEvent, 0, r.Len())
+	for _, s := range r.Segments() {
+		if s.Kind == Idle {
+			continue
+		}
+		name := s.Kind.String()
+		if s.Label != "" {
+			name = s.Label + " (" + name + ")"
+		}
+		events = append(events, chromeEvent{
+			Name: name,
+			Cat:  s.Kind.String(),
+			Ph:   "X",
+			TS:   float64(s.Start) / 1000,
+			Dur:  float64(s.Duration()) / 1000,
+			PID:  0,
+			TID:  s.Core,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// Render prints every core's timeline over [from, to) with a legend —
+// the Figure 7 exhibit.
+func (r *Recorder) Render(cores int, from, to sim.Time, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core timelines %v → %v  (#=app r=runtime K=kernel s=switch .=idle)\n",
+		from, to)
+	for c := 0; c < cores; c++ {
+		fmt.Fprintf(&b, "core %2d |%s|\n", c, r.Timeline(c, from, to, width))
+	}
+	return b.String()
+}

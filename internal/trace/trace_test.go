@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"vessel/internal/sim"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(10)
+	r.Add(0, 0, 100, App, "mc")
+	r.Add(0, 100, 150, Switch, "")
+	r.Add(1, 0, 200, Idle, "")
+	r.Add(0, 50, 50, App, "zero") // zero-length ignored
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	segs := r.Segments()
+	if segs[0].Duration() != 100 || segs[0].Label != "mc" {
+		t.Fatalf("segment 0 = %+v", segs[0])
+	}
+	totals := r.Totals()
+	if totals[App] != 100 || totals[Switch] != 50 || totals[Idle] != 200 {
+		t.Fatalf("totals = %v", totals)
+	}
+	var nilRec *Recorder
+	nilRec.Add(0, 0, 10, App, "") // must not panic
+	if nilRec.Len() != 0 || nilRec.Segments() != nil {
+		t.Fatal("nil recorder accessors")
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Add(0, sim.Time(i*10), sim.Time(i*10+10), App, "")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if r.Dropped != 6 {
+		t.Fatalf("dropped = %d", r.Dropped)
+	}
+	segs := r.Segments()
+	// Oldest retained is segment 6 (starts at 60), in order.
+	if segs[0].Start != 60 || segs[3].Start != 90 {
+		t.Fatalf("ring order: %+v", segs)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	r := NewRecorder(0)
+	// Core 0: app for the first half, idle second half.
+	r.Add(0, 0, 500, App, "mc")
+	r.Add(0, 500, 1000, Idle, "")
+	line := r.Timeline(0, 0, 1000, 10)
+	if line != "#####....." {
+		t.Fatalf("timeline = %q", line)
+	}
+	// Dominance: a bucket that is 70% kernel renders 'K'.
+	r2 := NewRecorder(0)
+	r2.Add(0, 0, 70, Kernel, "")
+	r2.Add(0, 70, 100, App, "")
+	if got := r2.Timeline(0, 0, 100, 1); got != "K" {
+		t.Fatalf("dominant = %q", got)
+	}
+	// Degenerate parameters.
+	if r.Timeline(0, 0, 1000, 0) != "" || r.Timeline(0, 100, 100, 5) != "" {
+		t.Fatal("degenerate timeline not empty")
+	}
+	// Render includes every core and the legend.
+	out := r.Render(2, 0, 1000, 10)
+	if !strings.Contains(out, "core  0") || !strings.Contains(out, "core  1") {
+		t.Fatalf("render: %s", out)
+	}
+	if !strings.Contains(out, "#=app") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestWriteChromeJSON(t *testing.T) {
+	r := NewRecorder(0)
+	r.Add(0, 0, 500, App, "mc")
+	r.Add(0, 500, 600, Switch, "")
+	r.Add(1, 0, 600, Idle, "") // idle omitted from the export
+	var buf strings.Builder
+	if err := r.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"traceEvents"`) {
+		t.Fatal("missing traceEvents envelope")
+	}
+	if !strings.Contains(out, `"mc (app)"`) {
+		t.Fatalf("app segment missing: %s", out)
+	}
+	if strings.Contains(out, `"idle"`) {
+		t.Fatal("idle segments must be omitted")
+	}
+	if !strings.Contains(out, `"dur":0.5`) { // 500ns = 0.5µs
+		t.Fatalf("duration units wrong: %s", out)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind")
+	}
+}
+
+func TestSegmentsClippedToWindow(t *testing.T) {
+	r := NewRecorder(0)
+	r.Add(0, 0, 1000, App, "")
+	// A window inside the segment renders fully occupied.
+	if got := r.Timeline(0, 200, 800, 6); got != "######" {
+		t.Fatalf("clipped = %q", got)
+	}
+	// A window past the segment is idle.
+	if got := r.Timeline(0, 2000, 3000, 4); got != "...." {
+		t.Fatalf("out-of-range = %q", got)
+	}
+}

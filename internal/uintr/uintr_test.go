@@ -1,0 +1,275 @@
+package uintr
+
+import (
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/mem"
+	"vessel/internal/mpk"
+	"vessel/internal/sim"
+)
+
+// env builds a machine whose core 0 spins in a loop and has a registered
+// handler that records the vector and returns.
+type env struct {
+	m    *cpu.Machine
+	core *cpu.Core
+	asm  *cpu.Assembler
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	m := cpu.NewMachine(2, cpu.Default())
+	as := mem.NewAddressSpace(m.Phys)
+	for _, r := range []struct {
+		base mem.Addr
+		perm mem.Perm
+	}{{0x1000, mem.PermXOnly}, {0x20000, mem.PermRW}} {
+		if err := as.MapRange(r.base, mem.PageSize, r.perm, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := cpu.NewAssembler()
+	a.Label("main")
+	a.Emit(cpu.AddImm{Dst: cpu.RBX, Imm: 1})
+	a.JmpTo("main")
+	a.Label("handler")
+	a.Emit(cpu.Pop{Dst: cpu.R9}) // vector
+	a.Emit(cpu.AddImm{Dst: cpu.RDX, Imm: 1})
+	a.Emit(cpu.UiRet{})
+	prog, err := a.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InstallCode(as, 0x1000, prog); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Core(0)
+	c.AS = as
+	c.PKRU = mpk.AllowAllValue
+	c.PC = 0x1000
+	c.Regs[cpu.RSP] = 0x21000
+	return &env{m: m, core: c, asm: a}
+}
+
+func (e *env) handlerAddr() mem.Addr { return e.asm.AddrOf("handler", 0x1000) }
+
+func TestSendDeliversToRunningReceiver(t *testing.T) {
+	e := newEnv(t)
+	r := NewReceiver(1, e.handlerAddr())
+	r.Attach(e.core)
+	s := NewSender(4, cpu.Default(), nil)
+	if err := s.Register(0, r, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SendUIPI(0); err != nil {
+		t.Fatal(err)
+	}
+	e.core.Run(5)
+	if e.core.Regs[cpu.R9] != 5 {
+		t.Fatalf("vector = %d, want 5", e.core.Regs[cpu.R9])
+	}
+	if e.core.Regs[cpu.RDX] != 1 {
+		t.Fatal("handler did not run once")
+	}
+	if r.Delivered != 1 || r.Deferred != 0 {
+		t.Fatalf("delivered=%d deferred=%d", r.Delivered, r.Deferred)
+	}
+}
+
+func TestDeferredDeliveryWhenDescheduled(t *testing.T) {
+	e := newEnv(t)
+	r := NewReceiver(1, e.handlerAddr())
+	s := NewSender(4, cpu.Default(), nil)
+	if err := s.Register(0, r, 7); err != nil {
+		t.Fatal(err)
+	}
+	// Receiver not attached: the post must be deferred, not lost.
+	if _, err := s.SendUIPI(0); err != nil {
+		t.Fatal(err)
+	}
+	if r.Pending() == 0 || r.Deferred != 1 {
+		t.Fatal("post not deferred")
+	}
+	e.core.Run(3)
+	if e.core.Regs[cpu.RDX] != 0 {
+		t.Fatal("handler ran without attachment")
+	}
+	// Attaching (receiver scheduled back in) flushes the pending vector.
+	r.Attach(e.core)
+	e.core.Run(5)
+	if e.core.Regs[cpu.RDX] != 1 || e.core.Regs[cpu.R9] != 7 {
+		t.Fatalf("deferred vector not delivered: rdx=%d r9=%d",
+			e.core.Regs[cpu.RDX], e.core.Regs[cpu.R9])
+	}
+}
+
+func TestDetachPreservesPending(t *testing.T) {
+	e := newEnv(t)
+	r := NewReceiver(1, e.handlerAddr())
+	r.Attach(e.core)
+	s := NewSender(4, cpu.Default(), nil)
+	if err := s.Register(0, r, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SendUIPI(0); err != nil {
+		t.Fatal(err)
+	}
+	// Context switch out before the core recognised the interrupt.
+	r.Detach()
+	if e.core.HandlerAddr != 0 || e.core.PendingVectors != 0 {
+		t.Fatal("detach did not scrub core state")
+	}
+	if r.Pending() == 0 {
+		t.Fatal("pending vector lost across detach")
+	}
+	r.Attach(e.core)
+	e.core.Run(5)
+	if e.core.Regs[cpu.RDX] != 1 {
+		t.Fatal("vector not delivered after re-attach")
+	}
+}
+
+func TestSuppressedNotification(t *testing.T) {
+	e := newEnv(t)
+	r := NewReceiver(1, e.handlerAddr())
+	r.Attach(e.core)
+	r.Suppress(true)
+	s := NewSender(4, cpu.Default(), nil)
+	if err := s.Register(0, r, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SendUIPI(0); err != nil {
+		t.Fatal(err)
+	}
+	e.core.Run(5)
+	if e.core.Regs[cpu.RDX] != 0 {
+		t.Fatal("suppressed interrupt was delivered")
+	}
+	if r.Pending() == 0 {
+		t.Fatal("suppressed interrupt not posted to PIR")
+	}
+}
+
+func TestInvalidUITTIndex(t *testing.T) {
+	s := NewSender(2, nil, nil)
+	if _, err := s.SendUIPI(0); err == nil {
+		t.Fatal("unregistered entry must #GP")
+	}
+	if _, err := s.SendUIPI(-1); err == nil {
+		t.Fatal("negative index must #GP")
+	}
+	if _, err := s.SendUIPI(5); err == nil {
+		t.Fatal("out-of-range index must #GP")
+	}
+	if err := s.Register(5, NewReceiver(0, 0x1000), 1); err == nil {
+		t.Fatal("register out of range must fail")
+	}
+	if err := s.Register(0, nil, 1); err == nil {
+		t.Fatal("nil receiver must fail")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	r := NewReceiver(1, 0x1000)
+	s := NewSender(2, nil, nil)
+	if err := s.Register(1, r, 3); err != nil {
+		t.Fatal(err)
+	}
+	s.Unregister(1)
+	if _, err := s.SendUIPI(1); err == nil {
+		t.Fatal("send after unregister must fail")
+	}
+}
+
+func TestEngineDelayedDelivery(t *testing.T) {
+	e := newEnv(t)
+	eng := sim.NewEngine()
+	cm := cpu.Default()
+	r := NewReceiver(1, e.handlerAddr())
+	r.Attach(e.core)
+	s := NewSender(4, cm, eng)
+	if err := s.Register(0, r, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SendUIPI(0); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing delivered until the engine advances past the latency.
+	if e.core.PendingVectors != 0 {
+		t.Fatal("delivery should be deferred to the engine")
+	}
+	eng.Run(eng.Now().Add(cm.UintrDeliver))
+	if e.core.PendingVectors == 0 {
+		t.Fatal("engine did not deliver")
+	}
+	e.core.Run(5)
+	if e.core.Regs[cpu.R9] != 9 {
+		t.Fatal("wrong vector via engine path")
+	}
+}
+
+func TestEngineDeliveryRaceWithDetach(t *testing.T) {
+	// Receiver descheduled between post and notification: the vector must
+	// fall back to the UPID, not disappear.
+	e := newEnv(t)
+	eng := sim.NewEngine()
+	r := NewReceiver(1, e.handlerAddr())
+	r.Attach(e.core)
+	s := NewSender(4, cpu.Default(), eng)
+	if err := s.Register(0, r, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SendUIPI(0); err != nil {
+		t.Fatal(err)
+	}
+	r.Detach()
+	eng.RunAll(100)
+	if r.Pending() == 0 {
+		t.Fatal("vector lost in detach race")
+	}
+	if r.Deferred != 1 {
+		t.Fatalf("deferred = %d", r.Deferred)
+	}
+}
+
+func TestSendUIPIInstructionHook(t *testing.T) {
+	// A layer-1 program issuing senduipi reaches the sender's routing.
+	e := newEnv(t)
+	m2 := cpu.NewMachine(1, cpu.Default())
+	as := mem.NewAddressSpace(m2.Phys)
+	if err := as.MapRange(0x1000, mem.PageSize, mem.PermXOnly, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MapRange(0x20000, mem.PageSize, mem.PermRW, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.InstallCode(as, 0x1000, []cpu.Instr{
+		cpu.MovImm{Dst: cpu.RDI, Imm: 0},
+		cpu.SendUIPI{IdxReg: cpu.RDI},
+		cpu.Halt{},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sender := m2.Core(0)
+	sender.AS = as
+	sender.PKRU = mpk.AllowAllValue
+	sender.PC = 0x1000
+	sender.Regs[cpu.RSP] = 0x21000
+
+	r := NewReceiver(1, e.handlerAddr())
+	r.Attach(e.core)
+	s := NewSender(4, cpu.Default(), nil)
+	if err := s.Register(0, r, 6); err != nil {
+		t.Fatal(err)
+	}
+	s.Connect(sender)
+	sender.Run(10)
+	if s.Sent != 1 {
+		t.Fatalf("sent = %d", s.Sent)
+	}
+	e.core.Run(5)
+	if e.core.Regs[cpu.R9] != 6 {
+		t.Fatal("instruction-issued interrupt not delivered")
+	}
+}

@@ -1,0 +1,69 @@
+package uproc
+
+import (
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/sim"
+)
+
+// BenchmarkPingPongSwitches measures host throughput of the layer-1
+// machine executing the full park-gate context-switch path (simulated
+// instructions per host second).
+func BenchmarkPingPongSwitches(b *testing.B) {
+	eng := sim.NewEngine()
+	m := cpu.NewMachine(1, cpu.Default())
+	d, err := NewDomain(eng, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func(name string) *UProc {
+		u, err := d.CreateUProc(name, parkLoopProgram(d, name))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return u
+	}
+	ua, ub := mk("a"), mk("b")
+	d.AttachThread(0, ua.Threads()[0])
+	d.AttachThread(0, ub.Threads()[0])
+	if err := d.StartCore(0); err != nil {
+		b.Fatal(err)
+	}
+	core := m.Core(0)
+	b.ResetTimer()
+	core.Run(b.N)
+	if core.Fault != nil {
+		b.Fatal(core.Fault)
+	}
+}
+
+// BenchmarkUintrPreemption measures the preemption round trip: post, step
+// through the handler and gate, resume.
+func BenchmarkUintrPreemption(b *testing.B) {
+	eng := sim.NewEngine()
+	m := cpu.NewMachine(1, cpu.Default())
+	d, err := NewDomain(eng, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := d.CreateUProc("spin", spinProgram("spin"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.AttachThread(0, u.Threads()[0])
+	if err := d.StartCore(0); err != nil {
+		b.Fatal(err)
+	}
+	core := m.Core(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Preempt(0, SchedCommand{}); err != nil {
+			b.Fatal(err)
+		}
+		core.Run(60)
+		if core.Fault != nil {
+			b.Fatal(core.Fault)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package uproc
+
+import (
+	"fmt"
+
+	"vessel/internal/mem"
+	"vessel/internal/smas"
+)
+
+// This file implements the uProcess fork semantics of §5.3: a forked child
+// must see the same address-space layout as its parent, but uProcesses
+// share one SMAS, so a child cannot coexist with its parent in the same
+// scheduling domain — its addresses would collide. Instead, uProcess
+// clones into a *new* SMAS (a different domain) and synchronizes data, so
+// the child owns an identical address space there.
+
+// CloneUProc clones src (living in this domain) into dst: the same program
+// is loaded into dst's SMAS, the resulting image must land at identical
+// addresses (which it does when dst's allocation history mirrors this
+// domain's — the manager creates fork-target domains fresh), and the
+// parent's region contents are copied.
+func (d *Domain) CloneUProc(src *UProc, dst *Domain, prog *smas.Program) (*UProc, error) {
+	if dst == d {
+		return nil, fmt.Errorf("uproc: cannot fork %s into its own domain: the child's "+
+			"address space would collide with the parent's (§5.3)", src.Name)
+	}
+	if src.State == UProcTerminated {
+		return nil, fmt.Errorf("uproc: %s is terminated", src.Name)
+	}
+	child, err := dst.CreateUProc(src.Name+"-child", prog)
+	if err != nil {
+		return nil, err
+	}
+	// The fork contract: identical layout. Verify rather than assume.
+	if child.Image.Region.Base != src.Image.Region.Base ||
+		child.Image.Region.Size != src.Image.Region.Size {
+		return nil, fmt.Errorf("uproc: clone layout mismatch: parent region %#x+%#x, child %#x+%#x "+
+			"(fork-target domains must have mirrored allocation histories)",
+			uint64(src.Image.Region.Base), src.Image.Region.Size,
+			uint64(child.Image.Region.Base), child.Image.Region.Size)
+	}
+	if child.Image.TextBase != src.Image.TextBase {
+		return nil, fmt.Errorf("uproc: clone text mismatch: %#x vs %#x",
+			uint64(src.Image.TextBase), uint64(child.Image.TextBase))
+	}
+	// Synchronize data: copy the parent's whole region into the child's
+	// (same virtual addresses, different physical frames in the new
+	// SMAS).
+	rt := d.S.RuntimePKRU()
+	for off := uint64(0); off < src.Image.Region.Size; off += mem.PageSize {
+		a := src.Image.Region.Base + mem.Addr(off)
+		page, f := d.S.AS.ReadBytes(a, mem.PageSize, rt)
+		if f != nil {
+			return nil, f
+		}
+		if f := dst.S.AS.WriteBytes(a, page, dst.S.RuntimePKRU()); f != nil {
+			return nil, f
+		}
+	}
+	return child, nil
+}

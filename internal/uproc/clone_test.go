@@ -1,0 +1,146 @@
+package uproc
+
+import (
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/mem"
+	"vessel/internal/sim"
+)
+
+func TestCloneUProcIntoFreshDomain(t *testing.T) {
+	parentDom := newDomain(t, 1)
+	prog := parkLoopProgram(parentDom, "app")
+	parent, err := parentDom.CreateUProc("app", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parent writes distinctive data into its region.
+	rt := parentDom.S.RuntimePKRU()
+	if f := parentDom.S.AS.Write(parent.Image.DataBase, 8, 0xFEED, rt); f != nil {
+		t.Fatal(f)
+	}
+
+	// Fork target: a fresh domain with mirrored allocation history (the
+	// child program must be structurally identical so text/regions land
+	// at the same addresses).
+	childDom := newDomain(t, 1)
+	childProg := parkLoopProgram(childDom, "app")
+	child, err := parentDom.CloneUProc(parent, childDom, childProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical address-space layout (§5.3's fork contract).
+	if child.Image.Region.Base != parent.Image.Region.Base {
+		t.Fatal("region base differs")
+	}
+	if child.Image.Entry != parent.Image.Entry {
+		t.Fatal("entry differs")
+	}
+	// Data synchronized.
+	v, f := childDom.S.AS.Read(child.Image.DataBase, 8, childDom.S.RuntimePKRU())
+	if f != nil || v != 0xFEED {
+		t.Fatalf("child data = %#x, %v", v, f)
+	}
+	// But physically independent: child writes don't reach the parent.
+	if f := childDom.S.AS.Write(child.Image.DataBase, 8, 0xBEEF, childDom.S.RuntimePKRU()); f != nil {
+		t.Fatal(f)
+	}
+	pv, _ := parentDom.S.AS.Read(parent.Image.DataBase, 8, rt)
+	if pv != 0xFEED {
+		t.Fatal("child write aliased into parent")
+	}
+	// The child runs in its domain.
+	childDom.AttachThread(0, child.Threads()[0])
+	if err := childDom.StartCore(0); err != nil {
+		t.Fatal(err)
+	}
+	childDom.Machine.Core(0).Run(500)
+	if childDom.Machine.Core(0).Fault != nil {
+		t.Fatalf("child fault: %v", childDom.Machine.Core(0).Fault)
+	}
+}
+
+func TestCloneRejectsSameDomain(t *testing.T) {
+	d := newDomain(t, 1)
+	prog := parkLoopProgram(d, "app")
+	u, err := d.CreateUProc("app", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CloneUProc(u, d, parkLoopProgram(d, "app")); err == nil {
+		t.Fatal("same-domain fork must be rejected (address collision, §5.3)")
+	}
+	d.terminate(u)
+	other := newDomain(t, 1)
+	if _, err := d.CloneUProc(u, other, parkLoopProgram(other, "app")); err == nil {
+		t.Fatal("fork of terminated uProcess accepted")
+	}
+}
+
+func TestCloneDetectsLayoutDivergence(t *testing.T) {
+	parentDom := newDomain(t, 1)
+	parent, err := parentDom.CreateUProc("app", parkLoopProgram(parentDom, "app"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A target domain whose allocation history already diverged.
+	skewed := newDomain(t, 1)
+	if _, err := skewed.S.AllocRegion(8 * mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parentDom.CloneUProc(parent, skewed, parkLoopProgram(skewed, "app")); err == nil {
+		t.Fatal("layout divergence must be detected")
+	}
+}
+
+// TestOnDemandLoadThroughRuntime covers §5.3's dlopen path end to end at
+// the uProcess level: a library loaded at runtime is inspected, installed
+// executable-only, and callable by the owning uProcess.
+func TestOnDemandLoadThroughRuntime(t *testing.T) {
+	d := newDomain(t, 1)
+	u, err := d.CreateUProc("app", parkLoopProgram(d, "app"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Legitimate library: sets RDX and returns.
+	lib := cpu.NewAssembler()
+	lib.Emit(cpu.MovImm{Dst: cpu.RDX, Imm: 0xD1}, cpu.Ret{})
+	code, err := lib.Assemble(d.S.NextTextBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := d.S.LoadLibrary("libok", code, u.Image.Region.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A caller program using the library.
+	caller := cpu.NewAssembler()
+	caller.Emit(cpu.Call{Target: base})
+	caller.Emit(cpu.Call{Target: d.GateExit.Entry})
+	callerBase, err := d.S.LoadLibrary("caller", mustAssemble(t, caller, d.S.NextTextBase()), u.Image.Region.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := d.NewThread(u, callerBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AttachThread(0, th)
+	if err := d.StartCore(0); err != nil {
+		t.Fatal(err)
+	}
+	core := d.Machine.Core(0)
+	core.Run(500)
+	if core.Fault != nil {
+		t.Fatal(core.Fault)
+	}
+	if th.State != ThreadDead {
+		t.Fatal("caller did not finish")
+	}
+	// Malicious library still rejected at runtime load.
+	if _, err := d.S.LoadLibrary("libevil", []cpu.Instr{cpu.WrPkru{}}, u.Image.Region.Key); err == nil {
+		t.Fatal("runtime load accepted WRPKRU")
+	}
+	_ = sim.Microsecond
+}

@@ -1,0 +1,269 @@
+package uproc
+
+import (
+	"fmt"
+
+	"vessel/internal/callgate"
+	"vessel/internal/cpu"
+	"vessel/internal/kernel"
+	"vessel/internal/mem"
+)
+
+// This file implements the syscall interposition of §5.2.4: uProcesses
+// never execute kernel syscalls directly — every call is intercepted and
+// redirected to the trusted runtime via the call gate (FnSyscall). The
+// runtime executes the syscall on the uProcess's behalf and tracks which
+// uProcess owns each descriptor, closing both holes the paper describes:
+//
+//   - security: descriptors opened by uProcess A through a shared kProcess
+//     are invisible to uProcess B — the brute-force probe finds nothing;
+//   - correctness: a uProcess rescheduled into a different kProcess keeps
+//     its descriptors, because the runtime (not the transient host
+//     kProcess) owns the translation; the manager creates all kProcesses
+//     with the same ACL so the runtime's accesses always succeed.
+
+// Syscall operation codes, passed in RDI by the application stub.
+const (
+	SysOpenRead  cpu.Word = 1
+	SysOpenWrite cpu.Word = 2
+	SysCreat     cpu.Word = 3
+	SysRead      cpu.Word = 4
+	SysWrite     cpu.Word = 5
+	SysClose     cpu.Word = 6
+)
+
+// SysErr is the in-band error return (−1 as a machine word).
+const SysErr cpu.Word = ^cpu.Word(0)
+
+// VFD is a virtual descriptor handed to uProcesses; the runtime maps it to
+// the real kernel descriptor and its owning uProcess.
+type VFD int
+
+type vfdEntry struct {
+	owner *UProc
+	fd    kernel.FD
+	host  *kernel.KProcess
+}
+
+// SyscallTable is the runtime's descriptor-ownership map.
+type SyscallTable struct {
+	d    *Domain
+	next VFD
+	open map[VFD]vfdEntry
+	// host is the kProcess the runtime issues real syscalls through;
+	// all domain kProcesses share the same ACL (§5.2.4), so any works.
+	host *kernel.KProcess
+	// Denied counts ownership violations, for tests and monitoring.
+	Denied uint64
+}
+
+// initSyscalls wires the table and the FnSyscall gate. Called from
+// NewDomain after the gates exist.
+func (d *Domain) initSyscalls() error {
+	d.Sys = &SyscallTable{d: d, next: 3, open: make(map[VFD]vfdEntry)}
+	gate, err := d.RT.Register(callgate.FnSyscall, "syscall", d.sysImpl, 200)
+	if err != nil {
+		return err
+	}
+	d.GateSyscall = gate
+	return nil
+}
+
+// hostProc lazily picks the runtime's syscall host.
+func (s *SyscallTable) hostProc() (*kernel.KProcess, error) {
+	if s.host != nil && s.host.Alive {
+		return s.host, nil
+	}
+	for _, u := range s.d.uprocs {
+		if u.KProc.Alive {
+			s.host = u.KProc
+			return s.host, nil
+		}
+	}
+	return nil, fmt.Errorf("uproc: no live kProcess to host syscalls")
+}
+
+// Open opens a file for a uProcess and returns its virtual descriptor.
+func (s *SyscallTable) Open(u *UProc, name string, write bool) (VFD, error) {
+	host, err := s.hostProc()
+	if err != nil {
+		return -1, err
+	}
+	// Charge the (runtime-issued) syscall cost.
+	s.d.Kernel.Syscall("open", 200)
+	fd, err := host.Open(s.d.Kernel.FS(), name, write)
+	if err != nil {
+		return -1, err
+	}
+	v := s.next
+	s.next++
+	s.open[v] = vfdEntry{owner: u, fd: fd, host: host}
+	return v, nil
+}
+
+// Creat creates a file for a uProcess.
+func (s *SyscallTable) Creat(u *UProc, name string, mode uint32) (VFD, error) {
+	host, err := s.hostProc()
+	if err != nil {
+		return -1, err
+	}
+	s.d.Kernel.Syscall("creat", 300)
+	fd, err := host.Creat(s.d.Kernel.FS(), name, mode)
+	if err != nil {
+		return -1, err
+	}
+	v := s.next
+	s.next++
+	s.open[v] = vfdEntry{owner: u, fd: fd, host: host}
+	return v, nil
+}
+
+// lookup enforces ownership: the §5.2.4 access-control check.
+func (s *SyscallTable) lookup(u *UProc, v VFD) (vfdEntry, error) {
+	e, ok := s.open[v]
+	if !ok {
+		return vfdEntry{}, fmt.Errorf("uproc: bad vfd %d (EBADF)", v)
+	}
+	if e.owner != u {
+		s.Denied++
+		return vfdEntry{}, fmt.Errorf("uproc: vfd %d not owned by %s (EACCES)", v, u.Name)
+	}
+	return e, nil
+}
+
+// Read reads up to n bytes through a uProcess's descriptor.
+func (s *SyscallTable) Read(u *UProc, v VFD, n int) ([]byte, error) {
+	e, err := s.lookup(u, v)
+	if err != nil {
+		return nil, err
+	}
+	s.d.Kernel.Syscall("read", 150)
+	return e.host.ReadFD(e.fd, n)
+}
+
+// Write appends data through a uProcess's descriptor.
+func (s *SyscallTable) Write(u *UProc, v VFD, data []byte) error {
+	e, err := s.lookup(u, v)
+	if err != nil {
+		return err
+	}
+	s.d.Kernel.Syscall("write", 150)
+	return e.host.WriteFD(e.fd, data)
+}
+
+// Close releases a uProcess's descriptor.
+func (s *SyscallTable) Close(u *UProc, v VFD) error {
+	e, err := s.lookup(u, v)
+	if err != nil {
+		return err
+	}
+	s.d.Kernel.Syscall("close", 100)
+	delete(s.open, v)
+	return e.host.Close(e.fd)
+}
+
+// CloseAll reaps every descriptor a terminated uProcess still holds.
+func (s *SyscallTable) CloseAll(u *UProc) {
+	for v, e := range s.open {
+		if e.owner == u {
+			e.host.Close(e.fd)
+			delete(s.open, v)
+		}
+	}
+}
+
+// Probe reports whether v is visible to u — the brute-force check a
+// malicious uProcess performs. With interposition it only sees its own.
+func (s *SyscallTable) Probe(u *UProc, v VFD) bool {
+	e, ok := s.open[v]
+	return ok && e.owner == u
+}
+
+// --- layer-1 entry point ------------------------------------------------------
+
+// readCString reads a NUL-terminated name (≤64 bytes) from the uProcess's
+// memory with the runtime's privileged view.
+func (d *Domain) readCString(addr mem.Addr) (string, *mem.Fault) {
+	buf := make([]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		b, f := d.S.AS.Read(addr+mem.Addr(i), 1, d.S.RuntimePKRU())
+		if f != nil {
+			return "", f
+		}
+		if b == 0 {
+			break
+		}
+		buf = append(buf, byte(b))
+	}
+	return string(buf), nil
+}
+
+// sysImpl is the FnSyscall runtime function: the ABI puts the operation in
+// RDI, arguments in RSI and RBP (both gate-preserved), and the result in
+// RDX. Buffers transfer one machine word at a time through the uProcess's
+// own memory.
+func (d *Domain) sysImpl(c *cpu.Core) *mem.Fault {
+	cs := d.cores[c.ID]
+	u := cs.current.U
+	op := c.Regs[cpu.RDI]
+	arg1 := c.Regs[cpu.RSI]
+	arg2 := c.Regs[cpu.RBP]
+	fail := func() { c.Regs[cpu.RDX] = SysErr }
+	switch op {
+	case SysOpenRead, SysOpenWrite, SysCreat:
+		name, f := d.readCString(mem.Addr(arg1))
+		if f != nil {
+			return f
+		}
+		var v VFD
+		var err error
+		switch op {
+		case SysCreat:
+			v, err = d.Sys.Creat(u, name, uint32(arg2))
+		default:
+			v, err = d.Sys.Open(u, name, op == SysOpenWrite)
+		}
+		if err != nil {
+			fail()
+			return nil
+		}
+		c.Regs[cpu.RDX] = cpu.Word(v)
+	case SysRead:
+		data, err := d.Sys.Read(u, VFD(arg1), 8)
+		if err != nil || len(data) == 0 {
+			fail()
+			return nil
+		}
+		var word cpu.Word
+		for i := 0; i < len(data) && i < 8; i++ {
+			word |= cpu.Word(data[i]) << (8 * i)
+		}
+		if f := d.S.AS.Write(mem.Addr(arg2), 8, word, d.S.RuntimePKRU()); f != nil {
+			return f
+		}
+		c.Regs[cpu.RDX] = cpu.Word(len(data))
+	case SysWrite:
+		word, f := d.S.AS.Read(mem.Addr(arg2), 8, d.S.RuntimePKRU())
+		if f != nil {
+			return f
+		}
+		buf := make([]byte, 8)
+		for i := range buf {
+			buf[i] = byte(word >> (8 * i))
+		}
+		if err := d.Sys.Write(u, VFD(arg1), buf); err != nil {
+			fail()
+			return nil
+		}
+		c.Regs[cpu.RDX] = 8
+	case SysClose:
+		if err := d.Sys.Close(u, VFD(arg1)); err != nil {
+			fail()
+			return nil
+		}
+		c.Regs[cpu.RDX] = 0
+	default:
+		fail()
+	}
+	return nil
+}

@@ -1,0 +1,579 @@
+// Package uproc implements the uProcess abstraction (§4): applications that
+// share one SMAS, enter a userspace privileged mode through the call gate,
+// park voluntarily or are preempted by user interrupts, and are context
+// switched between entirely in userspace — a core moves from one uProcess
+// to another by restoring a saved stack pointer and writing a PKRU value,
+// with no kernel involvement.
+//
+// A Domain wires together the substrates: SMAS (address space and message
+// pipe), the call-gate runtime, UINTR routing, and the simulated kernel
+// that hosts the kProcesses. Threads are scheduled from per-core FIFO
+// queues exactly as §4.5 describes; the scheduler communicates with cores
+// through per-core command queues plus a user interrupt.
+package uproc
+
+import (
+	"fmt"
+
+	"vessel/internal/callgate"
+	"vessel/internal/cpu"
+	"vessel/internal/kernel"
+	"vessel/internal/mem"
+	"vessel/internal/mpk"
+	"vessel/internal/sim"
+	"vessel/internal/smas"
+	"vessel/internal/uintr"
+)
+
+// ThreadState tracks a uProcess thread through its lifecycle.
+type ThreadState uint8
+
+const (
+	ThreadRunnable ThreadState = iota
+	ThreadRunning
+	ThreadParked
+	ThreadDead
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case ThreadRunnable:
+		return "runnable"
+	case ThreadRunning:
+		return "running"
+	case ThreadParked:
+		return "parked"
+	case ThreadDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("ThreadState(%d)", uint8(s))
+	}
+}
+
+// UProcState tracks a uProcess.
+type UProcState uint8
+
+const (
+	UProcRunning UProcState = iota
+	UProcTerminated
+)
+
+// Thread is a uProcess thread: a register context, a stack inside the
+// uProcess region, and scheduling state. Thread management is entirely
+// userspace (§5.2.2): the kernel never sees these.
+type Thread struct {
+	ID int
+	U  *UProc
+
+	savedRegs [cpu.NumRegs]cpu.Word
+	savedRSP  mem.Addr
+	savedUIF  bool
+	State     ThreadState
+
+	// Switches counts context switches into this thread.
+	Switches uint64
+}
+
+// UProc is one uProcess.
+type UProc struct {
+	ID    int
+	Name  string
+	Image *smas.Image
+	PKRU  mpk.PKRU
+	State UProcState
+	KProc *kernel.KProcess
+
+	threads     []*Thread
+	stackCursor mem.Addr
+	// FaultSignals counts faults the runtime intercepted for this
+	// uProcess (§4.3).
+	FaultSignals int
+}
+
+// Threads returns the uProcess's threads.
+func (u *UProc) Threads() []*Thread { return u.threads }
+
+// SchedCommand is a scheduler→core message in the per-core FIFO (§4.3).
+type SchedCommand struct {
+	// Kill, when set, terminates the named uProcess on this core.
+	Kill *UProc
+	// Activate, when non-nil, enqueues a thread on the core before the
+	// switch decision.
+	Activate *Thread
+}
+
+// coreState is the runtime's per-core bookkeeping, conceptually in the
+// runtime region.
+type coreState struct {
+	runq    []*Thread
+	cmds    []SchedCommand
+	current *Thread
+	// receiver is the Uintr endpoint the scheduler signals (§4.3).
+	receiver *uintr.Receiver
+	// Preemptions counts Uintr-driven switches on this core.
+	Preemptions uint64
+	// Parks counts voluntary switches.
+	Parks uint64
+}
+
+// Domain is a scheduling domain: a SMAS, its runtime, and the cores it
+// manages.
+type Domain struct {
+	S       *smas.SMAS
+	RT      *callgate.Runtime
+	Machine *cpu.Machine
+	Kernel  *kernel.Kernel
+	Eng     *sim.Engine
+
+	GatePark    *callgate.Gate
+	GateSched   *callgate.Gate
+	GateExit    *callgate.Gate
+	GateSyscall *callgate.Gate
+
+	// Sys is the runtime's syscall-interposition service (§5.2.4).
+	Sys *SyscallTable
+
+	handlerAddr mem.Addr
+	// Sched is the scheduler-side UINTR sender: entry i targets core i.
+	Sched *uintr.Sender
+
+	cores      []*coreState
+	uprocs     []*UProc
+	nextThread int
+	privPKRU   mpk.PKRU
+}
+
+// NewDomain builds a domain managing all cores of the machine.
+func NewDomain(eng *sim.Engine, m *cpu.Machine) (*Domain, error) {
+	s, err := smas.New(m, m.NumCores())
+	if err != nil {
+		return nil, err
+	}
+	d := &Domain{
+		S:        s,
+		RT:       callgate.NewRuntime(s),
+		Machine:  m,
+		Kernel:   kernel.New(eng, m.Costs),
+		Eng:      eng,
+		cores:    make([]*coreState, m.NumCores()),
+		privPKRU: s.RuntimePKRU(),
+	}
+	for i := range d.cores {
+		d.cores[i] = &coreState{}
+		if err := s.SetRuntimeStack(i, s.RuntimeStackTop(i)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Privileged runtime functions. Costs model the bookkeeping the real
+	// runtime performs beyond the gate instructions themselves; they are
+	// calibrated so a park-path switch lands at Table 1's ~161 ns.
+	if d.GatePark, err = d.RT.Register(callgate.FnPark, "park", d.parkImpl, 120); err != nil {
+		return nil, err
+	}
+	if d.GateSched, err = d.RT.Register(callgate.FnSchedule, "schedule", d.schedImpl, 160); err != nil {
+		return nil, err
+	}
+	if d.GateExit, err = d.RT.Register(callgate.FnExit, "exit", d.exitImpl, 120); err != nil {
+		return nil, err
+	}
+	if err := d.initSyscalls(); err != nil {
+		return nil, err
+	}
+
+	// The Uintr handler: pop the vector, enter the privileged mode via
+	// the schedule gate, and return to the interrupted context.
+	h := cpu.NewAssembler()
+	h.Emit(cpu.Pop{Dst: cpu.R9}) // vector pushed by delivery
+	h.Emit(cpu.Call{Target: d.GateSched.Entry})
+	h.Emit(cpu.UiRet{})
+	base := s.NextTextBase()
+	code, err := h.Assemble(base)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.InstallText(code, smas.RuntimeKey); err != nil {
+		return nil, err
+	}
+	d.handlerAddr = base
+
+	// Wire UINTR: one receiver per core, one scheduler-side sender whose
+	// UITT index i routes to core i.
+	d.Sched = uintr.NewSender(m.NumCores(), m.Costs, nil)
+	for i := 0; i < m.NumCores(); i++ {
+		r := uintr.NewReceiver(i, d.handlerAddr)
+		d.cores[i].receiver = r
+		if err := d.Sched.Register(i, r, uint8(callgate.FnSchedule)); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// CreateUProc forks a hosting kProcess, attaches SMAS to it, loads the
+// program, and creates the main thread (§5.1).
+func (d *Domain) CreateUProc(name string, p *smas.Program) (*UProc, error) {
+	kp, _ := d.Kernel.Fork(d.Machine.Phys, 1000, 0)
+	if err := d.S.AttachKProcess(kp.AS); err != nil {
+		return nil, err
+	}
+	img, err := d.S.Load(p)
+	if err != nil {
+		return nil, err
+	}
+	u := &UProc{
+		ID:          len(d.uprocs),
+		Name:        name,
+		Image:       img,
+		PKRU:        d.S.AppPKRU(img.Region.Key),
+		KProc:       kp,
+		stackCursor: img.Region.StackTop,
+	}
+	d.uprocs = append(d.uprocs, u)
+	if _, err := d.NewThread(u, img.Entry); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// UProcs returns the domain's uProcesses.
+func (d *Domain) UProcs() []*UProc { return d.uprocs }
+
+// threadStackSize is each thread's stack reservation.
+const threadStackSize = mem.PageSize
+
+// NewThread creates a thread whose first activation jumps to entry
+// (pthread_create in §5.2.2: stack + context allocated in userspace).
+func (d *Domain) NewThread(u *UProc, entry mem.Addr) (*Thread, error) {
+	if u.State == UProcTerminated {
+		return nil, fmt.Errorf("uproc: %s is terminated", u.Name)
+	}
+	top := u.stackCursor
+	if top-threadStackSize < u.Image.HeapBase {
+		return nil, fmt.Errorf("uproc: %s: out of stack space", u.Name)
+	}
+	u.stackCursor -= threadStackSize
+	// Seed the stack so the gate's final ret lands on the entry point.
+	rsp := top - 8
+	if f := d.S.AS.Write(rsp, 8, uint64(entry), d.S.RuntimePKRU()); f != nil {
+		return nil, f
+	}
+	t := &Thread{
+		ID:       d.nextThread,
+		U:        u,
+		savedRSP: rsp,
+		savedUIF: true,
+		State:    ThreadRunnable,
+	}
+	d.nextThread++
+	u.threads = append(u.threads, t)
+	return t, nil
+}
+
+// AttachThread queues t on core's FIFO runqueue.
+func (d *Domain) AttachThread(core int, t *Thread) {
+	d.cores[core].runq = append(d.cores[core].runq, t)
+}
+
+// Runqueue returns the threads queued on a core (not including current).
+func (d *Domain) Runqueue(core int) []*Thread { return d.cores[core].runq }
+
+// Migrate moves a queued thread from one core's FIFO to another's — the
+// §4.5 load-balancing primitive ("the scheduler reassigns these threads to
+// underloaded cores"). A thread currently running cannot be migrated; the
+// scheduler preempts it first, after which it sits in a FIFO.
+func (d *Domain) Migrate(t *Thread, from, to int) error {
+	if from < 0 || from >= len(d.cores) || to < 0 || to >= len(d.cores) {
+		return fmt.Errorf("uproc: core out of range")
+	}
+	if d.cores[from].current == t {
+		return fmt.Errorf("uproc: thread %d is running on core %d; preempt it first", t.ID, from)
+	}
+	rq := d.cores[from].runq
+	for i, q := range rq {
+		if q == t {
+			d.cores[from].runq = append(rq[:i], rq[i+1:]...)
+			d.cores[to].runq = append(d.cores[to].runq, t)
+			return nil
+		}
+	}
+	return fmt.Errorf("uproc: thread %d not queued on core %d", t.ID, from)
+}
+
+// Current returns the thread running on a core.
+func (d *Domain) Current(core int) *Thread { return d.cores[core].current }
+
+// CoreStats returns (parks, preemptions) for a core.
+func (d *Domain) CoreStats(core int) (uint64, uint64) {
+	return d.cores[core].Parks, d.cores[core].Preemptions
+}
+
+// StartCore dispatches the first queued thread onto the core and prepares
+// the core's architectural state. The core is then stepped by the caller.
+func (d *Domain) StartCore(coreID int) error {
+	cs := d.cores[coreID]
+	c := d.Machine.Core(coreID)
+	c.AS = d.S.AS
+	c.PrivilegedPKRU = &d.privPKRU
+	c.Hooks.OnFault = d.faultHook
+	cs.receiver.Attach(c)
+	t := d.popRunnable(cs)
+	if t == nil {
+		return fmt.Errorf("uproc: core %d has no runnable thread", coreID)
+	}
+	d.activate(c, cs, t)
+	return d.dispatch(c)
+}
+
+// dispatch installs the architectural state for the core's current thread
+// outside a gate: PC from the return address at the saved RSP, stack
+// popped past it, PKRU from the task map. Used for first activations and
+// idle wakeups, where no gate epilogue will perform the restore.
+func (d *Domain) dispatch(c *cpu.Core) error {
+	rsp, pkru, _, err := d.S.Task(c.ID)
+	if err != nil {
+		return err
+	}
+	v, f := d.S.AS.Read(rsp, 8, d.S.RuntimePKRU())
+	if f != nil {
+		return f
+	}
+	c.PC = mem.Addr(v)
+	c.Regs[cpu.RSP] = uint64(rsp + 8)
+	c.PKRU = pkru
+	c.Halted = false
+	return nil
+}
+
+// Wake brings an idle (UMWAIT-halted) core back: pending commands are
+// drained and the next runnable thread dispatched. It reports whether the
+// core is now running a thread.
+func (d *Domain) Wake(coreID int) (bool, error) {
+	cs := d.cores[coreID]
+	c := d.Machine.Core(coreID)
+	if cs.current != nil && !c.Halted {
+		return true, nil
+	}
+	d.drainCommands(cs)
+	t := d.popRunnable(cs)
+	if t == nil {
+		return false, nil
+	}
+	// Model the UMWAIT exit cost.
+	c.Cycles += int64(float64(d.Machine.Costs.UmwaitWake) * d.Machine.Costs.ClockGHz)
+	d.activate(c, cs, t)
+	if err := d.dispatch(c); err != nil {
+		return false, err
+	}
+	c.UIF = t.savedUIF
+	return true, nil
+}
+
+// popRunnable pops the next live thread from the core FIFO, reaping
+// threads of terminated uProcesses.
+func (d *Domain) popRunnable(cs *coreState) *Thread {
+	for len(cs.runq) > 0 {
+		t := cs.runq[0]
+		cs.runq = cs.runq[1:]
+		if t.U.State == UProcTerminated || t.State == ThreadDead {
+			t.State = ThreadDead
+			continue
+		}
+		return t
+	}
+	return nil
+}
+
+// activate makes t the core's current thread: restores its register file
+// and publishes its RSP/PKRU in the task map for the gate epilogue.
+func (d *Domain) activate(c *cpu.Core, cs *coreState, t *Thread) {
+	cs.current = t
+	t.State = ThreadRunning
+	t.Switches++
+	// Restore the thread's register file — except RSP: while inside the
+	// runtime function the core still runs on the runtime stack, and the
+	// gate epilogue reloads the task's RSP from the task map.
+	rsp := c.Regs[cpu.RSP]
+	c.Regs = t.savedRegs
+	c.Regs[cpu.RSP] = rsp
+	c.UIF = t.savedUIF
+	if err := d.S.SetTask(c.ID, t.savedRSP, t.U.PKRU, uint64(t.ID)); err != nil {
+		panic(fmt.Sprintf("uproc: task map update failed: %v", err))
+	}
+}
+
+// saveCurrent captures the current thread's context at a gate boundary.
+func (d *Domain) saveCurrent(c *cpu.Core, cs *coreState) *Thread {
+	t := cs.current
+	if t == nil {
+		return nil
+	}
+	rsp, _, _, err := d.S.Task(c.ID)
+	if err != nil {
+		panic(fmt.Sprintf("uproc: task map read failed: %v", err))
+	}
+	t.savedRegs = c.Regs
+	t.savedRSP = rsp
+	t.savedUIF = c.UIF
+	return t
+}
+
+// switchNext installs the next runnable thread, or halts the core into the
+// idle (UMWAIT) state when none exists.
+func (d *Domain) switchNext(c *cpu.Core, cs *coreState) {
+	if t := d.popRunnable(cs); t != nil {
+		d.activate(c, cs, t)
+		return
+	}
+	cs.current = nil
+	c.Halted = true
+}
+
+// drainCommands applies pending scheduler commands on a core. Kill
+// commands terminate uProcesses lazily, exactly as §5.1 describes: cores
+// see the command the next time they are in privileged mode.
+func (d *Domain) drainCommands(cs *coreState) {
+	for _, cmd := range cs.cmds {
+		if cmd.Kill != nil {
+			d.terminate(cmd.Kill)
+		}
+		if cmd.Activate != nil {
+			cs.runq = append(cs.runq, cmd.Activate)
+		}
+	}
+	cs.cmds = cs.cmds[:0]
+}
+
+// terminate marks a uProcess dead. Its threads are reaped lazily: queued
+// threads by popRunnable, running threads when their core next enters
+// privileged mode — the §4.3/§5.1 lazy-termination protocol.
+func (d *Domain) terminate(u *UProc) {
+	u.State = UProcTerminated
+	if d.Sys != nil {
+		d.Sys.CloseAll(u)
+	}
+}
+
+// parkImpl is the FnPark runtime function (§4.4): voluntary yield.
+func (d *Domain) parkImpl(c *cpu.Core) *mem.Fault {
+	cs := d.cores[c.ID]
+	cs.Parks++
+	d.requeueCurrent(c, cs)
+	d.switchNext(c, cs)
+	return nil
+}
+
+// requeueCurrent drains scheduler commands, saves the current thread, and
+// either requeues it or reaps it if its uProcess died.
+func (d *Domain) requeueCurrent(c *cpu.Core, cs *coreState) {
+	d.drainCommands(cs)
+	t := d.saveCurrent(c, cs)
+	if t == nil {
+		return
+	}
+	if t.State == ThreadDead || t.U.State == UProcTerminated {
+		t.State = ThreadDead
+		return
+	}
+	t.State = ThreadRunnable
+	cs.runq = append(cs.runq, t)
+}
+
+// schedImpl is the FnSchedule runtime function, reached from the Uintr
+// handler (§4.3): apply the scheduler's commands and reschedule.
+func (d *Domain) schedImpl(c *cpu.Core) *mem.Fault {
+	cs := d.cores[c.ID]
+	cs.Preemptions++
+	d.requeueCurrent(c, cs)
+	d.switchNext(c, cs)
+	return nil
+}
+
+// exitImpl is the FnExit runtime function: the current thread finishes.
+func (d *Domain) exitImpl(c *cpu.Core) *mem.Fault {
+	cs := d.cores[c.ID]
+	d.drainCommands(cs)
+	if t := cs.current; t != nil {
+		t.State = ThreadDead
+	}
+	d.switchNext(c, cs)
+	return nil
+}
+
+// Preempt sends the scheduler's command to a core and kicks it with a user
+// interrupt — the preemption path of Figure 6, steps ① and ②. A core idling
+// in UMWAIT is woken instead (UMWAIT monitors the command queue's address
+// range, so the write itself is the wake signal).
+func (d *Domain) Preempt(core int, cmd SchedCommand) error {
+	cs := d.cores[core]
+	cs.cmds = append(cs.cmds, cmd)
+	c := d.Machine.Core(core)
+	if cs.current == nil && c.Halted {
+		_, err := d.Wake(core)
+		return err
+	}
+	_, err := d.Sched.SendUIPI(core)
+	return err
+}
+
+// DestroyUProc terminates a uProcess: kill commands are pushed to every
+// core's queue (processed at their next privileged entry), and the region
+// is reclaimed once no core still runs it (here: immediately after marking,
+// since region reuse is guarded by key allocation).
+func (d *Domain) DestroyUProc(u *UProc) error {
+	for i := range d.cores {
+		d.cores[i].cmds = append(d.cores[i].cmds, SchedCommand{Kill: u})
+		// Kick busy cores so lazy termination converges; idle cores
+		// will drain the command on their next activation.
+		if d.cores[i].current != nil {
+			if _, err := d.Sched.SendUIPI(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReclaimRegion frees a terminated uProcess's region and key.
+func (d *Domain) ReclaimRegion(u *UProc) error {
+	if u.State != UProcTerminated {
+		return fmt.Errorf("uproc: %s still running", u.Name)
+	}
+	return d.S.FreeRegion(u.Image.Region)
+}
+
+// faultHook is the kernel-initiated signal path of §4.3: a memory fault in
+// uProcess code is intercepted by the runtime's pre-registered SIGSEGV
+// handler, which identifies the faulty uProcess from CPUID_TO_TASK_MAP,
+// broadcasts termination to all cores running it (via their command
+// queues, not extra Uintrs), and reschedules this core.
+func (d *Domain) faultHook(c *cpu.Core, f *mem.Fault) bool {
+	cs := d.cores[c.ID]
+	cur := cs.current
+	if cur == nil {
+		return false // fault outside any uProcess: fatal
+	}
+	if c.PKRU == d.privPKRU {
+		return false // fault in the trusted runtime: fatal by design
+	}
+	// Charge the kernel's signal delivery: the fault itself still traps.
+	d.Kernel.SendSignal(cur.U.KProc, kernel.SIGSEGV)
+	cur.U.FaultSignals++
+	d.terminate(cur.U)
+	cur.State = ThreadDead
+	// Push kill commands to every other core's queue so siblings die at
+	// their next privileged entry (§4.3: "only needs to push the signal
+	// into FIFO queues of all related cores, instead of sending Uintrs").
+	for i, other := range d.cores {
+		if i != c.ID {
+			other.cmds = append(other.cmds, SchedCommand{Kill: cur.U})
+		}
+	}
+	d.switchNext(c, cs)
+	if cs.current == nil {
+		return false // nothing left to run; let the core halt
+	}
+	// Resume the next thread directly (the faulting instruction never
+	// completes): emulate the gate's restore from the task map.
+	return d.dispatch(c) == nil
+}

@@ -1,0 +1,35 @@
+package vessel
+
+import (
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/sched"
+	"vessel/internal/sim"
+	"vessel/internal/workload"
+)
+
+// BenchmarkSimulatorThroughput measures the layer-2 simulator's host cost:
+// one full colocation run per iteration (requests simulated per host
+// second are reported as a custom metric).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var totalReqs uint64
+	for i := 0; i < b.N; i++ {
+		mc := workload.NewLApp("memcached", workload.Memcached(), 4e6)
+		cfg := sched.Config{
+			Seed:     uint64(i + 1),
+			Cores:    8,
+			Duration: 10 * sim.Millisecond,
+			Warmup:   2 * sim.Millisecond,
+			Apps:     []*workload.App{mc, workload.Linpack()},
+			Costs:    cpu.Default(),
+		}
+		res, err := Simulator{}.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, _ := res.App("memcached")
+		totalReqs += a.Completed
+	}
+	b.ReportMetric(float64(totalReqs)/b.Elapsed().Seconds(), "sim-reqs/s")
+}

@@ -1,0 +1,135 @@
+package vessel
+
+import (
+	"fmt"
+
+	"vessel/internal/sim"
+	"vessel/internal/uproc"
+)
+
+// This file makes the mechanism level self-driving: RunFor co-simulates
+// the instruction-stepped cores with the event engine, and CoreScheduler is
+// the scheduler box of Figure 4 — the entity that scans per-core queues,
+// enforces time slices with Uintr preemption, and dispatches best-effort
+// threads onto idle cores from a global queue (§4.5).
+
+// coSimSlice is the granularity at which core execution and engine events
+// interleave.
+const coSimSlice = 1 * sim.Microsecond
+
+// RunFor advances the whole system — every core's instruction stream and
+// the event engine — together for the given virtual duration. Cores
+// execute approximately slice×clock instructions per interleave step, so
+// engine-driven actors (the CoreScheduler, Uintr deliveries) observe core
+// state at microsecond granularity, as a real scheduler core would.
+func (mg *Manager) RunFor(total sim.Duration) {
+	ghz := mg.m.Costs.ClockGHz
+	stepsPerSlice := int(float64(coSimSlice) * ghz)
+	if stepsPerSlice < 1 {
+		stepsPerSlice = 1
+	}
+	deadline := mg.eng.Now().Add(total)
+	for mg.eng.Now() < deadline {
+		for i := 0; i < mg.m.NumCores(); i++ {
+			mg.m.Core(i).Run(stepsPerSlice)
+		}
+		mg.eng.Run(mg.eng.Now().Add(coSimSlice))
+	}
+}
+
+// CoreScheduler is VESSEL's scheduling entity over a layer-1 domain: a
+// periodic scan loop on the engine that keeps cores fair and busy.
+type CoreScheduler struct {
+	mg *Manager
+	// Quantum is the time slice after which a continuously running
+	// thread is preempted when siblings wait (0 disables slicing).
+	Quantum sim.Duration
+	// ScanEvery is the scan period (default 5µs).
+	ScanEvery sim.Duration
+
+	beQ     []*uproc.Thread
+	lastCur []*uproc.Thread
+	ranFor  []sim.Duration
+	running bool
+	// Preemptions counts slices enforced; Dispatches counts BE threads
+	// placed on idle cores.
+	Preemptions uint64
+	Dispatches  uint64
+}
+
+// NewCoreScheduler builds the scheduler for a manager's domain.
+func NewCoreScheduler(mg *Manager, quantum sim.Duration) *CoreScheduler {
+	n := mg.m.NumCores()
+	return &CoreScheduler{
+		mg:        mg,
+		Quantum:   quantum,
+		ScanEvery: 5 * sim.Microsecond,
+		lastCur:   make([]*uproc.Thread, n),
+		ranFor:    make([]sim.Duration, n),
+	}
+}
+
+// AddBestEffort queues a thread on the global best-effort queue; it will
+// be dispatched to whichever core runs dry (§4.5).
+func (s *CoreScheduler) AddBestEffort(t *uproc.Thread) {
+	s.beQ = append(s.beQ, t)
+}
+
+// Start arms the scan loop on the engine. Use Manager.RunFor to drive the
+// system.
+func (s *CoreScheduler) Start() error {
+	if s.running {
+		return fmt.Errorf("vessel: scheduler already running")
+	}
+	s.running = true
+	var scan func()
+	scan = func() {
+		if !s.running {
+			return
+		}
+		s.scanOnce()
+		s.mg.eng.After(s.ScanEvery, scan)
+	}
+	s.mg.eng.After(s.ScanEvery, scan)
+	return nil
+}
+
+// Stop halts the scan loop.
+func (s *CoreScheduler) Stop() { s.running = false }
+
+// scanOnce is one pass over the cores: dispatch BE work to idle cores,
+// and preempt threads that exhausted their quantum while others wait.
+func (s *CoreScheduler) scanOnce() {
+	d := s.mg.Domain
+	for i := 0; i < s.mg.m.NumCores(); i++ {
+		core := s.mg.m.Core(i)
+		cur := d.Current(i)
+		// Idle core: hand it a best-effort thread.
+		if cur == nil && core.Halted {
+			if len(s.beQ) > 0 {
+				t := s.beQ[0]
+				s.beQ = s.beQ[1:]
+				if err := d.Preempt(i, uproc.SchedCommand{Activate: t}); err == nil {
+					s.Dispatches++
+				}
+			}
+			s.lastCur[i] = nil
+			s.ranFor[i] = 0
+			continue
+		}
+		// Quantum accounting: how long has the same thread held the
+		// core across scans?
+		if cur != s.lastCur[i] {
+			s.lastCur[i] = cur
+			s.ranFor[i] = 0
+			continue
+		}
+		s.ranFor[i] += s.ScanEvery
+		if s.Quantum > 0 && s.ranFor[i] >= s.Quantum && len(d.Runqueue(i)) > 0 {
+			if err := d.Preempt(i, uproc.SchedCommand{}); err == nil {
+				s.Preemptions++
+			}
+			s.ranFor[i] = 0
+		}
+	}
+}

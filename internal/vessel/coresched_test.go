@@ -1,0 +1,110 @@
+package vessel
+
+import (
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/mem"
+	"vessel/internal/sim"
+	"vessel/internal/smas"
+)
+
+func spinProg(name string) *smas.Program {
+	a := cpu.NewAssembler()
+	a.Label("loop")
+	a.Emit(cpu.AddImm{Dst: cpu.RDX, Imm: 1})
+	a.JmpTo("loop")
+	return &smas.Program{Name: name, Asm: a, PIE: true, DataSize: mem.PageSize, StackSize: 2 * mem.PageSize}
+}
+
+func TestCoreSchedulerTimeslicesSpinners(t *testing.T) {
+	// Two never-parking uProcesses on one core: the scan-loop scheduler
+	// alone (no test-driven preemption) keeps them both progressing via
+	// Uintr time slices.
+	mg, err := NewManager(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, err := mg.Launch("a", spinProg("a"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := mg.Launch("b", spinProg("b"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	s := NewCoreScheduler(mg, 50*sim.Microsecond)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	mg.RunFor(2 * sim.Millisecond)
+	if s.Preemptions < 10 {
+		t.Fatalf("preemptions = %d", s.Preemptions)
+	}
+	sa, sb := ua.Threads()[0].Switches, ub.Threads()[0].Switches
+	if sa < 5 || sb < 5 {
+		t.Fatalf("switches a=%d b=%d", sa, sb)
+	}
+	diff := int64(sa) - int64(sb)
+	if diff < -2 || diff > 2 {
+		t.Fatalf("unfair slicing: a=%d b=%d", sa, sb)
+	}
+	s.Stop()
+	before := s.Preemptions
+	mg.RunFor(500 * sim.Microsecond)
+	if s.Preemptions != before {
+		t.Fatal("scheduler kept preempting after Stop")
+	}
+}
+
+func TestCoreSchedulerDispatchesBestEffortToIdleCores(t *testing.T) {
+	// A short-lived foreground uProcess exits; the scheduler fills the
+	// idle core from the global best-effort queue (§4.5).
+	mg, err := NewManager(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneshot, err := mg.Domain.CreateUProc("oneshot", &smas.Program{
+		Name: "oneshot",
+		Asm: func() *cpu.Assembler {
+			a := cpu.NewAssembler()
+			a.Emit(cpu.AddImm{Dst: cpu.RDX, Imm: 1})
+			a.Emit(cpu.Call{Target: mg.Domain.GateExit.Entry})
+			return a
+		}(),
+		PIE: true, DataSize: mem.PageSize, StackSize: 2 * mem.PageSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The batch uProcess's thread lives on the global BE queue, not on
+	// any core FIFO — exactly how §4.5 treats best-effort work.
+	be, err := mg.Domain.CreateUProc("batch", spinProg("batch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewCoreScheduler(mg, 0)
+	beWorker := be.Threads()[0]
+	s.AddBestEffort(beWorker)
+
+	mg.Domain.AttachThread(0, oneshot.Threads()[0])
+	if err := mg.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	mg.RunFor(1 * sim.Millisecond)
+	if s.Dispatches == 0 {
+		t.Fatal("idle core never received best-effort work")
+	}
+	if beWorker.Switches == 0 {
+		t.Fatal("best-effort thread never ran")
+	}
+}

@@ -1,0 +1,137 @@
+package vessel
+
+import (
+	"fmt"
+
+	"vessel/internal/cpu"
+	"vessel/internal/sim"
+	"vessel/internal/smas"
+	"vessel/internal/uproc"
+)
+
+// Manager is VESSEL's control plane (§5.1): the standalone auxiliary
+// program that creates SMAS, processes uProcess creation and destruction
+// commands, and owns the scheduling domain's resources. It is a thin,
+// user-facing layer over uproc.Domain — the mechanism model — and is what
+// the examples and the Table 1 microbenchmark drive.
+type Manager struct {
+	Domain *uproc.Domain
+	eng    *sim.Engine
+	m      *cpu.Machine
+	named  map[string]*uproc.UProc
+	// zombies are destroyed uProcesses awaiting region reclamation
+	// (termination is lazy, §5.1 — cores apply the kill at their next
+	// privileged entry).
+	zombies []*uproc.UProc
+}
+
+// NewManager boots a scheduling domain on a fresh simulated machine with
+// the given number of cores.
+func NewManager(cores int, costs *cpu.CostModel) (*Manager, error) {
+	if costs == nil {
+		costs = cpu.Default()
+	}
+	eng := sim.NewEngine()
+	m := cpu.NewMachine(cores, costs)
+	d, err := uproc.NewDomain(eng, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{Domain: d, eng: eng, m: m, named: make(map[string]*uproc.UProc)}, nil
+}
+
+// Launch creates a uProcess from a program (fork of the hosting kProcess,
+// SMAS attach, load with code inspection) and pins its main thread to the
+// given core's FIFO queue.
+func (mg *Manager) Launch(name string, p *smas.Program, core int) (*uproc.UProc, error) {
+	if _, dup := mg.named[name]; dup {
+		return nil, fmt.Errorf("vessel: uProcess %q already exists", name)
+	}
+	if core < 0 || core >= mg.m.NumCores() {
+		return nil, fmt.Errorf("vessel: core %d out of range", core)
+	}
+	u, err := mg.Domain.CreateUProc(name, p)
+	if err != nil {
+		return nil, err
+	}
+	mg.Domain.AttachThread(core, u.Threads()[0])
+	mg.named[name] = u
+	return u, nil
+}
+
+// Lookup finds a launched uProcess by name.
+func (mg *Manager) Lookup(name string) (*uproc.UProc, bool) {
+	u, ok := mg.named[name]
+	return u, ok
+}
+
+// Destroy sends the kill command for a uProcess; cores apply it lazily at
+// their next privileged entry (§5.1).
+func (mg *Manager) Destroy(name string) error {
+	u, ok := mg.named[name]
+	if !ok {
+		return fmt.Errorf("vessel: no uProcess %q", name)
+	}
+	delete(mg.named, name)
+	mg.zombies = append(mg.zombies, u)
+	return mg.Domain.DestroyUProc(u)
+}
+
+// Reap reclaims the regions and protection keys of destroyed uProcesses
+// whose termination has landed. It returns how many were reclaimed;
+// uProcesses whose cores have not yet processed the kill stay pending.
+func (mg *Manager) Reap() (int, error) {
+	reclaimed := 0
+	kept := mg.zombies[:0]
+	for _, u := range mg.zombies {
+		if u.State != uproc.UProcTerminated {
+			kept = append(kept, u)
+			continue
+		}
+		if err := mg.Domain.ReclaimRegion(u); err != nil {
+			return reclaimed, err
+		}
+		reclaimed++
+	}
+	mg.zombies = kept
+	return reclaimed, nil
+}
+
+// Start begins execution on a core (first thread dispatch).
+func (mg *Manager) Start(core int) error { return mg.Domain.StartCore(core) }
+
+// Step runs up to n instructions on a core, returning how many executed.
+func (mg *Manager) Step(core, n int) int { return mg.m.Core(core).Run(n) }
+
+// RunTimesliced drives a core for totalSteps instructions, injecting a
+// scheduler preemption (the Uintr path) every quantumSteps — time-slicing
+// for applications that never park voluntarily. It returns the number of
+// preemptions injected.
+func (mg *Manager) RunTimesliced(core, totalSteps, quantumSteps int) (int, error) {
+	if quantumSteps <= 0 {
+		return 0, fmt.Errorf("vessel: quantum must be positive")
+	}
+	injected := 0
+	for done := 0; done < totalSteps; {
+		n := quantumSteps
+		if rem := totalSteps - done; n > rem {
+			n = rem
+		}
+		ran := mg.m.Core(core).Run(n)
+		done += ran
+		if ran < n {
+			break // core halted (idle or fault)
+		}
+		if err := mg.Domain.Preempt(core, uproc.SchedCommand{}); err != nil {
+			return injected, err
+		}
+		injected++
+	}
+	return injected, nil
+}
+
+// Machine exposes the underlying simulated machine.
+func (mg *Manager) Machine() *cpu.Machine { return mg.m }
+
+// Engine exposes the simulation engine (for Uintr delivery timing).
+func (mg *Manager) Engine() *sim.Engine { return mg.eng }

@@ -1,0 +1,117 @@
+package vessel
+
+import (
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/mem"
+	"vessel/internal/smas"
+	"vessel/internal/uproc"
+)
+
+func parkLoop(mg *Manager) *smas.Program {
+	a := cpu.NewAssembler()
+	a.Label("loop")
+	a.Emit(cpu.AddImm{Dst: cpu.RDX, Imm: 1})
+	a.Emit(cpu.Call{Target: mg.Domain.GatePark.Entry})
+	a.JmpTo("loop")
+	return &smas.Program{Name: "loop", Asm: a, PIE: true, DataSize: mem.PageSize, StackSize: 2 * mem.PageSize}
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	mg, err := NewManager(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, err := mg.Launch("a", parkLoop(mg), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg.Launch("a", parkLoop(mg), 0); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := mg.Launch("oob", parkLoop(mg), 5); err == nil {
+		t.Fatal("out-of-range core accepted")
+	}
+	ub, err := mg.Launch("b", parkLoop(mg), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	mg.Step(0, 3000)
+	if ua.Threads()[0].Switches == 0 || ub.Threads()[0].Switches == 0 {
+		t.Fatal("both uProcesses should have run")
+	}
+	got, ok := mg.Lookup("a")
+	if !ok || got != ua {
+		t.Fatal("lookup")
+	}
+	if err := mg.Destroy("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.Destroy("a"); err == nil {
+		t.Fatal("double destroy accepted")
+	}
+	mg.Step(0, 3000)
+	if ua.State != uproc.UProcTerminated {
+		t.Fatal("a not terminated")
+	}
+	if ub.State == uproc.UProcTerminated {
+		t.Fatal("b should survive")
+	}
+	if mg.Machine() == nil || mg.Engine() == nil {
+		t.Fatal("accessors")
+	}
+}
+
+func TestRunTimeslicedFairness(t *testing.T) {
+	// Two uProcesses that never park share one core fairly under
+	// scheduler-driven time slicing — preemption makes run-to-completion
+	// apps schedulable (§4.4's second primitive).
+	mg, err := NewManager(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spin := func(name string) *smas.Program {
+		a := cpu.NewAssembler()
+		a.Label("loop")
+		a.Emit(cpu.AddImm{Dst: cpu.RDX, Imm: 1})
+		a.JmpTo("loop")
+		return &smas.Program{Name: name, Asm: a, PIE: true, DataSize: mem.PageSize, StackSize: 2 * mem.PageSize}
+	}
+	ua, err := mg.Launch("a", spin("a"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := mg.Launch("b", spin("b"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	injected, err := mg.RunTimesliced(0, 40_000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if injected < 30 {
+		t.Fatalf("injected = %d", injected)
+	}
+	_, preempts := mg.Domain.CoreStats(0)
+	if preempts < 30 {
+		t.Fatalf("preemptions = %d", preempts)
+	}
+	sa, sb := ua.Threads()[0].Switches, ub.Threads()[0].Switches
+	if sa < 10 || sb < 10 {
+		t.Fatalf("switches: a=%d b=%d", sa, sb)
+	}
+	diff := int64(sa) - int64(sb)
+	if diff < -2 || diff > 2 {
+		t.Fatalf("unfair slicing: a=%d b=%d", sa, sb)
+	}
+	if _, err := mg.RunTimesliced(0, 100, 0); err == nil {
+		t.Fatal("zero quantum accepted")
+	}
+}

@@ -1,0 +1,238 @@
+package vessel
+
+import (
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/sched"
+	"vessel/internal/sim"
+	"vessel/internal/workload"
+)
+
+func runVessel(t *testing.T, cfg sched.Config) sched.Result {
+	t.Helper()
+	res, err := Simulator{}.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func baseCfg(apps ...*workload.App) sched.Config {
+	return sched.Config{
+		Seed:     1,
+		Cores:    8,
+		Duration: 40 * sim.Millisecond,
+		Warmup:   5 * sim.Millisecond,
+		Apps:     apps,
+		Costs:    cpu.Default(),
+	}
+}
+
+func TestLAppAloneLowLoad(t *testing.T) {
+	// 8 cores, 1µs service → capacity 8 Mops. At 2 Mops latency must be
+	// low and throughput equal offered load.
+	mc := workload.NewLApp("memcached", workload.Memcached(), 2e6)
+	res := runVessel(t, baseCfg(mc))
+	a, _ := res.App("memcached")
+	if a.Latency.P50 > 3000 {
+		t.Fatalf("p50 = %dns at 25%% load", a.Latency.P50)
+	}
+	if a.Latency.P999 > 50_000 {
+		t.Fatalf("p999 = %dns at 25%% load", a.Latency.P999)
+	}
+	got := a.Tput.PerSecond()
+	if got < 1.9e6 || got > 2.1e6 {
+		t.Fatalf("throughput = %.2f Mops, want ~2", got/1e6)
+	}
+	if a.NormTput < 0.2 || a.NormTput > 0.3 {
+		t.Fatalf("norm tput = %.3f, want ~0.25", a.NormTput)
+	}
+}
+
+func TestColocationNearIdealTotalThroughput(t *testing.T) {
+	// The headline VESSEL property (Fig. 9): colocating memcached with
+	// Linpack keeps total normalized throughput near 1 across loads
+	// (paper: 6.6% average decline).
+	for _, loadFrac := range []float64{0.2, 0.5, 0.8} {
+		mc := workload.NewLApp("memcached", workload.Memcached(), loadFrac*8e6)
+		lp := workload.Linpack()
+		res := runVessel(t, baseCfg(mc, lp))
+		total := res.TotalNormTput()
+		if total < 0.85 || total > 1.05 {
+			t.Fatalf("load %.1f: total norm tput = %.3f, want ~1", loadFrac, total)
+		}
+		b, _ := res.App("linpack")
+		wantB := 1 - loadFrac
+		if b.NormTput < wantB-0.15 || b.NormTput > wantB+0.1 {
+			t.Fatalf("load %.1f: B norm = %.3f, want ~%.2f", loadFrac, b.NormTput, wantB)
+		}
+	}
+}
+
+func TestColocationLatencyStaysLow(t *testing.T) {
+	// Even at 80% load with a colocated B-app, VESSEL's P999 stays in
+	// the tens of µs (paper Fig. 9: ~20-60µs at high load).
+	mc := workload.NewLApp("memcached", workload.Memcached(), 0.8*8e6)
+	res := runVessel(t, baseCfg(mc, workload.Linpack()))
+	a, _ := res.App("memcached")
+	if a.Latency.P999 > 100_000 {
+		t.Fatalf("p999 = %.1fµs, want < 100µs", float64(a.Latency.P999)/1000)
+	}
+	if res.Preemptions == 0 {
+		t.Fatal("colocation at 80% load must preempt BE cores")
+	}
+}
+
+func TestOverloadExplodesLatency(t *testing.T) {
+	mc := workload.NewLApp("memcached", workload.Memcached(), 1.2*8e6)
+	res := runVessel(t, baseCfg(mc))
+	a, _ := res.App("memcached")
+	if a.Latency.P999 < 200_000 {
+		t.Fatalf("p999 = %dns under overload, expected explosion", a.Latency.P999)
+	}
+}
+
+func TestDenseColocationManyApps(t *testing.T) {
+	// 10 L-apps on one core (Fig. 10 shape): aggregate throughput close
+	// to a single app's at the same aggregate load.
+	mk := func(n int, aggregate float64) (float64, int64) {
+		apps := make([]*workload.App, n)
+		for i := range apps {
+			apps[i] = workload.NewLApp(string(rune('a'+i)), workload.Memcached(), aggregate/float64(n))
+		}
+		cfg := baseCfg(apps...)
+		cfg.Cores = 1
+		res := runVessel(t, cfg)
+		var tput float64
+		var p999 int64
+		for _, ar := range res.Apps {
+			tput += ar.Tput.PerSecond()
+			if ar.Latency.P999 > p999 {
+				p999 = ar.Latency.P999
+			}
+		}
+		return tput, p999
+	}
+	t1, p1 := mk(1, 0.7e6)
+	t10, p10 := mk(10, 0.7e6)
+	if t10 < 0.9*t1 {
+		t.Fatalf("10-app aggregate tput %.2f Mops << 1-app %.2f Mops", t10/1e6, t1/1e6)
+	}
+	// Tail grows only modestly (paper: VESSEL "almost unchanged").
+	if p10 > 5*p1+50_000 {
+		t.Fatalf("10-app p999 %.1fµs vs 1-app %.1fµs", float64(p10)/1000, float64(p1)/1000)
+	}
+}
+
+func TestSiloHighServiceTimes(t *testing.T) {
+	// Silo's 20µs median requests amortise switching: total normalized
+	// throughput approaches ideal.
+	rate := 0.7 * sched.IdealLCapacity(8, workload.Silo())
+	silo := workload.NewLApp("silo", workload.Silo(), rate)
+	cfg := baseCfg(silo, workload.Linpack())
+	cfg.Duration = 200 * sim.Millisecond
+	cfg.Warmup = 20 * sim.Millisecond
+	res := runVessel(t, cfg)
+	if total := res.TotalNormTput(); total < 0.9 {
+		t.Fatalf("Silo colocation total norm tput = %.3f", total)
+	}
+}
+
+func TestBandwidthRegulation(t *testing.T) {
+	// With a bandwidth budget, membench's measured consumption must track
+	// the target closely (Fig. 13b's VESSEL line).
+	mb := workload.Membench()
+	cfg := baseCfg(mb)
+	cfg.BWTargetFrac = 0.3
+	res := runVessel(t, cfg)
+	b, _ := res.App("membench")
+	target := 0.3 * cfg.Costs.MemBWTotal
+	if b.AvgBWGBs > target*1.15 {
+		t.Fatalf("measured %.1f GB/s exceeds target %.1f GB/s", b.AvgBWGBs, target)
+	}
+	if b.AvgBWGBs < target*0.5 {
+		t.Fatalf("measured %.1f GB/s far below target %.1f GB/s (over-throttled)", b.AvgBWGBs, target)
+	}
+}
+
+func TestCycleBreakdownSane(t *testing.T) {
+	mc := workload.NewLApp("memcached", workload.Memcached(), 4e6)
+	res := runVessel(t, baseCfg(mc, workload.Linpack()))
+	bd := res.Cycles
+	total := bd.Total()
+	want := sim.Duration(8) * 40 * sim.Millisecond
+	// All core-time must be accounted (within 1%).
+	if total < want*99/100 || total > want*101/100 {
+		t.Fatalf("breakdown total %v, want %v", total, want)
+	}
+	// VESSEL's overhead fraction is small (paper: ~1-3%).
+	if f := bd.OverheadFrac(); f > 0.05 {
+		t.Fatalf("overhead fraction %.3f, want < 5%%", f)
+	}
+	if bd.AppNs == 0 {
+		t.Fatal("no app time")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() sched.Result {
+		mc := workload.NewLApp("memcached", workload.Memcached(), 4e6)
+		return runVessel(t, baseCfg(mc, workload.Linpack()))
+	}
+	a, b := run(), run()
+	if a.Switches != b.Switches || a.Preemptions != b.Preemptions {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d", a.Switches, a.Preemptions, b.Switches, b.Preemptions)
+	}
+	la, _ := a.App("memcached")
+	lb, _ := b.App("memcached")
+	if la.Latency.P999 != lb.Latency.P999 || la.Completed != lb.Completed {
+		t.Fatal("results differ across identical runs")
+	}
+}
+
+func TestPriorityPreemptionProtectsHighPriorityTails(t *testing.T) {
+	// §4.4: "preemption happens when a high-priority task is blocked by
+	// a low-priority one". Memcached (1µs requests) shares two cores
+	// with Silo (20–280µs requests). Without priorities, memcached
+	// requests queue behind multi-hundred-µs Silo transactions; with a
+	// higher priority, VESSEL preempts Silo mid-request at gate cost.
+	run := func(mcPrio int) (int64, sched.Result) {
+		mc := workload.NewLApp("memcached", workload.Memcached(), 0.25*2e6)
+		mc.Priority = mcPrio
+		silo := workload.NewLApp("silo", workload.Silo(), 0.5*sched.IdealLCapacity(2, workload.Silo()))
+		cfg := baseCfg(mc, silo)
+		cfg.Cores = 2
+		cfg.Duration = 100 * sim.Millisecond
+		cfg.Warmup = 20 * sim.Millisecond
+		res := runVessel(t, cfg)
+		a, _ := res.App("memcached")
+		return a.Latency.P999, res
+	}
+	flatP999, _ := run(0)
+	prioP999, prioRes := run(1)
+	if prioP999 >= flatP999/3 {
+		t.Fatalf("priority preemption should slash memcached's tail: %dns (prio) vs %dns (flat)",
+			prioP999, flatP999)
+	}
+	if prioP999 > 60_000 {
+		t.Fatalf("prioritised p999 = %dns, want tens of µs", prioP999)
+	}
+	// Silo still completes its work (requests resume, none lost).
+	s, _ := prioRes.App("silo")
+	if s.Completed < s.Offered*95/100 {
+		t.Fatalf("silo lost requests: %d/%d", s.Completed, s.Offered)
+	}
+	if prioRes.Preemptions == 0 {
+		t.Fatal("no preemptions recorded")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := (Simulator{}).Run(sched.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := (Simulator{}).Run(sched.Config{Cores: 1, Duration: 1000}); err == nil {
+		t.Fatal("no apps accepted")
+	}
+}

@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"vessel/internal/sim"
+)
+
+func TestTPCCQuantiles(t *testing.T) {
+	// The paper characterises Silo/TPC-C by a 20µs median and 280µs
+	// P999; the calibrated distribution must hit both.
+	r := sim.NewRNG(1)
+	d := Silo()
+	n := 300000
+	samples := make([]sim.Duration, n)
+	for i := range samples {
+		samples[i] = d.Sample(r)
+	}
+	below20, below280 := 0, 0
+	for _, s := range samples {
+		if s < 20*sim.Microsecond {
+			below20++
+		}
+		if s < 280*sim.Microsecond {
+			below280++
+		}
+	}
+	if f := float64(below20) / float64(n); math.Abs(f-0.5) > 0.01 {
+		t.Fatalf("median fraction = %.3f", f)
+	}
+	if f := float64(below280) / float64(n); math.Abs(f-0.999) > 0.001 {
+		t.Fatalf("P999 fraction = %.4f", f)
+	}
+	if d.Mean() < 20*sim.Microsecond || d.Mean() > 40*sim.Microsecond {
+		t.Fatalf("TPCC mean = %v", d.Mean())
+	}
+}
+
+func TestMemcachedDist(t *testing.T) {
+	d := Memcached()
+	if d.Mean() != sim.Microsecond {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+	r := sim.NewRNG(2)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(r))
+	}
+	if avg := sum / n; math.Abs(avg-1000) > 30 {
+		t.Fatalf("sampled mean = %.1f ns", avg)
+	}
+}
+
+func TestFixedDist(t *testing.T) {
+	d := FixedDist{D: 5 * sim.Microsecond}
+	r := sim.NewRNG(3)
+	if d.Sample(r) != 5*sim.Microsecond || d.Mean() != 5*sim.Microsecond {
+		t.Fatal("fixed dist broken")
+	}
+}
+
+func TestPoissonArrivalRate(t *testing.T) {
+	eng := sim.NewEngine()
+	app := NewLApp("mc", Memcached(), 1_000_000) // 1 Mops
+	var count int
+	if err := app.GenerateArrivals(eng, sim.NewRNG(4), sim.Time(100*sim.Millisecond), func(r *Request) {
+		count++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(sim.Time(100 * sim.Millisecond))
+	// Expect ~100k arrivals in 100ms at 1 Mops.
+	if count < 95_000 || count > 105_000 {
+		t.Fatalf("arrivals = %d, want ~100k", count)
+	}
+	if app.Offered != uint64(count) {
+		t.Fatalf("offered = %d", app.Offered)
+	}
+}
+
+func TestArrivalsAreApproximatelyPoisson(t *testing.T) {
+	// Coefficient of variation of inter-arrival gaps must be ~1.
+	eng := sim.NewEngine()
+	app := NewLApp("mc", Memcached(), 2_000_000)
+	var prev sim.Time
+	var gaps []float64
+	if err := app.GenerateArrivals(eng, sim.NewRNG(5), sim.Time(50*sim.Millisecond), func(r *Request) {
+		gaps = append(gaps, float64(r.Arrive-prev))
+		prev = r.Arrive
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(sim.Time(50 * sim.Millisecond))
+	var mean, m2 float64
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	for _, g := range gaps {
+		m2 += (g - mean) * (g - mean)
+	}
+	cv := math.Sqrt(m2/float64(len(gaps))) / mean
+	if cv < 0.9 || cv > 1.1 {
+		t.Fatalf("inter-arrival CV = %.3f, want ~1", cv)
+	}
+}
+
+func TestBurstModulation(t *testing.T) {
+	// With bursts the arrival process must show higher variance than
+	// Poisson over window counts.
+	countWindows := func(burst *Burst, seed uint64) []int {
+		eng := sim.NewEngine()
+		app := NewLApp("mc", Memcached(), 1_000_000)
+		app.Burst = burst
+		win := int64(1 * sim.Millisecond)
+		counts := make([]int, 100)
+		if err := app.GenerateArrivals(eng, sim.NewRNG(seed), sim.Time(100*sim.Millisecond), func(r *Request) {
+			idx := int64(r.Arrive) / win
+			if idx < 100 {
+				counts[idx]++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(sim.Time(100 * sim.Millisecond))
+		return counts
+	}
+	varOf := func(counts []int) float64 {
+		var mean, m2 float64
+		for _, c := range counts {
+			mean += float64(c)
+		}
+		mean /= float64(len(counts))
+		for _, c := range counts {
+			m2 += (float64(c) - mean) * (float64(c) - mean)
+		}
+		return m2 / float64(len(counts))
+	}
+	plain := varOf(countWindows(nil, 7))
+	bursty := varOf(countWindows(&Burst{OnMean: 2 * sim.Millisecond, OffMean: 2 * sim.Millisecond, Factor: 4}, 7))
+	if bursty < 3*plain {
+		t.Fatalf("burst variance %.0f not clearly above plain %.0f", bursty, plain)
+	}
+}
+
+func TestQueueOperations(t *testing.T) {
+	app := NewLApp("mc", Memcached(), 1)
+	if app.Dequeue() != nil {
+		t.Fatal("dequeue of empty queue")
+	}
+	if app.QueueDelay(100) != 0 {
+		t.Fatal("empty queue delay")
+	}
+	r1 := &Request{App: app, Arrive: 10, Service: 100}
+	r2 := &Request{App: app, Arrive: 20, Service: 100}
+	app.Enqueue(r1)
+	app.Enqueue(r2)
+	if app.QueueDelay(110) != 100 {
+		t.Fatalf("queue delay = %v", app.QueueDelay(110))
+	}
+	if app.Dequeue() != r1 || app.Dequeue() != r2 {
+		t.Fatal("FIFO order broken")
+	}
+	r1.Start = 50
+	r1.Done = 150
+	app.Complete(r1, 0)
+	if app.Completed != 1 || app.Lat.Count() != 1 {
+		t.Fatal("completion accounting")
+	}
+	// Requests arriving before the measurement start don't count toward
+	// latency stats.
+	r2.Done = 220
+	app.Complete(r2, 100)
+	if app.Lat.Count() != 1 {
+		t.Fatal("warmup request counted")
+	}
+	if r1.Sojourn() != 140 {
+		t.Fatalf("sojourn = %v", r1.Sojourn())
+	}
+}
+
+func TestBAppHelpers(t *testing.T) {
+	lp := Linpack()
+	mb := Membench()
+	if lp.Kind != BestEffort || mb.Kind != BestEffort {
+		t.Fatal("kinds")
+	}
+	if mb.AvgBW() <= lp.AvgBW() {
+		t.Fatal("membench must demand more bandwidth than linpack")
+	}
+	if lp.Kind.String() != "B-app" || LatencyCritical.String() != "L-app" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestGenerateArrivalsValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	b := Linpack()
+	if err := b.GenerateArrivals(eng, sim.NewRNG(1), 1000, nil); err == nil {
+		t.Fatal("B-app arrivals must error")
+	}
+	l := NewLApp("x", nil, 100)
+	if err := l.GenerateArrivals(eng, sim.NewRNG(1), 1000, nil); err == nil {
+		t.Fatal("missing dist must error")
+	}
+	z := NewLApp("z", Memcached(), 0)
+	if err := z.GenerateArrivals(eng, sim.NewRNG(1), 1000, nil); err != nil {
+		t.Fatal("zero rate should be a no-op, not an error")
+	}
+}
+
+func TestReplayArrivals(t *testing.T) {
+	eng := sim.NewEngine()
+	app := NewLApp("mc", Memcached(), 0)
+	pts := []TracePoint{
+		{At: 100, Service: 1000},
+		{At: 250, Service: 2000},
+		{At: 250, Service: 500},
+	}
+	var got []sim.Time
+	if err := app.ReplayArrivals(eng, pts, func(r *Request) {
+		got = append(got, r.Arrive)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunAll(100)
+	if len(got) != 3 || got[0] != 100 || got[2] != 250 {
+		t.Fatalf("replayed arrivals: %v", got)
+	}
+	if app.Offered != 3 {
+		t.Fatalf("offered = %d", app.Offered)
+	}
+	if app.Queue[0].Remaining != 1000 {
+		t.Fatal("remaining not initialized")
+	}
+	// Unordered traces are rejected.
+	if err := app.ReplayArrivals(eng, []TracePoint{{At: 50}, {At: 20}}, nil); err == nil {
+		t.Fatal("unordered trace accepted")
+	}
+	// B-apps cannot replay.
+	if err := Linpack().ReplayArrivals(eng, pts, nil); err == nil {
+		t.Fatal("B-app replay accepted")
+	}
+}
+
+func TestArrivalDeterminism(t *testing.T) {
+	run := func() []sim.Time {
+		eng := sim.NewEngine()
+		app := NewLApp("mc", Memcached(), 500_000)
+		var times []sim.Time
+		app.GenerateArrivals(eng, sim.NewRNG(99), sim.Time(10*sim.Millisecond), func(r *Request) {
+			times = append(times, r.Arrive)
+		})
+		eng.Run(sim.Time(10 * sim.Millisecond))
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package vessel
+
+import (
+	"fmt"
+
+	"vessel/internal/cpu"
+	"vessel/internal/mem"
+	"vessel/internal/smas"
+	"vessel/internal/uproc"
+	ivessel "vessel/internal/vessel"
+)
+
+// This file is the mechanism-level public API: boot a simulated machine
+// with a shared memory address space, build small programs, launch them as
+// uProcesses, and step the cores. Every instruction executes with the
+// architectural page-permission ∧ PKRU check; context switches really go
+// through the call gate.
+
+// Manager is VESSEL's control plane over a simulated machine (§5.1).
+type Manager struct {
+	inner *ivessel.Manager
+}
+
+// UProc is a launched uProcess.
+type UProc = uproc.UProc
+
+// Program is a loadable application image.
+type Program = smas.Program
+
+// NewManager boots a scheduling domain with the given core count. A nil
+// cost model uses DefaultCosts.
+func NewManager(cores int, costs *CostModel) (*Manager, error) {
+	inner, err := ivessel.NewManager(cores, costs)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{inner: inner}, nil
+}
+
+// Launch loads a program as a uProcess and queues its main thread on core.
+func (m *Manager) Launch(name string, p *Program, core int) (*UProc, error) {
+	return m.inner.Launch(name, p, core)
+}
+
+// Destroy terminates a uProcess (applied lazily by the cores, §5.1).
+func (m *Manager) Destroy(name string) error { return m.inner.Destroy(name) }
+
+// Reap reclaims regions and protection keys of destroyed uProcesses whose
+// lazy termination has landed, returning how many were reclaimed.
+func (m *Manager) Reap() (int, error) { return m.inner.Reap() }
+
+// NumCores returns the domain's core count.
+func (m *Manager) NumCores() int { return m.inner.Machine().NumCores() }
+
+// Start dispatches the first thread on a core.
+func (m *Manager) Start(core int) error { return m.inner.Start(core) }
+
+// Step executes up to n instructions on a core, returning the count run.
+func (m *Manager) Step(core, n int) int { return m.inner.Step(core, n) }
+
+// Stats returns (voluntary parks, Uintr preemptions) for a core.
+func (m *Manager) Stats(core int) (parks, preemptions uint64) {
+	return m.inner.Domain.CoreStats(core)
+}
+
+// CyclesNs returns the virtual nanoseconds core has executed.
+func (m *Manager) CyclesNs(core int) float64 {
+	c := m.inner.Machine().Core(core)
+	return m.inner.Machine().NsFor(c.Cycles)
+}
+
+// Preempt asks the scheduler to preempt a core through the user-interrupt
+// path, optionally activating a specific thread first.
+func (m *Manager) Preempt(core int, activate *Thread) error {
+	return m.inner.Domain.Preempt(core, uproc.SchedCommand{Activate: activate})
+}
+
+// Thread is a uProcess thread.
+type Thread = uproc.Thread
+
+// ProgramBuilder assembles small applications against a manager's gates
+// without exposing the instruction set. State that must survive park() and
+// preemption is kept in gate-preserved registers.
+type ProgramBuilder struct {
+	mgr  *Manager
+	asm  *cpu.Assembler
+	name string
+	loop int
+	err  error
+}
+
+// NewProgram starts building a program for this manager's domain.
+func (m *Manager) NewProgram(name string) *ProgramBuilder {
+	return &ProgramBuilder{mgr: m, asm: cpu.NewAssembler(), name: name}
+}
+
+// Compute emits a block of application work costing the given cycles.
+func (b *ProgramBuilder) Compute(cycles int64) *ProgramBuilder {
+	if cycles <= 0 {
+		b.fail("Compute cycles must be positive")
+		return b
+	}
+	b.asm.Emit(cpu.Work{N: cycles})
+	return b
+}
+
+// Park emits a voluntary yield through the park call gate (§4.4).
+func (b *ProgramBuilder) Park() *ProgramBuilder {
+	b.asm.Emit(cpu.Call{Target: b.mgr.inner.Domain.GatePark.Entry})
+	return b
+}
+
+// Exit emits uProcess-thread termination through the exit gate.
+func (b *ProgramBuilder) Exit() *ProgramBuilder {
+	b.asm.Emit(cpu.Call{Target: b.mgr.inner.Domain.GateExit.Entry})
+	return b
+}
+
+// Repeat emits body n times around a counted loop. Repeat must not nest
+// (the loop counter lives in one preserved register).
+func (b *ProgramBuilder) Repeat(n uint64, body func(*ProgramBuilder)) *ProgramBuilder {
+	if n == 0 {
+		b.fail("Repeat count must be positive")
+		return b
+	}
+	if b.loop > 0 {
+		b.fail("Repeat must not nest")
+		return b
+	}
+	b.loop++
+	label := fmt.Sprintf("loop%d", b.asm.Len())
+	b.asm.Emit(cpu.MovImm{Dst: cpu.RSI, Imm: n})
+	b.asm.Label(label)
+	body(b)
+	b.asm.LoopTo(cpu.RSI, label)
+	b.loop--
+	return b
+}
+
+// Forever emits body in an infinite loop (the program never exits; it is
+// scheduled in and out via park/preemption).
+func (b *ProgramBuilder) Forever(body func(*ProgramBuilder)) *ProgramBuilder {
+	label := fmt.Sprintf("fwd%d", b.asm.Len())
+	b.asm.Label(label)
+	body(b)
+	b.asm.JmpTo(label)
+	return b
+}
+
+func (b *ProgramBuilder) fail(msg string) {
+	if b.err == nil {
+		b.err = fmt.Errorf("vessel: program %q: %s", b.name, msg)
+	}
+}
+
+// Build finalises the program image (PIE, one data page, two stack pages
+// per default; the loader re-inspects the code at load time).
+func (b *ProgramBuilder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.asm.Len() == 0 {
+		return nil, fmt.Errorf("vessel: program %q is empty", b.name)
+	}
+	return &Program{
+		Name:      b.name,
+		Asm:       b.asm,
+		PIE:       true,
+		DataSize:  mem.PageSize,
+		StackSize: 4 * mem.PageSize,
+	}, nil
+}
