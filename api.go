@@ -5,12 +5,14 @@ import (
 	"strings"
 
 	"vessel/internal/cpu"
+	"vessel/internal/faultinject"
 	"vessel/internal/sched"
 	"vessel/internal/sched/arachne"
 	"vessel/internal/sched/caladan"
 	"vessel/internal/sched/cfs"
 	"vessel/internal/sim"
 	"vessel/internal/trace"
+	"vessel/internal/uproc"
 	ivessel "vessel/internal/vessel"
 	"vessel/internal/workload"
 )
@@ -148,3 +150,40 @@ func SiloDist() ServiceDist { return workload.Silo() }
 func IdealCapacity(cores int, dist ServiceDist) float64 {
 	return sched.IdealLCapacity(cores, dist)
 }
+
+// Fault-injection and chaos-harness types, re-exported so chaos runs are
+// driven entirely through this package (the robustness surface: see
+// DESIGN.md "Fault model & chaos harness").
+type (
+	// FaultPlan declares a deterministic, seed-driven injection schedule.
+	FaultPlan = faultinject.Plan
+	// InjectedFault is one planned injection inside a FaultPlan.
+	InjectedFault = faultinject.Fault
+	// FaultKind enumerates the injectable failure modes.
+	FaultKind = faultinject.Kind
+	// Injector drives a FaultPlan against a running manager.
+	Injector = faultinject.Injector
+	// EventLog is the containment event stream — the determinism witness.
+	EventLog = trace.EventLog
+	// TraceEvent is one entry of an EventLog.
+	TraceEvent = trace.Event
+	// Watchdog is the per-uProcess cycle-budget policy.
+	Watchdog = uproc.Watchdog
+	// RestartPolicy caps supervised relaunches with exponential backoff.
+	RestartPolicy = ivessel.RestartPolicy
+	// ChaosConfig parameterises Manager.RunChaos.
+	ChaosConfig = ivessel.ChaosConfig
+	// ChaosReport summarises a chaos run.
+	ChaosReport = ivessel.ChaosReport
+)
+
+// Injectable failure modes.
+const (
+	FaultWildWrite    = faultinject.WildWrite
+	FaultGateCrash    = faultinject.GateCrash
+	FaultRuntimeCrash = faultinject.RuntimeCrash
+	FaultRunaway      = faultinject.Runaway
+	FaultDropUintr    = faultinject.DropUintr
+	FaultDelayUintr   = faultinject.DelayUintr
+	FaultWedgeQueue   = faultinject.WedgeQueue
+)

@@ -126,6 +126,17 @@ func (c *Core) raise(f *mem.Fault) {
 	c.Halted = true
 }
 
+// Inject raises a synthetic fault on the core at an instruction boundary,
+// as if the instruction about to execute had faulted — the entry point the
+// fault-injection harness uses to model wild writes and gate crashes. The
+// fault takes the same path as an organic one (the OnFault hook, i.e. the
+// runtime's SIGSEGV handler, gets first refusal); Inject reports whether
+// the fault was contained (true) or fail-stopped the core (false).
+func (c *Core) Inject(f *mem.Fault) bool {
+	c.raise(f)
+	return c.Fault == nil
+}
+
 // Step fetches, checks, and executes one instruction. It reports whether
 // the core can continue (i.e. it is not halted).
 func (c *Core) Step() bool {

@@ -30,6 +30,11 @@ type Queue struct {
 	// Polls and EmptyPolls measure spinning behaviour.
 	Polls      uint64
 	EmptyPolls uint64
+	// wedged simulates a stuck device/driver: Poll returns nothing while
+	// set, though packets keep accumulating (and eventually drop at the
+	// ring cap). WedgedPolls counts polls answered while wedged.
+	wedged      bool
+	WedgedPolls uint64
 }
 
 // NewQueue builds a ring with the given capacity.
@@ -50,9 +55,23 @@ func (q *Queue) Push(p Packet) bool {
 	return true
 }
 
+// SetWedged wedges or unwedges the queue. A wedged queue answers every
+// poll empty — the fault-injection harness's model of a hung device, which
+// must make the polling thread park (not spin) and the queue's depth/age
+// signals visible to the scheduler.
+func (q *Queue) SetWedged(on bool) { q.wedged = on }
+
+// IsWedged reports whether the queue is currently wedged.
+func (q *Queue) IsWedged() bool { return q.wedged }
+
 // Poll dequeues up to batch packets.
 func (q *Queue) Poll(batch int) []Packet {
 	q.Polls++
+	if q.wedged {
+		q.WedgedPolls++
+		q.EmptyPolls++
+		return nil
+	}
 	if len(q.ring) == 0 {
 		q.EmptyPolls++
 		return nil

@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counters is a named-counter set with deterministic iteration order
+// (insertion order, not map order) — so rendering a counter set is a pure
+// function of the sequence of Inc/Add calls and can be compared across
+// runs, like the event log.
+type Counters struct {
+	names  []string
+	values map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{values: make(map[string]uint64)}
+}
+
+// Inc adds one to the named counter.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Add adds n to the named counter, creating it on first use.
+func (c *Counters) Add(name string, n uint64) {
+	if _, ok := c.values[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.values[name] += n
+}
+
+// Get returns the named counter's value (zero when never touched).
+func (c *Counters) Get(name string) uint64 { return c.values[name] }
+
+// Names returns the counter names in insertion order.
+func (c *Counters) Names() []string { return c.names }
+
+// String renders "name=value" lines in insertion order.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, n := range c.names {
+		fmt.Fprintf(&b, "%s=%d\n", n, c.values[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"vessel/internal/sim"
+)
+
+// Event is one entry in the containment/chaos event stream: a named thing
+// that happened at a point in virtual time (an injection, a contained
+// fault, a watchdog kill, a restart, a reclaim). Events are the
+// determinism witness of the fault-injection harness — two runs with the
+// same seed and plan must produce byte-identical event logs.
+type Event struct {
+	T      sim.Time
+	Name   string
+	Detail string
+}
+
+func (e Event) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%d %s", int64(e.T), e.Name)
+	}
+	return fmt.Sprintf("%d %s %s", int64(e.T), e.Name, e.Detail)
+}
+
+// EventLog is a bounded append-only event buffer. When full it drops new
+// events (keeping the prefix intact, so the determinism fingerprint stays
+// comparable) and counts the drops.
+type EventLog struct {
+	max    int
+	events []Event
+	// Dropped counts events rejected because the log was full.
+	Dropped uint64
+}
+
+// NewEventLog returns a log keeping at most max events.
+func NewEventLog(max int) *EventLog {
+	if max <= 0 {
+		max = 1 << 16
+	}
+	return &EventLog{max: max}
+}
+
+// Record appends one event, unless the log is full.
+func (l *EventLog) Record(t sim.Time, name, detail string) {
+	if len(l.events) >= l.max {
+		l.Dropped++
+		return
+	}
+	l.events = append(l.events, Event{T: t, Name: name, Detail: detail})
+}
+
+// Events returns the recorded events in order.
+func (l *EventLog) Events() []Event { return l.events }
+
+// Len returns the number of recorded events.
+func (l *EventLog) Len() int { return len(l.events) }
+
+// CountByName returns how many recorded events carry the given name.
+func (l *EventLog) CountByName(name string) int {
+	n := 0
+	for _, e := range l.events {
+		if e.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the log one event per line — the canonical fingerprint
+// the determinism tests compare across runs.
+func (l *EventLog) String() string {
+	var b strings.Builder
+	for _, e := range l.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Tail returns the last n events (all of them when n exceeds the length).
+func (l *EventLog) Tail(n int) []Event {
+	if n >= len(l.events) {
+		return l.events
+	}
+	return l.events[len(l.events)-n:]
+}

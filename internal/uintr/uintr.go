@@ -84,12 +84,26 @@ type UITTEntry struct {
 	Valid    bool
 }
 
+// Tamper is a fault-injection verdict on one SENDUIPI: the interposer can
+// drop the post entirely (a lost interrupt). Delayed delivery is built on
+// Drop — the injector swallows the post and re-sends it later from its own
+// virtual-time queue.
+type Tamper struct {
+	Drop bool
+}
+
 // Sender is a core-side UITT. SendUIPI(idx) consults entry idx.
 type Sender struct {
 	uitt  []UITTEntry
 	eng   *sim.Engine // optional: when set, delivery is charged as an event
 	costs *cpu.CostModel
 	Sent  uint64
+	// Interpose, when non-nil, sees every send before it is posted and may
+	// tamper with it — the fault-injection harness models dropped and
+	// delayed Uintrs here, between SENDUIPI and the UPID.
+	Interpose func(idx int, vector uint8) Tamper
+	// Dropped counts sends discarded by the interposer.
+	Dropped uint64
 }
 
 // NewSender creates a sender with capacity table entries. eng may be nil for
@@ -131,6 +145,12 @@ func (s *Sender) SendUIPI(idx int) (sim.Duration, error) {
 	e := s.uitt[idx]
 	r := e.Receiver
 	s.Sent++
+	if s.Interpose != nil {
+		if t := s.Interpose(idx, e.Vector); t.Drop {
+			s.Dropped++
+			return s.costs.UintrSend, nil
+		}
+	}
 	if r.upid.SN {
 		// Suppressed: post into PIR only; no notification.
 		r.upid.PIR |= 1 << (e.Vector & 63)

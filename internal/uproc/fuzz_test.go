@@ -1,0 +1,154 @@
+package uproc
+
+import (
+	"strings"
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/mem"
+	"vessel/internal/sim"
+	"vessel/internal/smas"
+)
+
+// readCStringFixture builds a domain with two uProcesses so boundary and
+// cross-region behaviour of readCString can be probed directly.
+type readCStringFixture struct {
+	d    *Domain
+	u    *UProc // the caller whose PKRU readCString runs with
+	v    *UProc // a sibling the caller must not be able to read
+	end  mem.Addr
+	base mem.Addr
+}
+
+func newReadCStringFixture(tb testing.TB) *readCStringFixture {
+	tb.Helper()
+	m := cpu.NewMachine(1, cpu.Default())
+	d, err := NewDomain(sim.NewEngine(), m)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	u, err := d.CreateUProc("caller", parkLoopFixtureProgram(d, "caller"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	v, err := d.CreateUProc("sibling", parkLoopFixtureProgram(d, "sibling"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r := u.Image.Region
+	return &readCStringFixture{d: d, u: u, v: v, base: r.Base, end: r.Base + mem.Addr(r.Size)}
+}
+
+// parkLoopFixtureProgram avoids depending on test helpers in other files.
+func parkLoopFixtureProgram(d *Domain, name string) *smas.Program {
+	a := cpu.NewAssembler()
+	a.Label("loop")
+	a.Emit(cpu.AddImm{Dst: cpu.RDX, Imm: 1})
+	a.Emit(cpu.Call{Target: d.GatePark.Entry})
+	a.JmpTo("loop")
+	return &smas.Program{Name: name, Asm: a, PIE: true, DataSize: mem.PageSize, StackSize: 2 * mem.PageSize}
+}
+
+// poke writes one byte into the SMAS with the privileged view (test setup
+// only — the assertions below are about the *application* view).
+func (fx *readCStringFixture) poke(tb testing.TB, addr mem.Addr, b byte) {
+	tb.Helper()
+	if f := fx.d.S.AS.Write(addr, 1, uint64(b), fx.d.S.RuntimePKRU()); f != nil {
+		tb.Fatalf("setup write at %#x: %v", uint64(addr), f)
+	}
+}
+
+func TestReadCStringRegionBoundary(t *testing.T) {
+	fx := newReadCStringFixture(t)
+
+	// An unterminated string abutting the region end must fault cleanly
+	// when the scan crosses into the guard gap — never read past it.
+	start := fx.end - 16
+	for a := start; a < fx.end; a++ {
+		fx.poke(t, a, 'A')
+	}
+	s, f := fx.d.readCString(start, fx.u.PKRU)
+	if f == nil {
+		t.Fatalf("unterminated string at region end returned %q; want fault", s)
+	}
+	if f.Kind != mem.FaultNotMapped {
+		t.Fatalf("fault kind = %v, want not-mapped (guard gap)", f.Kind)
+	}
+	if f.Addr != fx.end {
+		t.Fatalf("faulted at %#x, want first out-of-region byte %#x", uint64(f.Addr), uint64(fx.end))
+	}
+
+	// With a NUL just inside the boundary the read succeeds and stops.
+	fx.poke(t, fx.end-1, 0)
+	s, f = fx.d.readCString(start, fx.u.PKRU)
+	if f != nil {
+		t.Fatalf("terminated string faulted: %v", f)
+	}
+	if want := strings.Repeat("A", 15); s != want {
+		t.Fatalf("read %q, want %q", s, want)
+	}
+
+	// A pointer into the runtime region must fault with the caller's
+	// PKRU — the confused-deputy hole the privileged read had.
+	if _, f = fx.d.readCString(smas.RuntimeBase, fx.u.PKRU); f == nil {
+		t.Fatal("runtime-region pointer readable through syscall path")
+	} else if f.Kind != mem.FaultPKU {
+		t.Fatalf("runtime-region fault kind = %v, want PKU", f.Kind)
+	}
+
+	// A pointer into a sibling uProcess's region must fault the same way.
+	if _, f = fx.d.readCString(fx.v.Image.DataBase, fx.u.PKRU); f == nil {
+		t.Fatal("sibling-region pointer readable through syscall path")
+	} else if f.Kind != mem.FaultPKU {
+		t.Fatalf("sibling-region fault kind = %v, want PKU", f.Kind)
+	}
+
+	// The caller's own memory still works.
+	fx.poke(t, fx.u.Image.DataBase, 'h')
+	fx.poke(t, fx.u.Image.DataBase+1, 'i')
+	fx.poke(t, fx.u.Image.DataBase+2, 0)
+	s, f = fx.d.readCString(fx.u.Image.DataBase, fx.u.PKRU)
+	if f != nil || s != "hi" {
+		t.Fatalf("own-region read = %q, %v", s, f)
+	}
+}
+
+// FuzzReadCString drives readCString with arbitrary offsets and contents
+// and asserts the safety invariants: it never panics, never returns more
+// than 64 bytes, and — when it succeeds — never consumed a byte at or past
+// the region end with the caller's PKRU.
+func FuzzReadCString(f *testing.F) {
+	f.Add(uint32(0), []byte("hello"))
+	f.Add(uint32(4090), []byte("unterminated-near-end"))
+	f.Add(uint32(1), []byte{0})
+	f.Add(uint32(4095), []byte{'x'})
+	f.Fuzz(func(t *testing.T, off uint32, data []byte) {
+		fx := newReadCStringFixture(t)
+		span := uint64(fx.end - fx.base)
+		addr := fx.base + mem.Addr(uint64(off)%span)
+		// Stage the payload, clipped at the region end (the setup may
+		// not write out of the region either).
+		for i := 0; i < len(data) && addr+mem.Addr(i) < fx.end; i++ {
+			fx.poke(t, addr+mem.Addr(i), data[i])
+		}
+		s, fault := fx.d.readCString(addr, fx.u.PKRU)
+		if len(s) > 64 {
+			t.Fatalf("returned %d bytes, cap is 64", len(s))
+		}
+		if fault == nil {
+			// Success means the scan ended on a NUL or the 64-byte cap,
+			// entirely inside the caller's region: the bytes consumed
+			// are [addr, addr+len(s)] including the terminator (when
+			// not capped), all below the region end.
+			consumed := addr + mem.Addr(len(s))
+			if len(s) < 64 {
+				consumed++ // the NUL
+			}
+			if consumed > fx.end {
+				t.Fatalf("read crossed region end: addr=%#x len=%d end=%#x", uint64(addr), len(s), uint64(fx.end))
+			}
+		} else if fault.Addr < addr || fault.Addr > fx.end {
+			t.Fatalf("fault at %#x outside the scanned range starting %#x", uint64(fault.Addr), uint64(addr))
+		}
+	})
+}

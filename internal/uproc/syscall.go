@@ -7,6 +7,7 @@ import (
 	"vessel/internal/cpu"
 	"vessel/internal/kernel"
 	"vessel/internal/mem"
+	"vessel/internal/mpk"
 )
 
 // This file implements the syscall interposition of §5.2.4: uProcesses
@@ -181,12 +182,17 @@ func (s *SyscallTable) Probe(u *UProc, v VFD) bool {
 
 // --- layer-1 entry point ------------------------------------------------------
 
-// readCString reads a NUL-terminated name (≤64 bytes) from the uProcess's
-// memory with the runtime's privileged view.
-func (d *Domain) readCString(addr mem.Addr) (string, *mem.Fault) {
+// readCString reads a NUL-terminated name (≤64 bytes) from uProcess memory
+// with the *requesting uProcess's* PKRU, never the runtime's privileged
+// view: a hostile or stray pointer (into the runtime region, a sibling's
+// region, or an unterminated string abutting the end of the caller's own
+// region) must fault exactly where the application itself would have
+// faulted. Reading with the privileged view would make the runtime a
+// confused deputy, leaking bytes the caller cannot reach into a file name.
+func (d *Domain) readCString(addr mem.Addr, pkru mpk.PKRU) (string, *mem.Fault) {
 	buf := make([]byte, 0, 64)
 	for i := 0; i < 64; i++ {
-		b, f := d.S.AS.Read(addr+mem.Addr(i), 1, d.S.RuntimePKRU())
+		b, f := d.S.AS.Read(addr+mem.Addr(i), 1, pkru)
 		if f != nil {
 			return "", f
 		}
@@ -211,7 +217,7 @@ func (d *Domain) sysImpl(c *cpu.Core) *mem.Fault {
 	fail := func() { c.Regs[cpu.RDX] = SysErr }
 	switch op {
 	case SysOpenRead, SysOpenWrite, SysCreat:
-		name, f := d.readCString(mem.Addr(arg1))
+		name, f := d.readCString(mem.Addr(arg1), u.PKRU)
 		if f != nil {
 			return f
 		}
@@ -238,12 +244,14 @@ func (d *Domain) sysImpl(c *cpu.Core) *mem.Fault {
 		for i := 0; i < len(data) && i < 8; i++ {
 			word |= cpu.Word(data[i]) << (8 * i)
 		}
-		if f := d.S.AS.Write(mem.Addr(arg2), 8, word, d.S.RuntimePKRU()); f != nil {
+		// Buffer transfers use the caller's PKRU for the same
+		// confused-deputy reason as readCString.
+		if f := d.S.AS.Write(mem.Addr(arg2), 8, word, u.PKRU); f != nil {
 			return f
 		}
 		c.Regs[cpu.RDX] = cpu.Word(len(data))
 	case SysWrite:
-		word, f := d.S.AS.Read(mem.Addr(arg2), 8, d.S.RuntimePKRU())
+		word, f := d.S.AS.Read(mem.Addr(arg2), 8, u.PKRU)
 		if f != nil {
 			return f
 		}

@@ -22,6 +22,7 @@ import (
 	"vessel/internal/mpk"
 	"vessel/internal/sim"
 	"vessel/internal/smas"
+	"vessel/internal/trace"
 	"vessel/internal/uintr"
 )
 
@@ -72,6 +73,11 @@ type Thread struct {
 
 	// Switches counts context switches into this thread.
 	Switches uint64
+	// BurnCycles accumulates cycles executed since the thread's last
+	// voluntary park — the watchdog's runaway signal. Preemption does not
+	// reset it: a thread that only ever loses the core involuntarily is
+	// exactly the thread the watchdog exists to catch.
+	BurnCycles int64
 }
 
 // UProc is one uProcess.
@@ -114,6 +120,26 @@ type coreState struct {
 	Preemptions uint64
 	// Parks counts voluntary switches.
 	Parks uint64
+	// dispatchCycles is the core's cycle counter when current was
+	// activated, so the watchdog can charge the elapsed slice to the
+	// thread at the next gate boundary.
+	dispatchCycles int64
+}
+
+// Watchdog is the scheduler's per-uProcess cycle-budget policy: a thread
+// that keeps burning cycles without a voluntary park is first counted as
+// overrunning (past SoftBudgetCycles) and then, past HardBudgetCycles, its
+// whole uProcess is killed — preempt-then-kill, so a runaway or wedged
+// uProcess cannot monopolize a core indefinitely. Budgets are checked at
+// gate boundaries (the preemption path), which is exactly where the real
+// runtime regains control of the core.
+type Watchdog struct {
+	SoftBudgetCycles int64
+	HardBudgetCycles int64
+	// Overruns counts soft-budget violations observed at preemptions;
+	// Kills counts uProcesses terminated for blowing the hard budget.
+	Overruns uint64
+	Kills    uint64
 }
 
 // Domain is a scheduling domain: a SMAS, its runtime, and the cores it
@@ -137,10 +163,34 @@ type Domain struct {
 	// Sched is the scheduler-side UINTR sender: entry i targets core i.
 	Sched *uintr.Sender
 
+	// Watchdog, when non-nil, arms the cycle-budget policy that kills
+	// runaway uProcesses at gate boundaries.
+	Watchdog *Watchdog
+	// Events, when non-nil, receives the containment event stream
+	// (injections, contained faults, watchdog kills, reclaims) — the
+	// determinism witness of the chaos harness.
+	Events *trace.EventLog
+	// ParkFilter, when non-nil, is consulted before a voluntary park takes
+	// effect; returning false suppresses the yield, modelling a runaway
+	// thread that stops calling park(). Installed by the fault injector.
+	ParkFilter func(u *UProc) bool
+	// OnActivate, when non-nil, observes every switch-in. The chaos
+	// benchmarks measure survivor scheduling latency here, because
+	// application images cannot carry Go hooks (the loader's code
+	// inspection rejects them).
+	OnActivate func(core int, t *Thread)
+
 	cores      []*coreState
 	uprocs     []*UProc
 	nextThread int
 	privPKRU   mpk.PKRU
+}
+
+// event records into the containment event log, when one is attached.
+func (d *Domain) event(name, detail string) {
+	if d.Events != nil {
+		d.Events.Record(d.Eng.Now(), name, detail)
+	}
 }
 
 // NewDomain builds a domain managing all cores of the machine.
@@ -181,11 +231,27 @@ func NewDomain(eng *sim.Engine, m *cpu.Machine) (*Domain, error) {
 		return nil, err
 	}
 
-	// The Uintr handler: pop the vector, enter the privileged mode via
-	// the schedule gate, and return to the interrupted context.
+	// The Uintr handler: discard the vector, save the registers the gate
+	// sequence clobbers, enter the privileged mode via the schedule gate,
+	// and restore before returning to the interrupted context. The saves
+	// matter when delivery lands inside another gate's tail (after its
+	// stage-3 WRPKRU dropped back to the application PKRU but before its
+	// ret): the interrupted sequence still needs RAX/RBX/RCX/R8/R9, and
+	// the thread's context is only captured at the schedule gate's
+	// boundary — by which point the prologue has overwritten them.
 	h := cpu.NewAssembler()
-	h.Emit(cpu.Pop{Dst: cpu.R9}) // vector pushed by delivery
+	h.Emit(cpu.AddImm{Dst: cpu.RSP, Imm: 8}) // discard the pushed vector
+	h.Emit(cpu.Push{Src: cpu.RAX})
+	h.Emit(cpu.Push{Src: cpu.RBX})
+	h.Emit(cpu.Push{Src: cpu.RCX})
+	h.Emit(cpu.Push{Src: cpu.R8})
+	h.Emit(cpu.Push{Src: cpu.R9})
 	h.Emit(cpu.Call{Target: d.GateSched.Entry})
+	h.Emit(cpu.Pop{Dst: cpu.R9})
+	h.Emit(cpu.Pop{Dst: cpu.R8})
+	h.Emit(cpu.Pop{Dst: cpu.RCX})
+	h.Emit(cpu.Pop{Dst: cpu.RBX})
+	h.Emit(cpu.Pop{Dst: cpu.RAX})
 	h.Emit(cpu.UiRet{})
 	base := s.NextTextBase()
 	code, err := h.Assemble(base)
@@ -319,7 +385,13 @@ func (d *Domain) StartCore(coreID int) error {
 	cs.receiver.Attach(c)
 	t := d.popRunnable(cs)
 	if t == nil {
-		return fmt.Errorf("uproc: core %d has no runnable thread", coreID)
+		// No tenant yet: park the core in its UMWAIT idle state instead
+		// of failing with the architectural hooks half-installed (which
+		// would leave it poised to execute from PC 0). Wake dispatches
+		// the first thread once one is queued — a later launch, a clone,
+		// or a supervised restart.
+		c.Halted = true
+		return nil
 	}
 	d.activate(c, cs, t)
 	return d.dispatch(c)
@@ -351,6 +423,11 @@ func (d *Domain) dispatch(c *cpu.Core) error {
 func (d *Domain) Wake(coreID int) (bool, error) {
 	cs := d.cores[coreID]
 	c := d.Machine.Core(coreID)
+	if c.Fault != nil {
+		// A fail-stopped core (uncontained fault) stays down; waking it
+		// would resume execution over corrupted runtime state.
+		return false, nil
+	}
 	if cs.current != nil && !c.Halted {
 		return true, nil
 	}
@@ -390,6 +467,10 @@ func (d *Domain) activate(c *cpu.Core, cs *coreState, t *Thread) {
 	cs.current = t
 	t.State = ThreadRunning
 	t.Switches++
+	cs.dispatchCycles = c.Cycles
+	if d.OnActivate != nil {
+		d.OnActivate(c.ID, t)
+	}
 	// Restore the thread's register file — except RSP: while inside the
 	// runtime function the core still runs on the runtime stack, and the
 	// gate epilogue reloads the task's RSP from the task map.
@@ -415,6 +496,9 @@ func (d *Domain) saveCurrent(c *cpu.Core, cs *coreState) *Thread {
 	t.savedRegs = c.Regs
 	t.savedRSP = rsp
 	t.savedUIF = c.UIF
+	// Charge the slice just executed to the thread's watchdog budget.
+	t.BurnCycles += c.Cycles - cs.dispatchCycles
+	cs.dispatchCycles = c.Cycles
 	return t
 }
 
@@ -457,8 +541,23 @@ func (d *Domain) terminate(u *UProc) {
 // parkImpl is the FnPark runtime function (§4.4): voluntary yield.
 func (d *Domain) parkImpl(c *cpu.Core) *mem.Fault {
 	cs := d.cores[c.ID]
+	if cur := cs.current; cur != nil && d.ParkFilter != nil && !d.ParkFilter(cur.U) {
+		// Fault injection: the park is suppressed, modelling a thread
+		// that stops yielding. Charge the elapsed slice so the burn
+		// budget keeps accruing until preemption and, eventually, the
+		// watchdog reclaim the core.
+		cur.BurnCycles += c.Cycles - cs.dispatchCycles
+		cs.dispatchCycles = c.Cycles
+		return nil
+	}
 	cs.Parks++
+	t := cs.current
 	d.requeueCurrent(c, cs)
+	if t != nil {
+		// A voluntary yield is cooperative behaviour: reset the
+		// watchdog budget.
+		t.BurnCycles = 0
+	}
 	d.switchNext(c, cs)
 	return nil
 }
@@ -484,7 +583,19 @@ func (d *Domain) requeueCurrent(c *cpu.Core, cs *coreState) {
 func (d *Domain) schedImpl(c *cpu.Core) *mem.Fault {
 	cs := d.cores[c.ID]
 	cs.Preemptions++
+	t := cs.current
 	d.requeueCurrent(c, cs)
+	// Watchdog check at the preemption boundary: the budget was just
+	// updated by saveCurrent inside requeueCurrent.
+	if wd := d.Watchdog; wd != nil && t != nil && t.State == ThreadRunnable {
+		if wd.HardBudgetCycles > 0 && t.BurnCycles > wd.HardBudgetCycles {
+			wd.Kills++
+			d.event("watchdog.kill", fmt.Sprintf("core=%d uproc=%s thread=%d burn=%d", c.ID, t.U.Name, t.ID, t.BurnCycles))
+			d.killUProc(t.U, c.ID)
+		} else if wd.SoftBudgetCycles > 0 && t.BurnCycles > wd.SoftBudgetCycles {
+			wd.Overruns++
+		}
+	}
 	d.switchNext(c, cs)
 	return nil
 }
@@ -516,6 +627,21 @@ func (d *Domain) Preempt(core int, cmd SchedCommand) error {
 	return err
 }
 
+// killUProc is the shared containment kill path (fault attribution and the
+// watchdog both land here): terminate the uProcess now on the calling core
+// and push kill commands to every other core's queue so siblings die
+// lazily at their next privileged entry (§4.3: "only needs to push the
+// signal into FIFO queues of all related cores, instead of sending
+// Uintrs").
+func (d *Domain) killUProc(u *UProc, fromCore int) {
+	d.terminate(u)
+	for i, other := range d.cores {
+		if i != fromCore {
+			other.cmds = append(other.cmds, SchedCommand{Kill: u})
+		}
+	}
+}
+
 // DestroyUProc terminates a uProcess: kill commands are pushed to every
 // core's queue (processed at their next privileged entry), and the region
 // is reclaimed once no core still runs it (here: immediately after marking,
@@ -534,11 +660,31 @@ func (d *Domain) DestroyUProc(u *UProc) error {
 	return nil
 }
 
-// ReclaimRegion frees a terminated uProcess's region and key.
+// RunningOn returns the ID of a core whose current thread belongs to u, or
+// -1 when no core still runs the uProcess.
+func (d *Domain) RunningOn(u *UProc) int {
+	for i, cs := range d.cores {
+		if cs.current != nil && cs.current.U == u {
+			return i
+		}
+	}
+	return -1
+}
+
+// ReclaimRegion frees a terminated uProcess's region and key. It refuses
+// while any core still runs a thread of u: freeing the key then would let
+// the allocator hand it to a new tenant while the old thread's PKRU still
+// grants access — the stale-key reuse pitfall libmpk warns about. Lazy
+// termination means the caller simply retries after the straggler core's
+// next privileged entry.
 func (d *Domain) ReclaimRegion(u *UProc) error {
 	if u.State != UProcTerminated {
 		return fmt.Errorf("uproc: %s still running", u.Name)
 	}
+	if core := d.RunningOn(u); core >= 0 {
+		return fmt.Errorf("uproc: %s still on core %d; key %d must not be recycled under it", u.Name, core, u.Image.Region.Key)
+	}
+	d.event("reclaim", fmt.Sprintf("uproc=%s key=%d", u.Name, u.Image.Region.Key))
 	return d.S.FreeRegion(u.Image.Region)
 }
 
@@ -551,27 +697,26 @@ func (d *Domain) faultHook(c *cpu.Core, f *mem.Fault) bool {
 	cs := d.cores[c.ID]
 	cur := cs.current
 	if cur == nil {
+		d.event("fatal.fault", fmt.Sprintf("core=%d addr=%#x kind=%d", c.ID, uint64(f.Addr), f.Kind))
 		return false // fault outside any uProcess: fatal
 	}
 	if c.PKRU == d.privPKRU {
+		d.event("fatal.runtime", fmt.Sprintf("core=%d uproc=%s addr=%#x kind=%d", c.ID, cur.U.Name, uint64(f.Addr), f.Kind))
 		return false // fault in the trusted runtime: fatal by design
 	}
 	// Charge the kernel's signal delivery: the fault itself still traps.
 	d.Kernel.SendSignal(cur.U.KProc, kernel.SIGSEGV)
 	cur.U.FaultSignals++
-	d.terminate(cur.U)
 	cur.State = ThreadDead
-	// Push kill commands to every other core's queue so siblings die at
-	// their next privileged entry (§4.3: "only needs to push the signal
-	// into FIFO queues of all related cores, instead of sending Uintrs").
-	for i, other := range d.cores {
-		if i != c.ID {
-			other.cmds = append(other.cmds, SchedCommand{Kill: cur.U})
-		}
-	}
+	d.event("contain.fault", fmt.Sprintf("core=%d uproc=%s addr=%#x kind=%d", c.ID, cur.U.Name, uint64(f.Addr), f.Kind))
+	d.killUProc(cur.U, c.ID)
 	d.switchNext(c, cs)
 	if cs.current == nil {
-		return false // nothing left to run; let the core halt
+		// The fault was contained but nothing is left to run: the core
+		// idles (UMWAIT) cleanly, with no Fault recorded, and can be
+		// woken later — a crashed tenant must not look like a crashed
+		// core. switchNext already halted it.
+		return true
 	}
 	// Resume the next thread directly (the faulting instruction never
 	// completes): emulate the gate's restore from the task map.

@@ -1,0 +1,93 @@
+package uproc
+
+import (
+	"testing"
+
+	"vessel/internal/trace"
+)
+
+// TestWatchdogKillsRunaway arms the cycle-budget watchdog and runs a
+// spinner (never parks) next to a well-behaved park-loop app on one core:
+// the spinner must blow its hard budget and get killed at a preemption
+// boundary, while the park-loop app — whose budget resets on every
+// voluntary yield — survives and keeps the core.
+func TestWatchdogKillsRunaway(t *testing.T) {
+	d := newDomain(t, 1)
+	wd := &Watchdog{SoftBudgetCycles: 1500, HardBudgetCycles: 6000}
+	d.Watchdog = wd
+	d.Events = trace.NewEventLog(1024)
+
+	spin, err := d.CreateUProc("spin", spinProgram("spin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := d.CreateUProc("good", parkLoopProgram(d, "good"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AttachThread(0, spin.Threads()[0])
+	d.AttachThread(0, good.Threads()[0])
+	if err := d.StartCore(0); err != nil {
+		t.Fatal(err)
+	}
+	core := d.Machine.Core(0)
+	for round := 0; round < 60 && spin.State != UProcTerminated; round++ {
+		core.Run(500)
+		if err := d.Preempt(0, SchedCommand{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if spin.State != UProcTerminated {
+		t.Fatalf("runaway not killed: burn=%d", spin.Threads()[0].BurnCycles)
+	}
+	if wd.Kills != 1 {
+		t.Fatalf("watchdog kills = %d, want 1", wd.Kills)
+	}
+	if wd.Overruns == 0 {
+		t.Fatal("no soft-budget overruns counted before the kill")
+	}
+	if good.State == UProcTerminated {
+		t.Fatal("well-behaved uProcess killed")
+	}
+	// The survivor keeps the core, and its voluntary parks keep its own
+	// budget reset — it must never look like a runaway.
+	core.Run(3000)
+	if cur := d.Current(0); cur == nil || cur.U != good {
+		t.Fatal("survivor not running after watchdog kill")
+	}
+	if burn := good.Threads()[0].BurnCycles; burn > wd.SoftBudgetCycles {
+		t.Fatalf("parking thread accumulated burn %d past soft budget", burn)
+	}
+	if d.Events.CountByName("watchdog.kill") != 1 {
+		t.Fatalf("event log:\n%s", d.Events.String())
+	}
+}
+
+// TestWatchdogSparesPreemptedButYielding checks that preemption alone does
+// not reset the budget: only park() does. A spinner preempted every
+// quantum still accrues burn monotonically.
+func TestWatchdogBurnAccruesAcrossPreemptions(t *testing.T) {
+	d := newDomain(t, 1)
+	spin, err := d.CreateUProc("spin", spinProgram("spin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AttachThread(0, spin.Threads()[0])
+	if err := d.StartCore(0); err != nil {
+		t.Fatal(err)
+	}
+	core := d.Machine.Core(0)
+	var last int64
+	for round := 0; round < 4; round++ {
+		core.Run(300)
+		if err := d.Preempt(0, SchedCommand{}); err != nil {
+			t.Fatal(err)
+		}
+		core.Run(80) // deliver the Uintr and cross the gate so burn is charged
+		burn := spin.Threads()[0].BurnCycles
+		if burn <= last {
+			t.Fatalf("round %d: burn %d did not grow past %d", round, burn, last)
+		}
+		last = burn
+	}
+}

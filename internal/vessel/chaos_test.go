@@ -1,0 +1,378 @@
+package vessel
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/faultinject"
+	"vessel/internal/mem"
+	"vessel/internal/sim"
+	"vessel/internal/smas"
+	"vessel/internal/stats"
+	"vessel/internal/uproc"
+)
+
+// crasher parks once (giving siblings a slice), then wild-stores into the
+// runtime region — a PKRU violation attributed to it and contained.
+func crasher(mg *Manager, name string) *smas.Program {
+	a := cpu.NewAssembler()
+	a.Emit(cpu.AddImm{Dst: cpu.RDX, Imm: 1})
+	a.Emit(cpu.Call{Target: mg.Domain.GatePark.Entry})
+	a.Emit(cpu.MovImm{Dst: cpu.RCX, Imm: cpu.Word(smas.RuntimeBase)})
+	a.Emit(cpu.Store{Src: cpu.RDX, Base: cpu.RCX})
+	a.Emit(cpu.Halt{}) // unreachable: the store faults first
+	return &smas.Program{Name: name, Asm: a, PIE: true, DataSize: mem.PageSize, StackSize: 2 * mem.PageSize}
+}
+
+func spinner(name string) *smas.Program {
+	a := cpu.NewAssembler()
+	a.Label("loop")
+	a.Emit(cpu.AddImm{Dst: cpu.RDX, Imm: 1})
+	a.JmpTo("loop")
+	return &smas.Program{Name: name, Asm: a, PIE: true, DataSize: mem.PageSize, StackSize: 2 * mem.PageSize}
+}
+
+func TestRunTimeslicedSurfacesCrash(t *testing.T) {
+	// An uncontained fault (trusted-runtime crash) must surface as an
+	// error, not be mistaken for quiescence.
+	mg, err := NewManager(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg.Launch("a", parkLoop(mg), 0); err != nil {
+		t.Fatal(err)
+	}
+	mg.InjectFaults(faultinject.Plan{Seed: 1, Faults: []faultinject.Fault{
+		{Kind: faultinject.RuntimeCrash, Target: "a", At: 0},
+	}})
+	if err := mg.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	mg.Injector().Step(0)
+	if _, err := mg.RunTimesliced(0, 10_000, 500); err == nil {
+		t.Fatal("crashed core reported as quiescent")
+	} else if !strings.Contains(err.Error(), "crashed") {
+		t.Fatalf("crash error = %v", err)
+	}
+}
+
+func TestRunTimeslicedQuiescenceIsNotAnError(t *testing.T) {
+	// A core that idles — all threads exited, or a contained fault killed
+	// the only tenant — returns nil: callers can tell the two apart.
+	mg, err := NewManager(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exiter := func() *smas.Program {
+		a := cpu.NewAssembler()
+		a.Emit(cpu.AddImm{Dst: cpu.RDX, Imm: 1})
+		a.Emit(cpu.Call{Target: mg.Domain.GateExit.Entry})
+		return &smas.Program{Name: "exit", Asm: a, PIE: true, DataSize: mem.PageSize, StackSize: 2 * mem.PageSize}
+	}
+	if _, err := mg.Launch("exit", exiter(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg.RunTimesliced(0, 10_000, 500); err != nil {
+		t.Fatalf("quiescence surfaced as error: %v", err)
+	}
+
+	// Same for a contained crash of the only tenant.
+	mg2, err := NewManager(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := mg2.Launch("bad", crasher(mg2, "bad"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mg2.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg2.RunTimesliced(0, 10_000, 500); err != nil {
+		t.Fatalf("contained crash surfaced as core error: %v", err)
+	}
+	if bad.State != uproc.UProcTerminated {
+		t.Fatal("crasher not terminated")
+	}
+	if c := mg2.Machine().Core(0); c.Fault != nil {
+		t.Fatalf("contained crash fail-stopped the core: %v", c.Fault)
+	}
+}
+
+// chaosRun builds one standard chaos scenario and runs it: a park-loop
+// survivor and a supervised crash-looper sharing core 0, a runaway spinner
+// on core 1 under the watchdog, and random Uintr tampering from the seed.
+func chaosRun(t testing.TB, seed uint64) (ChaosReport, string, string) {
+	t.Helper()
+	mg, err := NewManager(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg.EnableWatchdog(2000, 8000)
+	if _, err := mg.Launch("good", parkLoop(mg), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg.Launch("spin", spinner("spin"), 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err = mg.Supervise("crash", func() *smas.Program { return crasher(mg, "crash") }, 0,
+		RestartPolicy{Backoff: 2 * sim.Microsecond, MaxBackoff: 8 * sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := mg.InjectFaults(faultinject.Plan{
+		Seed:          seed,
+		Random:        6,
+		RandomKinds:   []faultinject.Kind{faultinject.DropUintr, faultinject.DelayUintr},
+		RandomCores:   2,
+		RandomWindow:  200 * sim.Microsecond,
+		RandomTargets: []string{"crash"},
+	})
+	for core := 0; core < 2; core++ {
+		if err := mg.Start(core); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := mg.RunChaos(ChaosConfig{Steps: 120_000, Quantum: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, mg.Events().String(), inj.Counters.String()
+}
+
+func TestChaosDeterminism(t *testing.T) {
+	// Identical seed + plan must replay the whole run — injections, kills,
+	// restarts, reclaims — event for event and counter for counter.
+	rep1, ev1, ctr1 := chaosRun(t, 42)
+	rep2, ev2, ctr2 := chaosRun(t, 42)
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Fatalf("reports diverged:\n%+v\n%+v", rep1, rep2)
+	}
+	if ev1 != ev2 {
+		t.Fatalf("event traces diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", ev1, ev2)
+	}
+	if ctr1 != ctr2 {
+		t.Fatalf("counters diverged:\n%s\nvs\n%s", ctr1, ctr2)
+	}
+	// The run must actually exercise the machinery it claims to replay.
+	if rep1.Restarts == 0 {
+		t.Fatal("no supervised restarts happened")
+	}
+	if rep1.ContainedFaults == 0 {
+		t.Fatal("no contained faults happened")
+	}
+	if rep1.WatchdogKills == 0 {
+		t.Fatal("watchdog never fired")
+	}
+	for _, want := range []string{"contain.fault", "restart", "reclaim", "watchdog.kill"} {
+		if !strings.Contains(ev1, want) {
+			t.Fatalf("event trace lacks %q:\n%s", want, ev1)
+		}
+	}
+	// A different seed must not replay the same tampering schedule.
+	_, _, ctr3 := chaosRun(t, 43)
+	if ctr1 == ctr3 {
+		t.Fatal("different seeds produced identical counters")
+	}
+}
+
+// survivorRun runs a park-loop survivor on one core next to either a calm
+// park-loop peer (baseline) or a supervised crash-looper (chaos), recording
+// the survivor's activation gaps — the latency a tenant observes while a
+// neighbour crash-loops.
+func survivorRun(t testing.TB, chaotic bool) (ChaosReport, *Manager, stats.Summary) {
+	t.Helper()
+	mg, err := NewManager(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := mg.Launch("good", parkLoop(mg), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := stats.NewHistogram()
+	var lastNs float64
+	started := false
+	mg.Domain.OnActivate = func(core int, th *uproc.Thread) {
+		if th.U != good {
+			return
+		}
+		ns := mg.Machine().NsFor(mg.Machine().Core(core).Cycles)
+		if started {
+			h.Record(int64(ns - lastNs))
+		}
+		started = true
+		lastNs = ns
+	}
+	if chaotic {
+		_, err = mg.Supervise("crash", func() *smas.Program { return crasher(mg, "crash") }, 0,
+			RestartPolicy{Backoff: 1 * sim.Microsecond, MaxBackoff: 4 * sim.Microsecond})
+	} else {
+		_, err = mg.Launch("calm", parkLoop(mg), 0)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mg.RunChaos(ChaosConfig{Steps: 800_000, Quantum: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, mg, h.Summarize()
+}
+
+func TestFaultContainmentAndReclaim(t *testing.T) {
+	baseRep, _, base := survivorRun(t, false)
+	chaosRep, mg, chaos := survivorRun(t, true)
+
+	// The crash loop must actually loop: >= 100 crash/restart cycles. Each
+	// cycle reclaims the region and key before relaunching, so surviving
+	// 100 cycles on a 13-key budget is itself the leak proof — a leaked
+	// key would exhaust the allocator (and fail the run) after ~11.
+	if chaosRep.Restarts < 100 {
+		t.Fatalf("restarts = %d, want >= 100", chaosRep.Restarts)
+	}
+	if chaosRep.ContainedFaults < 100 {
+		t.Fatalf("contained faults = %d, want >= 100", chaosRep.ContainedFaults)
+	}
+	if len(chaosRep.FatalCores) != 0 {
+		t.Fatalf("contained crashes fail-stopped cores %v", chaosRep.FatalCores)
+	}
+
+	// Key accounting balances: at most the survivor and the current
+	// crasher incarnation hold keys.
+	if avail := mg.Domain.S.Keys.Available(); avail < smas.MaxUProcs-2 {
+		t.Fatalf("pkeys leaked across restarts: %d of %d available", avail, smas.MaxUProcs)
+	}
+
+	// The survivor kept running and its tail latency stayed bounded: the
+	// blast radius of a crash loop is a bounded slowdown, not a stall.
+	if good, ok := mg.Lookup("good"); !ok || good.State == uproc.UProcTerminated {
+		t.Fatal("survivor died")
+	}
+	if base.Count == 0 || chaos.Count == 0 {
+		t.Fatalf("no activations recorded: base n=%d chaos n=%d", base.Count, chaos.Count)
+	}
+	if base.P999 <= 0 {
+		t.Fatalf("degenerate baseline p999 %d", base.P999)
+	}
+	if limit := 10 * base.P999; chaos.P999 > limit {
+		t.Fatalf("survivor p999 %dns under chaos exceeds 10x fault-free %dns", chaos.P999, base.P999)
+	}
+	_ = baseRep
+}
+
+func TestChaosRestartsWhileAllCoresIdle(t *testing.T) {
+	// A supervised crasher alone in the domain: after it dies every core
+	// is idle, so core cycles stop advancing virtual time — the restart
+	// backoff must still fire (via the event queue), not freeze the run.
+	mg, err := NewManager(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = mg.Supervise("crash", func() *smas.Program { return crasher(mg, "crash") }, 0,
+		RestartPolicy{Backoff: 5 * sim.Microsecond, MaxBackoff: 40 * sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mg.RunChaos(ChaosConfig{Steps: 100_000, Quantum: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restarts < 5 {
+		t.Fatalf("restarts = %d: backoffs starved with all cores idle", rep.Restarts)
+	}
+}
+
+func TestSuperviseGivesUpAtMaxRestarts(t *testing.T) {
+	mg, err := NewManager(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg.Launch("good", parkLoop(mg), 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err = mg.Supervise("crash", func() *smas.Program { return crasher(mg, "crash") }, 0,
+		RestartPolicy{MaxRestarts: 3, Backoff: 1 * sim.Microsecond, MaxBackoff: 4 * sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mg.RunChaos(ChaosConfig{Steps: 400_000, Quantum: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarts, gaveUp := mg.Supervised("crash")
+	if !gaveUp {
+		t.Fatalf("supervisor did not give up (restarts=%d)", restarts)
+	}
+	if restarts != 3 || rep.Restarts != 3 {
+		t.Fatalf("restarts = %d (report %d), want 3", restarts, rep.Restarts)
+	}
+	if mg.Events().CountByName("restart.giveup") != 1 {
+		t.Fatalf("event log:\n%s", mg.Events().String())
+	}
+	// After giving up the key is back in the pool and only the survivor
+	// holds one.
+	if avail := mg.Domain.S.Keys.Available(); avail != smas.MaxUProcs-1 {
+		t.Fatalf("available keys = %d, want %d", avail, smas.MaxUProcs-1)
+	}
+}
+
+func TestSuperviseBackoffDoublesAndCaps(t *testing.T) {
+	mg, err := NewManager(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg.Launch("good", parkLoop(mg), 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err = mg.Supervise("crash", func() *smas.Program { return crasher(mg, "crash") }, 0,
+		RestartPolicy{Backoff: 1 * sim.Microsecond, MaxBackoff: 8 * sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg.RunChaos(ChaosConfig{Steps: 600_000, Quantum: 400}); err != nil {
+		t.Fatal(err)
+	}
+	// The schedule events carry the backoff used each time: 1µs, 2µs, 4µs,
+	// then pinned at the 8µs cap.
+	var backoffs []string
+	for _, e := range mg.Events().Events() {
+		if e.Name == "restart.schedule" {
+			backoffs = append(backoffs, e.Detail)
+		}
+	}
+	if len(backoffs) < 5 {
+		t.Fatalf("only %d restart.schedule events", len(backoffs))
+	}
+	for i, want := range []string{"backoff=1.000µs", "backoff=2.000µs", "backoff=4.000µs", "backoff=8.000µs", "backoff=8.000µs"} {
+		if !strings.Contains(backoffs[i], want) {
+			t.Fatalf("schedule %d = %q, want %q", i, backoffs[i], want)
+		}
+	}
+}
+
+func BenchmarkFaultContainment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, _, _ := survivorRun(b, true)
+		if rep.Restarts == 0 {
+			b.Fatal("no restarts")
+		}
+	}
+}

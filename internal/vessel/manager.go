@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"vessel/internal/cpu"
+	"vessel/internal/faultinject"
 	"vessel/internal/sim"
 	"vessel/internal/smas"
+	"vessel/internal/trace"
 	"vessel/internal/uproc"
 )
 
@@ -23,6 +25,13 @@ type Manager struct {
 	// (termination is lazy, §5.1 — cores apply the kill at their next
 	// privileged entry).
 	zombies []*uproc.UProc
+
+	// Chaos-harness state (chaos.go): supervised uProcesses with restart
+	// policies, the attached fault injector, and the containment event
+	// log shared with the domain.
+	supervised []*supervised
+	injector   *faultinject.Injector
+	events     *trace.EventLog
 }
 
 // NewManager boots a scheduling domain on a fresh simulated machine with
@@ -84,7 +93,10 @@ func (mg *Manager) Reap() (int, error) {
 	reclaimed := 0
 	kept := mg.zombies[:0]
 	for _, u := range mg.zombies {
-		if u.State != uproc.UProcTerminated {
+		// Stay pending while the kill has not landed or a core still
+		// runs a thread of u — reclaiming then would recycle the pkey
+		// under a live PKRU (the libmpk stale-key pitfall).
+		if u.State != uproc.UProcTerminated || mg.Domain.RunningOn(u) >= 0 {
 			kept = append(kept, u)
 			continue
 		}
@@ -106,7 +118,10 @@ func (mg *Manager) Step(core, n int) int { return mg.m.Core(core).Run(n) }
 // RunTimesliced drives a core for totalSteps instructions, injecting a
 // scheduler preemption (the Uintr path) every quantumSteps — time-slicing
 // for applications that never park voluntarily. It returns the number of
-// preemptions injected.
+// preemptions injected. A core that stops because of an uncontained fault
+// (a crash in the trusted runtime, or outside any uProcess) surfaces that
+// fault as an error; a core that merely went idle (quiescence) returns
+// nil — callers can tell a crashed core from a finished one.
 func (mg *Manager) RunTimesliced(core, totalSteps, quantumSteps int) (int, error) {
 	if quantumSteps <= 0 {
 		return 0, fmt.Errorf("vessel: quantum must be positive")
@@ -120,7 +135,10 @@ func (mg *Manager) RunTimesliced(core, totalSteps, quantumSteps int) (int, error
 		ran := mg.m.Core(core).Run(n)
 		done += ran
 		if ran < n {
-			break // core halted (idle or fault)
+			if f := mg.m.Core(core).Fault; f != nil {
+				return injected, fmt.Errorf("vessel: core %d crashed: %w", core, f)
+			}
+			break // core idled (UMWAIT): quiescence, not a crash
 		}
 		if err := mg.Domain.Preempt(core, uproc.SchedCommand{}); err != nil {
 			return injected, err

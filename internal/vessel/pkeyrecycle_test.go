@@ -1,0 +1,96 @@
+package vessel
+
+import (
+	"testing"
+
+	"vessel/internal/mem"
+	"vessel/internal/uproc"
+)
+
+// TestPkeyRecycleIsolation exercises the libmpk stale-key pitfall: a
+// protection key must not be recycled to a new uProcess while any core
+// still runs the old one — the old tenant's PKRU would grant it access to
+// the new tenant's region. The manager therefore keeps a destroyed
+// uProcess's region pending until the lazy kill has landed on every core.
+func TestPkeyRecycleIsolation(t *testing.T) {
+	mg, err := NewManager(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := mg.Launch("a", parkLoop(mg), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second thread of "a" runs on core 1, so the kill lands at two
+	// different times.
+	t2, err := mg.Domain.NewThread(a, a.Image.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg.Domain.AttachThread(1, t2)
+	for core := 0; core < 2; core++ {
+		if err := mg.Start(core); err != nil {
+			t.Fatal(err)
+		}
+		mg.Step(core, 200)
+	}
+	oldKey := a.Image.Region.Key
+	oldBase := a.Image.Region.Base
+	if err := mg.Destroy("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Only core 0 processes its command queue: the kill lands there, but
+	// core 1 still runs the dying uProcess.
+	mg.Step(0, 500)
+	if on := mg.Domain.RunningOn(a); on != 1 {
+		t.Fatalf("expected a still running on core 1, RunningOn = %d", on)
+	}
+	if n, err := mg.Reap(); err != nil || n != 0 {
+		t.Fatalf("Reap with a live core = (%d, %v), want (0, nil)", n, err)
+	}
+	if !mg.Domain.S.Keys.InUse(oldKey) {
+		t.Fatal("key freed while a core still runs the old tenant")
+	}
+	// Forcing the reclaim directly must also refuse.
+	if err := mg.Domain.ReclaimRegion(a); err == nil {
+		t.Fatal("ReclaimRegion succeeded under a live PKRU")
+	}
+	// Once core 1 hits a gate, the kill lands and reclaim proceeds.
+	mg.Step(1, 500)
+	if on := mg.Domain.RunningOn(a); on >= 0 {
+		t.Fatalf("a still current on core %d after the kill", on)
+	}
+	if n, err := mg.Reap(); err != nil || n != 1 {
+		t.Fatalf("Reap = (%d, %v), want (1, nil)", n, err)
+	}
+	if mg.Domain.S.Keys.InUse(oldKey) {
+		t.Fatal("key not freed after reclaim")
+	}
+
+	// The next launch recycles the lowest free key — the one just freed.
+	b, err := mg.Launch("b", parkLoop(mg), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Image.Region.Key != oldKey {
+		t.Fatalf("new uProcess got key %d, want recycled key %d", b.Image.Region.Key, oldKey)
+	}
+	// The old region is gone: even the recycled key's owner cannot touch
+	// the dead tenant's addresses (fresh bases are handed out, the old
+	// range is unmapped).
+	if _, f := mg.Domain.S.AS.Read(oldBase, 8, b.PKRU); f == nil || f.Kind != mem.FaultNotMapped {
+		t.Fatalf("dead tenant's region still mapped: fault=%v", f)
+	}
+	// And the recycled key's new owner runs normally (the core idled when
+	// its previous tenant died; wake it for the new one).
+	if ok, err := mg.Domain.Wake(0); err != nil || !ok {
+		t.Fatalf("Wake(0) = (%v, %v)", ok, err)
+	}
+	mg.Step(0, 2000)
+	if b.Threads()[0].Switches == 0 {
+		t.Fatal("recycled-key uProcess never ran")
+	}
+	if b.State == uproc.UProcTerminated {
+		t.Fatal("recycled-key uProcess died")
+	}
+}

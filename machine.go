@@ -75,6 +75,41 @@ func (m *Manager) Preempt(core int, activate *Thread) error {
 	return m.inner.Domain.Preempt(core, uproc.SchedCommand{Activate: activate})
 }
 
+// RunTimesliced drives a core for totalSteps instructions with a scheduler
+// preemption every quantumSteps, returning the number of preemptions. A
+// core stopped by an uncontained fault returns an error; a core that went
+// idle returns nil.
+func (m *Manager) RunTimesliced(core, totalSteps, quantumSteps int) (int, error) {
+	return m.inner.RunTimesliced(core, totalSteps, quantumSteps)
+}
+
+// Events returns the containment event log (created on first use) — the
+// deterministic record of injections, contained faults, watchdog kills,
+// restarts, and reclaims.
+func (m *Manager) Events() *EventLog { return m.inner.Events() }
+
+// EnableWatchdog arms the per-uProcess cycle-budget watchdog: a thread
+// burning more than hardCycles without a voluntary park gets its uProcess
+// killed; softCycles only counts overruns.
+func (m *Manager) EnableWatchdog(softCycles, hardCycles int64) {
+	m.inner.EnableWatchdog(softCycles, hardCycles)
+}
+
+// InjectFaults attaches a deterministic fault plan; it fires during
+// RunChaos.
+func (m *Manager) InjectFaults(plan FaultPlan) *Injector { return m.inner.InjectFaults(plan) }
+
+// Supervise launches a uProcess under a restart policy: on death its
+// region and protection key are reclaimed and build() is relaunched after
+// a capped exponential backoff in virtual time.
+func (m *Manager) Supervise(name string, build func() *Program, core int, policy RestartPolicy) (*UProc, error) {
+	return m.inner.Supervise(name, build, core, policy)
+}
+
+// RunChaos runs all cores under time slicing with fault injection, the
+// watchdog, and supervised restarts, and reports what happened.
+func (m *Manager) RunChaos(cfg ChaosConfig) (ChaosReport, error) { return m.inner.RunChaos(cfg) }
+
 // Thread is a uProcess thread.
 type Thread = uproc.Thread
 
