@@ -1,0 +1,167 @@
+// Command conformancebench drives the differential conformance harness:
+// it generates seed-numbered randomized scenarios, runs each on all four
+// scheduler simulators (VESSEL, Caladan, Arachne, Linux/CFS), and checks
+// every result against the universal invariants plus the cross-scheduler
+// metamorphic oracles (determinism, VESSEL's switch-cycle bound, load
+// monotonicity). On the first violation it greedily shrinks the scenario
+// to a locally minimal reproducer and prints the one-line replay command.
+//
+// Typical uses:
+//
+//	go run ./cmd/conformancebench -seeds 50 -quick          # CI sweep
+//	go run ./cmd/conformancebench -seeds 500                # long sweep
+//	go run ./cmd/conformancebench -replay '<json token>'    # one repro
+//	go run ./cmd/conformancebench -plant overcount -seeds 5 # demo shrinking
+//
+// Exit status: 0 when every oracle passed, 1 on any violation, 2 on usage
+// or scenario-decoding errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vessel/internal/conformance"
+	"vessel/internal/sched"
+	"vessel/internal/workload"
+)
+
+var (
+	seeds        = flag.Int("seeds", 50, "number of generated scenarios to sweep")
+	seed0        = flag.Uint64("seed0", 1, "first scenario seed")
+	quick        = flag.Bool("quick", false, "generate short scenarios (CI-friendly)")
+	replay       = flag.String("replay", "", "replay one scenario from its JSON token instead of sweeping")
+	plant        = flag.String("plant", "", "install a known tampering hook (overcount|nondet) to demonstrate detection and shrinking")
+	shrinkBudget = flag.Int("shrink-budget", 120, "max candidate evaluations while shrinking a failure")
+	verbose      = flag.Bool("v", false, "log every scenario, not just failures")
+)
+
+// installPlant wires one of the demo bugs into the post-run hook so a
+// sweep (and the replay of its shrunk repro) reproduces a known violation.
+func installPlant(name string) error {
+	switch name {
+	case "":
+		return nil
+	case "overcount":
+		// VESSEL over-reports L-app completions: caught by the
+		// completed-le-offered invariant.
+		sched.RegisterPostRunHook(func(_ sched.Config, r *sched.Result) {
+			if r.Scheduler != "VESSEL" {
+				return
+			}
+			for i := range r.Apps {
+				if r.Apps[i].Kind == workload.LatencyCritical {
+					r.Apps[i].Completed = r.Apps[i].Offered + 1
+				}
+			}
+		})
+	case "nondet":
+		// Linux's switch count drifts between identically seeded runs:
+		// caught by the determinism oracle.
+		flip := false
+		sched.RegisterPostRunHook(func(_ sched.Config, r *sched.Result) {
+			if r.Scheduler != "Linux" {
+				return
+			}
+			flip = !flip
+			if flip {
+				r.Switches++
+			}
+		})
+	default:
+		return fmt.Errorf("unknown plant %q (want overcount or nondet)", name)
+	}
+	return nil
+}
+
+func plantFlag() string {
+	if *plant == "" {
+		return ""
+	}
+	return "-plant " + *plant
+}
+
+// reportFailure shrinks the failing scenario and prints the minimal
+// reproducer with its replay command.
+func reportFailure(sc conformance.Scenario, rep conformance.Report) {
+	fmt.Printf("FAIL seed %d: %d violation(s)\n", sc.Seed, len(rep.Violations))
+	for _, v := range rep.Violations {
+		fmt.Printf("  %s\n", v)
+	}
+	first := rep.Violations[0]
+	fmt.Printf("shrinking on [%s] %s ...\n", first.System, first.Oracle)
+	min, tried := conformance.Shrink(sc, conformance.SameOracleFails(first), *shrinkBudget)
+	fmt.Printf("minimal reproducer after %d candidate runs (%d apps, %d cores, %d µs):\n",
+		tried, len(min.Apps), min.Cores, min.DurationUs)
+	fmt.Printf("  %s\n", min.Encode())
+	fmt.Printf("replay: %s\n", conformance.ReplayCommand(min, plantFlag()))
+}
+
+func runReplay(token string) int {
+	sc, err := conformance.Decode(token)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conformancebench: bad replay token: %v\n", err)
+		return 2
+	}
+	rep, err := conformance.RunScenario(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conformancebench: %v\n", err)
+		return 2
+	}
+	for name, res := range rep.Results {
+		if *verbose {
+			fmt.Printf("--- %s\n%s", name, res.Canonical())
+		}
+	}
+	if rep.Failed() {
+		fmt.Printf("FAIL: %d violation(s) on replayed scenario (seed %d)\n", len(rep.Violations), sc.Seed)
+		for _, v := range rep.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		return 1
+	}
+	fmt.Printf("PASS: replayed scenario (seed %d) clean across %d runs\n", sc.Seed, rep.Runs)
+	return 0
+}
+
+func runSweep() int {
+	totalRuns, failures := 0, 0
+	for i := 0; i < *seeds; i++ {
+		seed := *seed0 + uint64(i)
+		sc := conformance.Generate(seed, *quick)
+		rep, err := conformance.RunScenario(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "conformancebench: seed %d: %v\n", seed, err)
+			return 2
+		}
+		totalRuns += rep.Runs
+		if rep.Failed() {
+			failures++
+			reportFailure(sc, rep)
+			continue
+		}
+		if *verbose {
+			fmt.Printf("ok   seed %d: %d apps, %d cores, %d µs, %d runs\n",
+				seed, len(sc.Apps), sc.Cores, sc.DurationUs, rep.Runs)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("%d/%d scenarios failed (%d scheduler runs)\n", failures, *seeds, totalRuns)
+		return 1
+	}
+	fmt.Printf("conformance: %d scenarios x 4 schedulers clean (%d scheduler runs, 0 violations)\n", *seeds, totalRuns)
+	return 0
+}
+
+func main() {
+	flag.Parse()
+	if err := installPlant(*plant); err != nil {
+		fmt.Fprintf(os.Stderr, "conformancebench: %v\n", err)
+		os.Exit(2)
+	}
+	if *replay != "" {
+		os.Exit(runReplay(*replay))
+	}
+	os.Exit(runSweep())
+}

@@ -1,0 +1,277 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"vessel/internal/sched"
+	"vessel/internal/sim"
+	"vessel/internal/trace"
+	"vessel/internal/workload"
+)
+
+// TestGeneratedScenariosConform is the in-tree slice of the conformance
+// sweep: a fixed seed set, every scheduler, every oracle. The full
+// 50-seed sweep runs in CI via cmd/conformancebench.
+func TestGeneratedScenariosConform(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		sc := Generate(seed, true)
+		rep, err := RunScenario(sc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d: %s\nreplay: %s", seed, v, ReplayCommand(sc, ""))
+		}
+	}
+}
+
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		a, b := Generate(seed, true), Generate(seed, true)
+		if a.Encode() != b.Encode() {
+			t.Fatalf("seed %d: generator not deterministic", seed)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: generated scenario invalid: %v", seed, err)
+		}
+		full := Generate(seed, false)
+		if err := full.Validate(); err != nil {
+			t.Fatalf("seed %d: full scenario invalid: %v", seed, err)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		sc := Generate(seed, true)
+		dec, err := Decode(sc.Encode())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if dec.Encode() != sc.Encode() {
+			t.Fatalf("seed %d: round trip changed scenario:\n%s\n%s", seed, sc.Encode(), dec.Encode())
+		}
+	}
+}
+
+func TestDecodeRejectsDegenerateScenarios(t *testing.T) {
+	bad := []struct{ name, enc string }{
+		{"garbage", "not json"},
+		{"trailing", `{"seed":1,"cores":1,"duration_us":100,"warmup_us":0,"apps":[{"name":"a","kind":"B"}]} extra`},
+		{"unknown-field", `{"seed":1,"cores":1,"duration_us":100,"warmup_us":0,"apps":[{"name":"a","kind":"B"}],"bogus":1}`},
+		{"zero-cores", `{"seed":1,"cores":0,"duration_us":100,"warmup_us":0,"apps":[{"name":"a","kind":"B"}]}`},
+		{"huge-cores", `{"seed":1,"cores":1000,"duration_us":100,"warmup_us":0,"apps":[{"name":"a","kind":"B"}]}`},
+		{"no-apps", `{"seed":1,"cores":1,"duration_us":100,"warmup_us":0,"apps":[]}`},
+		{"dup-names", `{"seed":1,"cores":1,"duration_us":100,"warmup_us":0,"apps":[{"name":"a","kind":"B"},{"name":"a","kind":"B"}]}`},
+		{"bad-kind", `{"seed":1,"cores":1,"duration_us":100,"warmup_us":0,"apps":[{"name":"a","kind":"X"}]}`},
+		{"bad-dist", `{"seed":1,"cores":1,"duration_us":100,"warmup_us":0,"apps":[{"name":"a","kind":"L","dist":"zipf","load_frac":0.5}]}`},
+		{"zero-load", `{"seed":1,"cores":1,"duration_us":100,"warmup_us":0,"apps":[{"name":"a","kind":"L","dist":"silo"}]}`},
+		{"bw-one", `{"seed":1,"cores":1,"duration_us":100,"warmup_us":0,"bw_target_frac":1,"apps":[{"name":"a","kind":"B"}]}`},
+		{"mixed-fields", `{"seed":1,"cores":1,"duration_us":100,"warmup_us":0,"apps":[{"name":"a","kind":"L","dist":"silo","load_frac":0.5,"bw_demand":3}]}`},
+		{"long-duration", `{"seed":1,"cores":1,"duration_us":99000000,"warmup_us":0,"apps":[{"name":"a","kind":"B"}]}`},
+		{"neg-warmup", `{"seed":1,"cores":1,"duration_us":100,"warmup_us":-5,"apps":[{"name":"a","kind":"B"}]}`},
+	}
+	for _, tc := range bad {
+		if _, err := Decode(tc.enc); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestPlantedViolationShrinksAndReplays is the end-to-end acceptance
+// property: plant a bug via the sched oracle hook, watch an oracle catch
+// it, shrink to a minimal scenario, and replay the minimal scenario to the
+// same violation.
+func TestPlantedViolationShrinksAndReplays(t *testing.T) {
+	// The plant: VESSEL over-reports completions for every L-app —
+	// exactly the kind of accounting bug differential testing is for.
+	remove := sched.RegisterPostRunHook(func(cfg sched.Config, r *sched.Result) {
+		if r.Scheduler != "VESSEL" {
+			return
+		}
+		for i := range r.Apps {
+			if r.Apps[i].Kind == workload.LatencyCritical {
+				r.Apps[i].Completed = r.Apps[i].Offered + 1
+			}
+		}
+	})
+	defer remove()
+
+	// Seed 3 (quick) generates a multi-app scenario, so there is room to
+	// shrink. If generation ever changes, pick any seed with ≥2 apps.
+	var sc Scenario
+	for seed := uint64(1); ; seed++ {
+		sc = Generate(seed, true)
+		hasL := false
+		for _, a := range sc.Apps {
+			if a.Kind == "L" {
+				hasL = true
+			}
+		}
+		if hasL && len(sc.Apps) >= 2 {
+			break
+		}
+		if seed > 100 {
+			t.Fatal("no multi-app scenario in the first 100 seeds")
+		}
+	}
+
+	rep, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var planted *Violation
+	for i, v := range rep.Violations {
+		if v.System == "VESSEL" && v.Oracle == "completed-le-offered" {
+			planted = &rep.Violations[i]
+			break
+		}
+	}
+	if planted == nil {
+		t.Fatalf("planted violation not caught; got %v", rep.Violations)
+	}
+
+	shrunk, tried := Shrink(sc, SameOracleFails(*planted), 60)
+	if tried == 0 {
+		t.Fatal("shrinker tried nothing")
+	}
+	if len(shrunk.Apps) > len(sc.Apps) || shrunk.Cores > sc.Cores || shrunk.DurationUs > sc.DurationUs {
+		t.Fatalf("shrunk scenario grew: %s", shrunk.Encode())
+	}
+	if len(shrunk.Apps) != 1 || shrunk.Cores != 1 {
+		t.Fatalf("expected shrink to 1 app / 1 core for an every-L-app bug, got %s", shrunk.Encode())
+	}
+
+	// The replay token reproduces the same violation deterministically.
+	dec, err := Decode(shrunk.Encode())
+	if err != nil {
+		t.Fatalf("replay token does not decode: %v", err)
+	}
+	rep1, err := RunScenario(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := RunScenario(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Report{rep1, rep2} {
+		found := false
+		for _, v := range r.Violations {
+			if v.System == planted.System && v.Oracle == planted.Oracle {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("replay did not reproduce the violation: %v", r.Violations)
+		}
+	}
+	if cmd := ReplayCommand(shrunk, "-plant overcount"); !strings.Contains(cmd, "-replay") || !strings.Contains(cmd, "-plant") {
+		t.Fatalf("replay command malformed: %s", cmd)
+	}
+}
+
+// TestDeterminismOracleCatchesNondeterminism plants a hook that perturbs
+// every other run and checks the determinism oracle fires.
+func TestDeterminismOracleCatchesNondeterminism(t *testing.T) {
+	flip := false
+	remove := sched.RegisterPostRunHook(func(cfg sched.Config, r *sched.Result) {
+		if r.Scheduler != "Linux" {
+			return
+		}
+		flip = !flip
+		if flip {
+			r.Switches++
+		}
+	})
+	defer remove()
+	rep, err := RunScenario(Generate(1, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.System == "Linux" && v.Oracle == "determinism" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("determinism oracle silent: %v", rep.Violations)
+	}
+}
+
+func TestCheckEventsLifecycle(t *testing.T) {
+	ev := func(t sim.Time, name, detail string) trace.Event {
+		return trace.Event{T: t, Name: name, Detail: detail}
+	}
+	good := []trace.Event{
+		ev(10, "contain.fault", "core=0 uproc=a addr=0x1 kind=1"),
+		ev(20, "reclaim", "uproc=a key=3"),
+		ev(30, "restart.schedule", "uproc=a backoff=1µs"),
+		ev(40, "restart", "uproc=a n=1"),
+		ev(50, "reclaim", "uproc=a key=3"),
+	}
+	if vs := CheckEvents(good); len(vs) != 0 {
+		t.Fatalf("clean log flagged: %v", vs)
+	}
+	cases := []struct {
+		name   string
+		events []trace.Event
+		oracle string
+	}{
+		{"time-backwards", []trace.Event{ev(20, "x", ""), ev(10, "y", "")}, "event-order"},
+		{"double-reclaim", []trace.Event{
+			ev(10, "reclaim", "uproc=a key=3"),
+			ev(20, "reclaim", "uproc=a key=3"),
+		}, "pkey-lifecycle"},
+		{"restart-of-live", []trace.Event{ev(10, "restart", "uproc=a n=1")}, "pkey-lifecycle"},
+		{"key-out-of-range", []trace.Event{ev(10, "reclaim", "uproc=a key=16")}, "pkey-range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vs := CheckEvents(tc.events)
+			for _, v := range vs {
+				if v.Oracle == tc.oracle {
+					return
+				}
+			}
+			t.Fatalf("oracle %s silent: %v", tc.oracle, vs)
+		})
+	}
+}
+
+func TestShrinkStopsAtFixpointAndBudget(t *testing.T) {
+	sc := Generate(3, true)
+	// A predicate that always fails shrinks to the floor.
+	min, _ := Shrink(sc, func(Scenario) bool { return true }, 500)
+	if len(min.Apps) != 1 || min.Cores != 1 || min.DurationUs/2 >= minDurationUs {
+		t.Fatalf("always-failing predicate did not reach the floor: %s", min.Encode())
+	}
+	if min.BWTargetFrac != 0 {
+		t.Fatalf("bw target survived: %s", min.Encode())
+	}
+	for _, a := range min.Apps {
+		if a.Burst != nil || a.Priority != 0 {
+			t.Fatalf("features survived: %s", min.Encode())
+		}
+	}
+	if err := min.Validate(); err != nil {
+		t.Fatalf("shrunk scenario invalid: %v", err)
+	}
+	// A zero budget returns the input untouched.
+	same, tried := Shrink(sc, func(Scenario) bool { return true }, 1)
+	if tried != 1 {
+		t.Fatalf("budget ignored: tried %d", tried)
+	}
+	_ = same
+	// A never-failing predicate returns the input.
+	orig, _ := Shrink(sc, func(Scenario) bool { return false }, 500)
+	if orig.Encode() != sc.Encode() {
+		t.Fatal("never-failing predicate changed the scenario")
+	}
+}

@@ -1,0 +1,44 @@
+package conformance
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// TestDeterminismAcrossGOMAXPROCS is the regression guard for the
+// paper-repro property that a run is a pure function of its config and
+// seed: every scheduler, run twice at GOMAXPROCS=1 and twice at the
+// machine's parallelism, must produce byte-identical canonical results.
+// The simulators are single-threaded by construction, so a difference
+// here means someone introduced map-iteration order, goroutines, or other
+// scheduling-dependent state into a hot path.
+func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	scenarios := []Scenario{Generate(11, true), Generate(12, true)}
+	if testing.Short() {
+		scenarios = scenarios[:1]
+	}
+	for _, sc := range scenarios {
+		// name → canonical bytes observed at each parallelism level
+		baseline := make(map[string][]byte)
+		for _, procs := range []int{1, runtime.NumCPU()} {
+			prev := runtime.GOMAXPROCS(procs)
+			for _, s := range Systems() {
+				res, err := s.Run(sc.Config())
+				if err != nil {
+					runtime.GOMAXPROCS(prev)
+					t.Fatalf("seed %d %s: %v", sc.Seed, s.Name(), err)
+				}
+				got := res.Canonical()
+				if want, ok := baseline[s.Name()]; !ok {
+					baseline[s.Name()] = got
+				} else if !bytes.Equal(want, got) {
+					runtime.GOMAXPROCS(prev)
+					t.Errorf("seed %d %s: result differs at GOMAXPROCS=%d:\n--- first\n%s--- now\n%s",
+						sc.Seed, s.Name(), procs, want, got)
+				}
+			}
+			runtime.GOMAXPROCS(prev)
+		}
+	}
+}

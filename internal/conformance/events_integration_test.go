@@ -1,0 +1,68 @@
+package conformance
+
+import (
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/mem"
+	"vessel/internal/sim"
+	"vessel/internal/smas"
+	"vessel/internal/vessel"
+)
+
+func integrationParkLoop(mg *vessel.Manager, name string) *smas.Program {
+	a := cpu.NewAssembler()
+	a.Label("loop")
+	a.Emit(cpu.AddImm{Dst: cpu.RDX, Imm: 1})
+	a.Emit(cpu.Call{Target: mg.Domain.GatePark.Entry})
+	a.JmpTo("loop")
+	return &smas.Program{Name: name, Asm: a, PIE: true, DataSize: mem.PageSize, StackSize: 2 * mem.PageSize}
+}
+
+func integrationCrasher(mg *vessel.Manager, name string) *smas.Program {
+	a := cpu.NewAssembler()
+	a.Emit(cpu.AddImm{Dst: cpu.RDX, Imm: 1})
+	a.Emit(cpu.Call{Target: mg.Domain.GatePark.Entry})
+	a.Emit(cpu.MovImm{Dst: cpu.RCX, Imm: cpu.Word(smas.RuntimeBase)})
+	a.Emit(cpu.Store{Src: cpu.RDX, Base: cpu.RCX})
+	a.Emit(cpu.Halt{})
+	return &smas.Program{Name: name, Asm: a, PIE: true, DataSize: mem.PageSize, StackSize: 2 * mem.PageSize}
+}
+
+// TestChaosTraceSatisfiesLifecycleOracles runs a real supervised
+// crash-loop under the VESSEL manager and feeds its containment trace to
+// CheckEvents: the pkey/region lifecycle oracle must hold on the log the
+// production code actually emits, not just on hand-written fixtures.
+func TestChaosTraceSatisfiesLifecycleOracles(t *testing.T) {
+	mg, err := vessel.NewManager(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg.Launch("good", integrationParkLoop(mg, "good"), 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err = mg.Supervise("crash", func() *smas.Program { return integrationCrasher(mg, "crash") }, 0,
+		vessel.RestartPolicy{Backoff: 2 * sim.Microsecond, MaxBackoff: 8 * sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mg.RunChaos(vessel.ChaosConfig{Steps: 120_000, Quantum: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restarts == 0 {
+		t.Fatal("chaos run exercised no restarts; the lifecycle oracle saw nothing")
+	}
+	events := mg.Events().Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if vs := CheckEvents(events); len(vs) != 0 {
+		for _, v := range vs {
+			t.Errorf("%s", v)
+		}
+	}
+}

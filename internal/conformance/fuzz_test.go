@@ -1,0 +1,42 @@
+package conformance
+
+import (
+	"testing"
+)
+
+// FuzzScenarioDecode feeds arbitrary bytes to the replay-token decoder.
+// Decode is the harness's trust boundary — replay tokens arrive from shell
+// command lines and CI logs — so the property is total: either the token
+// is rejected with an error, or the resulting scenario is fully inside the
+// generator's envelope (Validate passes), builds a valid scheduler config,
+// and round-trips byte-for-byte through Encode.
+func FuzzScenarioDecode(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(Generate(seed, true).Encode())
+		f.Add(Generate(seed, false).Encode())
+	}
+	f.Add(`{"seed":1,"cores":1,"duration_us":100,"warmup_us":0,"apps":[{"name":"a","kind":"B"}]}`)
+	f.Add(`{"seed":0,"cores":64,"duration_us":50,"warmup_us":0,"apps":[{"name":"x","kind":"L","dist":"silo","load_frac":2}]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"apps":null}`)
+	f.Fuzz(func(t *testing.T, enc string) {
+		sc, err := Decode(enc)
+		if err != nil {
+			return
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("Decode accepted a scenario Validate rejects: %v\n%s", err, enc)
+		}
+		cfg := sc.Config()
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("decoded scenario builds an invalid sched.Config: %v\n%s", err, enc)
+		}
+		re, err := Decode(sc.Encode())
+		if err != nil {
+			t.Fatalf("re-encode does not decode: %v\n%s", err, sc.Encode())
+		}
+		if re.Encode() != sc.Encode() {
+			t.Fatalf("round trip unstable:\n%s\n%s", sc.Encode(), re.Encode())
+		}
+	})
+}

@@ -1,0 +1,193 @@
+package conformance
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vessel/internal/sched"
+	"vessel/internal/sim"
+	"vessel/internal/trace"
+	"vessel/internal/workload"
+)
+
+// Violation is one oracle failure: which system broke which property, and
+// how.
+type Violation struct {
+	System string // scheduler (or component) under test
+	Oracle string // short stable identifier, e.g. "cycle-conservation"
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s: %s", v.System, v.Oracle, v.Detail)
+}
+
+// CheckResult checks the universal invariants every scheduler must uphold
+// under every configuration — the conservation laws formerly embedded in
+// the experiments package's invariants test, promoted here so any package
+// (and the conformance sweep) can call them:
+//
+//   - the cycle breakdown partitions cores × duration (±2% boundary slack)
+//     and no component is negative;
+//   - completed ≤ offered for every app, and recorded latencies never
+//     exceed completions;
+//   - latency quantiles are ordered (p50 ≤ p90 ≤ p99 ≤ p999 ≤ max) and
+//     positive when present;
+//   - a B-app's wall time never exceeds machine time and its useful time
+//     never exceeds its wall time (contention only deflates);
+//   - normalized throughputs are non-negative and total ≤ 1 + ε;
+//   - the result echoes the config's core count and measured duration.
+func CheckResult(system string, cfg sched.Config, res sched.Result) []Violation {
+	var out []Violation
+	add := func(oracle, format string, args ...any) {
+		out = append(out, Violation{System: system, Oracle: oracle, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	if res.Cores != cfg.Cores {
+		add("config-echo", "result cores %d != config cores %d", res.Cores, cfg.Cores)
+	}
+	if res.Measured != cfg.Duration {
+		add("config-echo", "measured %v != configured duration %v", res.Measured, cfg.Duration)
+	}
+
+	machine := sim.Duration(cfg.Cores) * cfg.Duration
+	total := res.Cycles.Total()
+	if total < machine*98/100 || total > machine*102/100 {
+		add("cycle-conservation", "breakdown totals %v, want %v ±2%%", total, machine)
+	}
+	for _, c := range []struct {
+		name string
+		v    sim.Duration
+	}{
+		{"app", res.Cycles.AppNs}, {"runtime", res.Cycles.RuntimeNs},
+		{"kernel", res.Cycles.KernelNs}, {"switch", res.Cycles.SwitchNs},
+		{"idle", res.Cycles.IdleNs},
+	} {
+		if c.v < 0 {
+			add("cycle-conservation", "negative %s component %v", c.name, c.v)
+		}
+	}
+
+	var totalNorm float64
+	for _, a := range res.Apps {
+		tag := a.Name
+		if a.Completed > a.Offered {
+			add("completed-le-offered", "%s: completed %d > offered %d", tag, a.Completed, a.Offered)
+		}
+		if !finite(a.NormTput) || a.NormTput < 0 {
+			add("norm-nonnegative", "%s: norm tput %v", tag, a.NormTput)
+		} else {
+			totalNorm += a.NormTput
+		}
+		if a.Kind == workload.LatencyCritical {
+			q := a.Latency
+			if q.Count > a.Completed {
+				add("latency-count", "%s: %d latencies recorded but only %d completed", tag, q.Count, a.Completed)
+			}
+			if q.Count > 0 {
+				if !(q.P50 <= q.P90 && q.P90 <= q.P99 && q.P99 <= q.P999 && q.P999 <= q.Max) {
+					add("quantile-order", "%s: unordered quantiles %+v", tag, q)
+				}
+				if q.P50 <= 0 {
+					add("quantile-order", "%s: non-positive p50 %d", tag, q.P50)
+				}
+			}
+		}
+		if a.Kind == workload.BestEffort {
+			if a.BWallNs > machine {
+				add("b-time-bound", "%s: wall %v exceeds machine time %v", tag, a.BWallNs, machine)
+			}
+			if a.BUsefulNs > a.BWallNs {
+				add("b-time-bound", "%s: useful %v exceeds wall %v", tag, a.BUsefulNs, a.BWallNs)
+			}
+			if a.BUsefulNs < 0 || a.BWallNs < 0 {
+				add("b-time-bound", "%s: negative B time useful=%v wall=%v", tag, a.BUsefulNs, a.BWallNs)
+			}
+		}
+	}
+	// Heavy-tailed service distributions (Silo's log-normal spans 20 µs
+	// median to 280 µs P999) make "ideal capacity" a noisy denominator on
+	// short windows: a window that happens to sample mostly-short requests
+	// legitimately completes more than mean-rate capacity predicts. Widen
+	// the bound when any L-app uses one.
+	normBound := 1.05
+	for _, a := range cfg.Apps {
+		if _, heavy := a.Dist.(workload.TPCCDist); heavy {
+			normBound = 1.5
+			break
+		}
+	}
+	if totalNorm > normBound {
+		add("norm-capacity", "total norm %.3f exceeds machine capacity (bound %.2f)", totalNorm, normBound)
+	}
+	return out
+}
+
+// CheckEvents checks the pkey/region lifecycle properties of a
+// containment event log (the trace the vessel manager and uproc domain
+// emit):
+//
+//   - timestamps are non-decreasing (the log is simulation-ordered);
+//   - reclaimed protection keys are inside the hardware's 16-key space;
+//   - a uProcess is never reclaimed twice without an intervening restart
+//     (a double reclaim would double-free its key), and never restarted
+//     twice without dying in between.
+func CheckEvents(events []trace.Event) []Violation {
+	var out []Violation
+	add := func(oracle, format string, args ...any) {
+		out = append(out, Violation{System: "events", Oracle: oracle, Detail: fmt.Sprintf(format, args...)})
+	}
+	var prev sim.Time
+	reclaimed := make(map[string]bool) // uproc name → dead awaiting relaunch
+	for i, e := range events {
+		if e.T < prev {
+			add("event-order", "event %d (%s) at %v before predecessor at %v", i, e.Name, e.T, prev)
+		}
+		prev = e.T
+		switch e.Name {
+		case "reclaim":
+			u := eventField(e.Detail, "uproc")
+			if k, ok := eventIntField(e.Detail, "key"); ok && (k < 0 || k > 15) {
+				add("pkey-range", "reclaim of %s frees key %d outside [0,15]", u, k)
+			}
+			if u != "" {
+				if reclaimed[u] {
+					add("pkey-lifecycle", "%s reclaimed twice without an intervening restart", u)
+				}
+				reclaimed[u] = true
+			}
+		case "restart":
+			u := eventField(e.Detail, "uproc")
+			if u != "" {
+				if !reclaimed[u] {
+					add("pkey-lifecycle", "%s restarted without a preceding reclaim", u)
+				}
+				reclaimed[u] = false
+			}
+		}
+	}
+	return out
+}
+
+// eventField extracts key=value fields from an event detail string.
+func eventField(detail, key string) string {
+	for _, f := range strings.Fields(detail) {
+		if v, ok := strings.CutPrefix(f, key+"="); ok {
+			return v
+		}
+	}
+	return ""
+}
+
+func eventIntField(detail, key string) (int64, bool) {
+	v := eventField(detail, key)
+	if v == "" {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,310 @@
+// Package conformance is the differential-testing harness over the four
+// scheduler implementations (VESSEL, Caladan, Arachne, Linux CFS). It
+// synthesizes randomized scenarios from a seed, runs every scheduler on
+// each, and checks two oracle classes:
+//
+//   - universal invariants that must hold for any scheduler under any
+//     configuration (cycle-breakdown conservation, completed ≤ offered,
+//     quantile ordering, bounded best-effort time) — promoted out of the
+//     experiments tests into CheckResult so any package can call them;
+//   - cross-scheduler and metamorphic properties (same seed ⇒
+//     byte-identical results, VESSEL's per-switch cost bounded below the
+//     kernel-path baselines, throughput monotone in offered load).
+//
+// On a violation the harness shrinks the scenario — dropping apps, halving
+// cores and duration, stripping features — to a minimal reproducer and
+// prints the one-line conformancebench command that replays it.
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"vessel/internal/cpu"
+	"vessel/internal/sched"
+	"vessel/internal/sim"
+	"vessel/internal/workload"
+)
+
+// BurstSpec describes an optional ON/OFF arrival modulation.
+type BurstSpec struct {
+	OnUs   int64   `json:"on_us"`
+	OffUs  int64   `json:"off_us"`
+	Factor float64 `json:"factor"`
+}
+
+// AppSpec describes one application declaratively. Specs — not
+// workload.App values — are what scenarios carry, because an App
+// accumulates run state (queues, counters, histograms) and must be built
+// fresh for every scheduler run.
+type AppSpec struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "L" or "B"
+
+	// L-app fields.
+	Dist     string     `json:"dist,omitempty"` // "memcached" or "silo"
+	LoadFrac float64    `json:"load_frac,omitempty"`
+	Priority int        `json:"priority,omitempty"`
+	Burst    *BurstSpec `json:"burst,omitempty"`
+
+	// B-app fields.
+	BWDemand float64 `json:"bw_demand,omitempty"`
+	MemFrac  float64 `json:"mem_frac,omitempty"`
+}
+
+// Scenario is one generated test case: everything needed to rebuild the
+// same sched.Config any number of times.
+type Scenario struct {
+	Seed         uint64    `json:"seed"`
+	Cores        int       `json:"cores"`
+	DurationUs   int64     `json:"duration_us"`
+	WarmupUs     int64     `json:"warmup_us"`
+	BWTargetFrac float64   `json:"bw_target_frac,omitempty"`
+	Apps         []AppSpec `json:"apps"`
+}
+
+// Generation bounds. Validate enforces the same ranges on decode, so a
+// replayed scenario is always one the generator could have produced (or a
+// shrunk descendant of one).
+const (
+	maxCores      = 64
+	maxApps       = 8
+	maxDurationUs = 1_000_000 // 1 s of virtual time
+	minDurationUs = 50
+)
+
+// Generate synthesizes a randomized scenario from a seed. The same seed
+// always yields the same scenario. Quick shrinks durations for CI-speed
+// sweeps.
+func Generate(seed uint64, quick bool) Scenario {
+	rng := sim.NewRNG(seed ^ 0xc0f0a97a5c3e11d7)
+	sc := Scenario{Seed: seed}
+	sc.Cores = 1 + rng.IntN(12)
+	if quick {
+		sc.DurationUs = 1500 + int64(rng.IntN(4))*500
+	} else {
+		sc.DurationUs = 8000 + int64(rng.IntN(6))*2000
+	}
+	sc.WarmupUs = sc.DurationUs / 5
+
+	// App mix: L-only, B-only, classic 1L+1B colocation, or dense.
+	var nL, nB int
+	switch rng.IntN(4) {
+	case 0:
+		nL = 1 + rng.IntN(2)
+	case 1:
+		nB = 1 + rng.IntN(2)
+	case 2:
+		nL, nB = 1, 1
+	default:
+		nL, nB = 1+rng.IntN(3), rng.IntN(2)
+	}
+	for i := 0; i < nL; i++ {
+		a := AppSpec{
+			Name:     fmt.Sprintf("L%d", i),
+			Kind:     "L",
+			Dist:     "memcached",
+			LoadFrac: 0.05 + 1.15*rng.Float64(), // through overload
+		}
+		if rng.Bernoulli(0.3) {
+			a.Dist = "silo"
+		}
+		if rng.Bernoulli(0.25) {
+			a.Priority = 1 + rng.IntN(2)
+		}
+		if rng.Bernoulli(0.25) {
+			a.Burst = &BurstSpec{
+				OnUs:   int64(50 + rng.IntN(450)),
+				OffUs:  int64(50 + rng.IntN(450)),
+				Factor: 1.5 + 4.5*rng.Float64(),
+			}
+		}
+		sc.Apps = append(sc.Apps, a)
+	}
+	for i := 0; i < nB; i++ {
+		a := AppSpec{Name: fmt.Sprintf("B%d", i), Kind: "B"}
+		switch rng.IntN(3) {
+		case 0: // linpack-like
+			a.BWDemand, a.MemFrac = 0.5, 0.05
+		case 1: // membench-like
+			a.BWDemand, a.MemFrac = 12.0, 0.7
+		default:
+			a.BWDemand = 0.2 + 13.8*rng.Float64()
+			a.MemFrac = 0.05 + 0.8*rng.Float64()
+		}
+		sc.Apps = append(sc.Apps, a)
+	}
+	if nB > 0 && rng.Bernoulli(0.3) {
+		sc.BWTargetFrac = 0.3 + 0.5*rng.Float64()
+	}
+	return sc
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate checks that the scenario is inside the generator's envelope.
+// Decode runs it on every input, so a fuzzer can't smuggle a degenerate
+// scenario (NaN loads, zero-core machines, unbounded durations) past the
+// harness.
+func (s Scenario) Validate() error {
+	if s.Cores < 1 || s.Cores > maxCores {
+		return fmt.Errorf("conformance: cores %d outside [1,%d]", s.Cores, maxCores)
+	}
+	if s.DurationUs < minDurationUs || s.DurationUs > maxDurationUs {
+		return fmt.Errorf("conformance: duration %dµs outside [%d,%d]", s.DurationUs, minDurationUs, maxDurationUs)
+	}
+	if s.WarmupUs < 0 || s.WarmupUs > maxDurationUs {
+		return fmt.Errorf("conformance: warmup %dµs outside [0,%d]", s.WarmupUs, maxDurationUs)
+	}
+	if !finite(s.BWTargetFrac) || s.BWTargetFrac < 0 || s.BWTargetFrac >= 1 {
+		return fmt.Errorf("conformance: bw target %v outside [0,1)", s.BWTargetFrac)
+	}
+	if len(s.Apps) == 0 || len(s.Apps) > maxApps {
+		return fmt.Errorf("conformance: %d apps outside [1,%d]", len(s.Apps), maxApps)
+	}
+	seen := make(map[string]bool, len(s.Apps))
+	for i, a := range s.Apps {
+		if a.Name == "" || len(a.Name) > 32 {
+			return fmt.Errorf("conformance: app %d has bad name %q", i, a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("conformance: duplicate app name %q", a.Name)
+		}
+		seen[a.Name] = true
+		switch a.Kind {
+		case "L":
+			if a.Dist != "memcached" && a.Dist != "silo" {
+				return fmt.Errorf("conformance: app %q has unknown dist %q", a.Name, a.Dist)
+			}
+			if !finite(a.LoadFrac) || a.LoadFrac <= 0 || a.LoadFrac > 2 {
+				return fmt.Errorf("conformance: app %q load %v outside (0,2]", a.Name, a.LoadFrac)
+			}
+			if a.Priority < 0 || a.Priority > 8 {
+				return fmt.Errorf("conformance: app %q priority %d outside [0,8]", a.Name, a.Priority)
+			}
+			if b := a.Burst; b != nil {
+				if b.OnUs < 1 || b.OnUs > maxDurationUs || b.OffUs < 1 || b.OffUs > maxDurationUs {
+					return fmt.Errorf("conformance: app %q burst periods outside [1,%d]µs", a.Name, maxDurationUs)
+				}
+				if !finite(b.Factor) || b.Factor < 1 || b.Factor > 64 {
+					return fmt.Errorf("conformance: app %q burst factor %v outside [1,64]", a.Name, b.Factor)
+				}
+			}
+			if a.BWDemand != 0 || a.MemFrac != 0 {
+				return fmt.Errorf("conformance: L-app %q carries B-app fields", a.Name)
+			}
+		case "B":
+			if !finite(a.BWDemand) || a.BWDemand < 0 || a.BWDemand > 64 {
+				return fmt.Errorf("conformance: app %q bw demand %v outside [0,64]", a.Name, a.BWDemand)
+			}
+			if !finite(a.MemFrac) || a.MemFrac < 0 || a.MemFrac > 1 {
+				return fmt.Errorf("conformance: app %q mem frac %v outside [0,1]", a.Name, a.MemFrac)
+			}
+			if a.Dist != "" || a.LoadFrac != 0 || a.Priority != 0 || a.Burst != nil {
+				return fmt.Errorf("conformance: B-app %q carries L-app fields", a.Name)
+			}
+		default:
+			return fmt.Errorf("conformance: app %q has unknown kind %q", a.Name, a.Kind)
+		}
+	}
+	return nil
+}
+
+// dist returns the service distribution for an L-app spec.
+func (a AppSpec) dist() workload.ServiceDist {
+	if a.Dist == "silo" {
+		return workload.Silo()
+	}
+	return workload.Memcached()
+}
+
+// Config builds a fresh sched.Config for one run. Apps are constructed
+// anew on every call: workload.App values accumulate run state, so two
+// runs must never share them.
+func (s Scenario) Config() sched.Config {
+	cfg := sched.Config{
+		Seed:         s.Seed,
+		Cores:        s.Cores,
+		Duration:     sim.Duration(s.DurationUs) * sim.Microsecond,
+		Warmup:       sim.Duration(s.WarmupUs) * sim.Microsecond,
+		BWTargetFrac: s.BWTargetFrac,
+		Costs:        cpu.Default(),
+	}
+	for _, a := range s.Apps {
+		switch a.Kind {
+		case "L":
+			rate := a.LoadFrac * sched.IdealLCapacity(s.Cores, a.dist())
+			app := workload.NewLApp(a.Name, a.dist(), rate)
+			app.Priority = a.Priority
+			if a.Burst != nil {
+				app.Burst = &workload.Burst{
+					OnMean:  sim.Duration(a.Burst.OnUs) * sim.Microsecond,
+					OffMean: sim.Duration(a.Burst.OffUs) * sim.Microsecond,
+					Factor:  a.Burst.Factor,
+				}
+			}
+			cfg.Apps = append(cfg.Apps, app)
+		case "B":
+			cfg.Apps = append(cfg.Apps, workload.NewBApp(a.Name, a.BWDemand, a.MemFrac))
+		}
+	}
+	return cfg
+}
+
+// ScaleLoad returns a copy with every L-app's offered load scaled by f —
+// the knob behind the load-monotonicity metamorphic oracle.
+func (s Scenario) ScaleLoad(f float64) Scenario {
+	out := s.clone()
+	for i := range out.Apps {
+		if out.Apps[i].Kind == "L" {
+			out.Apps[i].LoadFrac *= f
+		}
+	}
+	return out
+}
+
+// clone deep-copies the scenario (Burst pointers included).
+func (s Scenario) clone() Scenario {
+	out := s
+	out.Apps = make([]AppSpec, len(s.Apps))
+	copy(out.Apps, s.Apps)
+	for i := range out.Apps {
+		if b := out.Apps[i].Burst; b != nil {
+			bb := *b
+			out.Apps[i].Burst = &bb
+		}
+	}
+	return out
+}
+
+// Encode renders the scenario as a one-line JSON document — the replay
+// token conformancebench prints and accepts.
+func (s Scenario) Encode() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Scenario has no unmarshalable fields; this cannot happen.
+		panic(err)
+	}
+	return string(b)
+}
+
+// Decode parses and validates an encoded scenario. Unknown fields are
+// rejected so a typo in a hand-edited replay token fails loudly instead of
+// silently testing something else.
+func Decode(enc string) (Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader([]byte(enc)))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("conformance: decode: %w", err)
+	}
+	if dec.More() {
+		return Scenario{}, fmt.Errorf("conformance: trailing data after scenario")
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}

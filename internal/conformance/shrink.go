@@ -1,0 +1,103 @@
+package conformance
+
+// Shrinking: when a scenario fails an oracle, the harness greedily tries
+// smaller variants — dropping apps one at a time, halving cores and
+// duration, stripping bursts, priorities and the bandwidth target — and
+// keeps any variant that still fails. The result is a locally minimal
+// reproducer: no single shrink step applied to it still reproduces the
+// violation. Shrinking preserves the seed, so the minimal scenario's
+// replay command reproduces the failure deterministically.
+
+// shrinkCandidates returns the next generation of strictly smaller
+// scenarios, most aggressive first.
+func shrinkCandidates(s Scenario) []Scenario {
+	var out []Scenario
+	// Drop each app (keep at least one).
+	if len(s.Apps) > 1 {
+		for i := range s.Apps {
+			c := s.clone()
+			c.Apps = append(c.Apps[:i:i], c.Apps[i+1:]...)
+			out = append(out, c)
+		}
+	}
+	// Halve cores.
+	if s.Cores > 1 {
+		c := s.clone()
+		c.Cores /= 2
+		out = append(out, c)
+	}
+	// Halve duration (warmup scales with it).
+	if s.DurationUs/2 >= minDurationUs {
+		c := s.clone()
+		c.DurationUs /= 2
+		c.WarmupUs = c.DurationUs / 5
+		out = append(out, c)
+	}
+	// Strip features one at a time.
+	if s.BWTargetFrac != 0 {
+		c := s.clone()
+		c.BWTargetFrac = 0
+		out = append(out, c)
+	}
+	for i := range s.Apps {
+		if s.Apps[i].Burst != nil {
+			c := s.clone()
+			c.Apps[i].Burst = nil
+			out = append(out, c)
+		}
+		if s.Apps[i].Priority != 0 {
+			c := s.clone()
+			c.Apps[i].Priority = 0
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Shrink greedily minimises sc while stillFails keeps returning true for
+// the candidate. maxSteps bounds the number of candidate evaluations (each
+// evaluation typically re-runs the full scheduler battery). It returns the
+// smallest failing scenario found and how many candidates were tried.
+func Shrink(sc Scenario, stillFails func(Scenario) bool, maxSteps int) (Scenario, int) {
+	if maxSteps <= 0 {
+		maxSteps = 200
+	}
+	tried := 0
+	for {
+		adopted := false
+		for _, cand := range shrinkCandidates(sc) {
+			if tried >= maxSteps {
+				return sc, tried
+			}
+			tried++
+			if stillFails(cand) {
+				sc = cand
+				adopted = true
+				break // restart candidate generation from the smaller scenario
+			}
+		}
+		if !adopted {
+			return sc, tried
+		}
+	}
+}
+
+// SameOracleFails builds the usual shrinking predicate: a candidate counts
+// as failing only if the *same* (system, oracle) pair fires, so the
+// shrinker follows one bug instead of wandering to a different one on a
+// smaller scenario. Run errors count as not-failing (the candidate is
+// rejected).
+func SameOracleFails(v Violation) func(Scenario) bool {
+	return func(cand Scenario) bool {
+		rep, err := RunScenario(cand)
+		if err != nil {
+			return false
+		}
+		for _, cv := range rep.Violations {
+			if cv.System == v.System && cv.Oracle == v.Oracle {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -48,7 +48,11 @@ func fig13aBest(o Options, s sched.Scheduler, lf float64) (Fig13aPoint, error) {
 	best := Fig13aPoint{System: s.Name(), LoadFrac: lf}
 	for _, b := range budgets {
 		cfg := o.baseConfig(o.mcApp(lf), workload.Membench())
-		cfg.BWTargetFrac = b
+		// A 100% budget is no regulation at all; Validate rejects
+		// BWTargetFrac ≥ 1, and 0 is its explicit "off" encoding.
+		if b < 1 {
+			cfg.BWTargetFrac = b
+		}
 		res, err := s.Run(cfg)
 		if err != nil {
 			return Fig13aPoint{}, err

@@ -3,8 +3,8 @@ package experiments
 import (
 	"testing"
 
+	"vessel/internal/conformance"
 	"vessel/internal/sched"
-	"vessel/internal/sim"
 	"vessel/internal/workload"
 )
 
@@ -67,43 +67,13 @@ func TestSchedulerInvariants(t *testing.T) {
 	}
 }
 
+// checkInvariants delegates to the conformance package's universal result
+// checker — the conservation laws that used to live inline here, promoted
+// so the differential harness and any other package can reuse them.
 func checkInvariants(t *testing.T, tag string, cfg sched.Config, res sched.Result) {
 	t.Helper()
-	// Breakdown partitions machine time (±2% for boundary effects).
-	want := sim.Duration(cfg.Cores) * cfg.Duration
-	total := res.Cycles.Total()
-	if total < want*98/100 || total > want*102/100 {
-		t.Errorf("%s: breakdown %v, want %v", tag, total, want)
-	}
-	if res.Cycles.AppNs < 0 || res.Cycles.IdleNs < 0 {
-		t.Errorf("%s: negative breakdown component", tag)
-	}
-	var totalNorm float64
-	for _, a := range res.Apps {
-		if a.Completed > a.Offered {
-			t.Errorf("%s/%s: completed %d > offered %d", tag, a.Name, a.Completed, a.Offered)
-		}
-		if a.NormTput < 0 {
-			t.Errorf("%s/%s: negative norm tput", tag, a.Name)
-		}
-		totalNorm += a.NormTput
-		if a.Kind == workload.LatencyCritical && a.Latency.Count > 0 {
-			q := a.Latency
-			if !(q.P50 <= q.P90 && q.P90 <= q.P99 && q.P99 <= q.P999) {
-				t.Errorf("%s/%s: quantiles unordered: %+v", tag, a.Name, q)
-			}
-			if q.P50 <= 0 {
-				t.Errorf("%s/%s: non-positive p50", tag, a.Name)
-			}
-		}
-		if a.Kind == workload.BestEffort {
-			if a.BUsefulNs > want {
-				t.Errorf("%s/%s: B useful %v exceeds machine time %v", tag, a.Name, a.BUsefulNs, want)
-			}
-		}
-	}
-	if totalNorm > 1.05 {
-		t.Errorf("%s: total norm %0.3f exceeds machine capacity", tag, totalNorm)
+	for _, v := range conformance.CheckResult(tag, cfg, res) {
+		t.Errorf("%s", v)
 	}
 }
 

@@ -7,7 +7,10 @@
 package sched
 
 import (
+	"bytes"
 	"fmt"
+	"math"
+	"strconv"
 
 	"vessel/internal/cpu"
 	"vessel/internal/sim"
@@ -42,8 +45,20 @@ func (c *Config) Validate() error {
 	if c.Duration <= 0 {
 		return fmt.Errorf("sched: duration must be positive")
 	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("sched: warmup must be non-negative")
+	}
 	if len(c.Apps) == 0 {
 		return fmt.Errorf("sched: no apps")
+	}
+	if math.IsNaN(c.BWTargetFrac) {
+		return fmt.Errorf("sched: BWTargetFrac is NaN")
+	}
+	if c.BWTargetFrac < 0 {
+		return fmt.Errorf("sched: BWTargetFrac %v is negative", c.BWTargetFrac)
+	}
+	if c.BWTargetFrac >= 1 {
+		return fmt.Errorf("sched: BWTargetFrac %v must be below 1 (0 disables regulation)", c.BWTargetFrac)
 	}
 	if c.Costs == nil {
 		c.Costs = cpu.Default()
@@ -154,10 +169,67 @@ func (r Result) LAppP999() int64 {
 	return 0
 }
 
+// Canonical renders the result as a stable byte string: every field in a
+// fixed order, floats in shortest round-trip form. Two runs of a
+// deterministic scheduler with the same config and seed must produce
+// byte-identical canonical encodings — the determinism oracle of the
+// conformance harness compares exactly these bytes.
+func (r Result) Canonical() []byte {
+	var b bytes.Buffer
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	fmt.Fprintf(&b, "scheduler=%s cores=%d measured=%d switches=%d preemptions=%d reallocations=%d\n",
+		r.Scheduler, r.Cores, int64(r.Measured), r.Switches, r.Preemptions, r.Reallocations)
+	fmt.Fprintf(&b, "cycles app=%d runtime=%d kernel=%d switch=%d idle=%d\n",
+		int64(r.Cycles.AppNs), int64(r.Cycles.RuntimeNs), int64(r.Cycles.KernelNs),
+		int64(r.Cycles.SwitchNs), int64(r.Cycles.IdleNs))
+	for _, a := range r.Apps {
+		fmt.Fprintf(&b, "app name=%s kind=%d offered=%d completed=%d tput=%d/%d norm=%s bw=%s\n",
+			a.Name, a.Kind, a.Offered, a.Completed, a.Tput.Count, a.Tput.Elapsed,
+			g(a.NormTput), g(a.AvgBWGBs))
+		fmt.Fprintf(&b, "  lat n=%d avg=%s p50=%d p90=%d p99=%d p999=%d max=%d\n",
+			a.Latency.Count, g(a.Latency.Avg), a.Latency.P50, a.Latency.P90,
+			a.Latency.P99, a.Latency.P999, a.Latency.Max)
+		fmt.Fprintf(&b, "  b useful=%d wall=%d lbusy=%d\n",
+			int64(a.BUsefulNs), int64(a.BWallNs), int64(a.LBusyNs))
+	}
+	return b.Bytes()
+}
+
 // Scheduler runs a configured workload and reports the outcome.
 type Scheduler interface {
 	Name() string
 	Run(cfg Config) (Result, error)
+}
+
+// postRunHooks observe — and, in tests, may deliberately tamper with —
+// every result produced through Run. They are the oracle hook point of the
+// conformance harness: planting a violation here proves the oracles and the
+// shrinker can catch and minimise one.
+var postRunHooks []func(Config, *Result)
+
+// RegisterPostRunHook installs f and returns a function that removes it.
+// Hook registration is not safe for concurrent use; register hooks in test
+// or driver setup, before runs start.
+func RegisterPostRunHook(f func(Config, *Result)) (remove func()) {
+	postRunHooks = append(postRunHooks, f)
+	i := len(postRunHooks) - 1
+	return func() { postRunHooks[i] = nil }
+}
+
+// Run executes s on cfg and passes the result through the registered
+// post-run hooks. Conformance tooling routes every scheduler run through
+// this wrapper so oracles observe exactly what callers would see.
+func Run(s Scheduler, cfg Config) (Result, error) {
+	res, err := s.Run(cfg)
+	if err != nil {
+		return res, err
+	}
+	for _, f := range postRunHooks {
+		if f != nil {
+			f(cfg, &res)
+		}
+	}
+	return res, nil
 }
 
 // IdealLCapacity returns the machine's ideal L-app service capacity in

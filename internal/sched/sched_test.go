@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"vessel/internal/cpu"
@@ -11,27 +12,100 @@ import (
 )
 
 func TestConfigValidate(t *testing.T) {
-	good := Config{
-		Cores:    4,
-		Duration: sim.Millisecond,
-		Apps:     []*workload.App{workload.Linpack()},
+	apps := []*workload.App{workload.Linpack()}
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string // substring of the error, "" = must validate
+	}{
+		{"good", Config{Cores: 4, Duration: sim.Millisecond, Apps: apps}, ""},
+		{"good-bw", Config{Cores: 4, Duration: sim.Millisecond, Apps: apps, BWTargetFrac: 0.5}, ""},
+		{"good-warmup", Config{Cores: 4, Duration: sim.Millisecond, Warmup: sim.Millisecond, Apps: apps}, ""},
+		{"zero-cores", Config{Cores: 0, Duration: 1, Apps: apps}, "cores"},
+		{"negative-cores", Config{Cores: -3, Duration: 1, Apps: apps}, "cores"},
+		{"zero-duration", Config{Cores: 1, Duration: 0, Apps: apps}, "duration"},
+		{"negative-duration", Config{Cores: 1, Duration: -1, Apps: apps}, "duration"},
+		{"negative-warmup", Config{Cores: 1, Duration: 1, Warmup: -1, Apps: apps}, "warmup"},
+		{"no-apps", Config{Cores: 1, Duration: 1}, "no apps"},
+		{"bw-nan", Config{Cores: 1, Duration: 1, Apps: apps, BWTargetFrac: math.NaN()}, "NaN"},
+		{"bw-negative", Config{Cores: 1, Duration: 1, Apps: apps, BWTargetFrac: -0.1}, "negative"},
+		{"bw-one", Config{Cores: 1, Duration: 1, Apps: apps, BWTargetFrac: 1.0}, "below 1"},
+		{"bw-above-one", Config{Cores: 1, Duration: 1, Apps: apps, BWTargetFrac: 1.5}, "below 1"},
+		{"bw-inf", Config{Cores: 1, Duration: 1, Apps: apps, BWTargetFrac: math.Inf(1)}, "below 1"},
+		{"bw-neg-inf", Config{Cores: 1, Duration: 1, Apps: apps, BWTargetFrac: math.Inf(-1)}, "negative"},
 	}
-	if err := good.Validate(); err != nil {
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tc.cfg.Costs == nil {
+					t.Fatal("Validate must fill default costs")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("bad config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestResultCanonicalStability(t *testing.T) {
+	res := Result{
+		Scheduler: "X",
+		Cores:     4,
+		Measured:  sim.Millisecond,
+		Cycles:    CycleBreakdown{AppNs: 1, RuntimeNs: 2, KernelNs: 3, SwitchNs: 4, IdleNs: 5},
+		Switches:  7,
+		Apps: []AppResult{
+			{Name: "a", Kind: workload.LatencyCritical, Offered: 10, Completed: 9,
+				Latency: stats.Summary{Count: 9, Avg: 1.5, P50: 1, P90: 2, P99: 3, P999: 4, Max: 5},
+				NormTput: 0.25},
+			{Name: "b", Kind: workload.BestEffort, BUsefulNs: 100, BWallNs: 120, AvgBWGBs: 8.4},
+		},
+	}
+	c1, c2 := res.Canonical(), res.Canonical()
+	if string(c1) != string(c2) {
+		t.Fatal("canonical encoding unstable")
+	}
+	res.Apps[1].BUsefulNs++
+	if string(res.Canonical()) == string(c1) {
+		t.Fatal("canonical encoding ignores field changes")
+	}
+}
+
+func TestRunAppliesPostRunHooks(t *testing.T) {
+	remove := RegisterPostRunHook(func(cfg Config, r *Result) { r.Scheduler = "tampered" })
+	defer remove()
+	s := fakeScheduler{}
+	res, err := Run(s, Config{Cores: 1, Duration: 1, Apps: []*workload.App{workload.Linpack()}})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if good.Costs == nil {
-		t.Fatal("Validate must fill default costs")
+	if res.Scheduler != "tampered" {
+		t.Fatalf("hook not applied: %q", res.Scheduler)
 	}
-	bad := []Config{
-		{Cores: 0, Duration: 1, Apps: good.Apps},
-		{Cores: 1, Duration: 0, Apps: good.Apps},
-		{Cores: 1, Duration: 1},
+	remove()
+	res, err = Run(s, Config{Cores: 1, Duration: 1, Apps: []*workload.App{workload.Linpack()}})
+	if err != nil {
+		t.Fatal(err)
 	}
-	for i, c := range bad {
-		if err := c.Validate(); err == nil {
-			t.Fatalf("bad config %d accepted", i)
-		}
+	if res.Scheduler != "fake" {
+		t.Fatalf("removed hook still applied: %q", res.Scheduler)
 	}
+}
+
+type fakeScheduler struct{}
+
+func (fakeScheduler) Name() string { return "fake" }
+func (fakeScheduler) Run(cfg Config) (Result, error) {
+	return Result{Scheduler: "fake", Cores: cfg.Cores, Measured: cfg.Duration}, nil
 }
 
 func TestCycleBreakdown(t *testing.T) {

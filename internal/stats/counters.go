@@ -3,13 +3,18 @@ package stats
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Counters is a named-counter set with deterministic iteration order
 // (insertion order, not map order) — so rendering a counter set is a pure
 // function of the sequence of Inc/Add calls and can be compared across
-// runs, like the event log.
+// runs, like the event log. Counters are safe for concurrent use; as with
+// the event log, insertion *order* under concurrent first-touches depends
+// on goroutine interleaving, so cross-run fingerprints should come from
+// single-threaded recording.
 type Counters struct {
+	mu     sync.Mutex
 	names  []string
 	values map[string]uint64
 }
@@ -22,8 +27,11 @@ func NewCounters() *Counters {
 // Inc adds one to the named counter.
 func (c *Counters) Inc(name string) { c.Add(name, 1) }
 
-// Add adds n to the named counter, creating it on first use.
+// Add adds n to the named counter, creating it on first use. Values wrap
+// around on uint64 overflow.
 func (c *Counters) Add(name string, n uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.values[name]; !ok {
 		c.names = append(c.names, name)
 	}
@@ -31,13 +39,25 @@ func (c *Counters) Add(name string, n uint64) {
 }
 
 // Get returns the named counter's value (zero when never touched).
-func (c *Counters) Get(name string) uint64 { return c.values[name] }
+func (c *Counters) Get(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.values[name]
+}
 
-// Names returns the counter names in insertion order.
-func (c *Counters) Names() []string { return c.names }
+// Names returns a copy of the counter names in insertion order.
+func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
 
 // String renders "name=value" lines in insertion order.
 func (c *Counters) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var b strings.Builder
 	for _, n := range c.names {
 		fmt.Fprintf(&b, "%s=%d\n", n, c.values[n])

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestCountersConcurrentWriters increments a shared counter set from many
+// goroutines under the race detector and checks no increment is lost.
+func TestCountersConcurrentWriters(t *testing.T) {
+	const (
+		writers = 8
+		each    = 5000
+	)
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := fmt.Sprintf("w%d", w)
+			for i := 0; i < each; i++ {
+				c.Inc("shared")
+				c.Inc(mine)
+				if i%128 == 0 {
+					_ = c.Get("shared")
+					_ = c.Names()
+					_ = c.String()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Get("shared"); got != writers*each {
+		t.Fatalf("shared = %d, want %d", got, writers*each)
+	}
+	for w := 0; w < writers; w++ {
+		if got := c.Get(fmt.Sprintf("w%d", w)); got != each {
+			t.Fatalf("w%d = %d, want %d", w, got, each)
+		}
+	}
+	// shared + w0..w7; order of the per-writer names is interleaving-
+	// dependent, but the set must be exactly writers+1 distinct names.
+	if got := len(c.Names()); got != writers+1 {
+		t.Fatalf("names = %d, want %d", got, writers+1)
+	}
+}
+
+// TestCountersOverflowWraps pins the uint64 wraparound edge: Add past
+// MaxUint64 wraps rather than saturating or panicking.
+func TestCountersOverflowWraps(t *testing.T) {
+	c := NewCounters()
+	c.Add("x", math.MaxUint64)
+	if got := c.Get("x"); got != math.MaxUint64 {
+		t.Fatalf("x = %d", got)
+	}
+	c.Add("x", 3)
+	if got := c.Get("x"); got != 2 {
+		t.Fatalf("x after wrap = %d, want 2", got)
+	}
+	// Names returns a copy, not internal storage.
+	names := c.Names()
+	names[0] = "mutated"
+	if c.Names()[0] != "x" {
+		t.Fatal("Names returned internal storage")
+	}
+}

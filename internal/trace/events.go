@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"vessel/internal/sim"
 )
@@ -27,12 +28,15 @@ func (e Event) String() string {
 
 // EventLog is a bounded append-only event buffer. When full it drops new
 // events (keeping the prefix intact, so the determinism fingerprint stays
-// comparable) and counts the drops.
+// comparable) and counts the drops. The log is safe for concurrent use;
+// note that concurrent recording makes the *order* of entries depend on
+// goroutine interleaving, so determinism fingerprints should only be taken
+// from single-threaded (simulation-driven) logs.
 type EventLog struct {
-	max    int
-	events []Event
-	// Dropped counts events rejected because the log was full.
-	Dropped uint64
+	mu      sync.Mutex
+	max     int
+	events  []Event
+	dropped uint64
 }
 
 // NewEventLog returns a log keeping at most max events.
@@ -45,21 +49,42 @@ func NewEventLog(max int) *EventLog {
 
 // Record appends one event, unless the log is full.
 func (l *EventLog) Record(t sim.Time, name, detail string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if len(l.events) >= l.max {
-		l.Dropped++
+		l.dropped++
 		return
 	}
 	l.events = append(l.events, Event{T: t, Name: name, Detail: detail})
 }
 
-// Events returns the recorded events in order.
-func (l *EventLog) Events() []Event { return l.events }
+// Dropped returns how many events were rejected because the log was full.
+func (l *EventLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Events returns a copy of the recorded events in order.
+func (l *EventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
 
 // Len returns the number of recorded events.
-func (l *EventLog) Len() int { return len(l.events) }
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
 
 // CountByName returns how many recorded events carry the given name.
 func (l *EventLog) CountByName(name string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	n := 0
 	for _, e := range l.events {
 		if e.Name == name {
@@ -72,6 +97,8 @@ func (l *EventLog) CountByName(name string) int {
 // String renders the log one event per line — the canonical fingerprint
 // the determinism tests compare across runs.
 func (l *EventLog) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var b strings.Builder
 	for _, e := range l.events {
 		b.WriteString(e.String())
@@ -80,10 +107,15 @@ func (l *EventLog) String() string {
 	return b.String()
 }
 
-// Tail returns the last n events (all of them when n exceeds the length).
+// Tail returns a copy of the last n events (all of them when n exceeds the
+// length).
 func (l *EventLog) Tail(n int) []Event {
-	if n >= len(l.events) {
-		return l.events
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > len(l.events) {
+		n = len(l.events)
 	}
-	return l.events[len(l.events)-n:]
+	out := make([]Event, n)
+	copy(out, l.events[len(l.events)-n:])
+	return out
 }

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"vessel/internal/sim"
+)
+
+// TestEventLogConcurrentWriters hammers one log from many goroutines under
+// the race detector: every record must either land or be counted as a
+// drop, with the full-log prefix preserved.
+func TestEventLogConcurrentWriters(t *testing.T) {
+	const (
+		writers = 8
+		each    = 2000
+		max     = writers * each / 2 // force the full-log drop path
+	)
+	l := NewEventLog(max)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				l.Record(sim.Time(i), "evt", "w")
+				if i%64 == 0 {
+					// Interleave readers with writers.
+					_ = l.Len()
+					_ = l.Tail(3)
+					_ = l.CountByName("evt")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != max {
+		t.Fatalf("len = %d, want full log %d", l.Len(), max)
+	}
+	if got := l.Len() + int(l.Dropped()); got != writers*each {
+		t.Fatalf("kept+dropped = %d, want %d", got, writers*each)
+	}
+	if n := l.CountByName("evt"); n != max {
+		t.Fatalf("CountByName = %d, want %d", n, max)
+	}
+	if got := len(l.Events()); got != max {
+		t.Fatalf("Events len = %d, want %d", got, max)
+	}
+}
+
+// TestEventLogFullKeepsPrefix checks the wraparound edge single-threaded:
+// a full log drops new events instead of evicting old ones, so the prefix
+// fingerprint stays stable.
+func TestEventLogFullKeepsPrefix(t *testing.T) {
+	l := NewEventLog(3)
+	for i := 0; i < 5; i++ {
+		l.Record(sim.Time(i), "e", "")
+	}
+	if l.Len() != 3 || l.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d", l.Len(), l.Dropped())
+	}
+	ev := l.Events()
+	for i, e := range ev {
+		if e.T != sim.Time(i) {
+			t.Fatalf("prefix disturbed: %v", ev)
+		}
+	}
+	// Mutating the returned slice must not corrupt the log.
+	ev[0].Name = "mutated"
+	if l.Events()[0].Name != "e" {
+		t.Fatal("Events returned internal storage")
+	}
+	if got := l.Tail(10); len(got) != 3 {
+		t.Fatalf("tail = %d", len(got))
+	}
+	if got := l.Tail(2); len(got) != 2 || got[0].T != 1 {
+		t.Fatalf("tail(2) = %+v", got)
+	}
+}

@@ -100,10 +100,12 @@ type Burst struct {
 	Factor  float64
 }
 
-// multipliers returns the (on, off) rate scalers.
+// multipliers returns the (on, off) rate scalers. A Factor below 1 (or
+// non-finite: NaN/±Inf would poison every downstream gap computation) is
+// treated as no modulation.
 func (b *Burst) multipliers() (float64, float64) {
 	f := b.Factor
-	if f < 1 {
+	if math.IsNaN(f) || math.IsInf(f, 0) || f < 1 {
 		f = 1
 	}
 	return 2 * f / (1 + f), 2 / (1 + f)
@@ -252,11 +254,22 @@ func (a *App) GenerateArrivals(eng *sim.Engine, rng *sim.RNG, until sim.Time, on
 	if a.Kind != LatencyCritical {
 		return fmt.Errorf("workload: %s is not latency-critical", a.Name)
 	}
+	if math.IsNaN(a.RateK) || math.IsInf(a.RateK, 0) {
+		// NaN slips past the <= 0 check below, and the float→Duration
+		// conversion of 1e9/NaN is undefined; reject explicitly.
+		return fmt.Errorf("workload: %s has non-finite rate %v", a.Name, a.RateK)
+	}
 	if a.RateK <= 0 {
 		return nil
 	}
 	if a.Dist == nil {
 		return fmt.Errorf("workload: %s has no service distribution", a.Name)
+	}
+	if a.Burst != nil && (a.Burst.OnMean <= 0 || a.Burst.OffMean <= 0) {
+		// Exp of a non-positive mean is 0, so phase ends would never
+		// advance and the catch-up loop below would spin forever.
+		return fmt.Errorf("workload: %s burst phase means must be positive (on=%v off=%v)",
+			a.Name, a.Burst.OnMean, a.Burst.OffMean)
 	}
 	arrivals := rng.Fork(1)
 	services := rng.Fork(2)
