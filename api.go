@@ -6,6 +6,7 @@ import (
 
 	"vessel/internal/cpu"
 	"vessel/internal/faultinject"
+	"vessel/internal/obs"
 	"vessel/internal/sched"
 	"vessel/internal/sched/arachne"
 	"vessel/internal/sched/caladan"
@@ -47,7 +48,15 @@ type (
 	// TraceRecorder captures per-core execution segments; set Config.Trace
 	// to one and call Render for Figure 7-style timelines.
 	TraceRecorder = trace.Recorder
+	// Observer is the deterministic observability layer (span timelines,
+	// cycle attribution, metrics registry); set Config.Obs to one built
+	// with NewObserver, or attach it to a Manager with AttachObs.
+	Observer = obs.Observer
 )
+
+// NewObserver returns an enabled observability layer whose per-core span
+// rings hold perCore spans each (≤ 0 selects the default capacity).
+func NewObserver(perCore int) *Observer { return obs.New(perCore) }
 
 // Virtual-time units.
 const (

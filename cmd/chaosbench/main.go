@@ -16,6 +16,7 @@ import (
 	"vessel/internal/cpu"
 	"vessel/internal/faultinject"
 	"vessel/internal/mem"
+	"vessel/internal/obs"
 	"vessel/internal/sim"
 	"vessel/internal/smas"
 	"vessel/internal/stats"
@@ -24,11 +25,12 @@ import (
 )
 
 var (
-	seed    = flag.Uint64("seed", 42, "fault-plan seed (same seed → identical run)")
-	steps   = flag.Int("steps", 800_000, "per-core instruction budget")
-	quantum = flag.Int("quantum", 400, "preemption/injection quantum in instructions")
-	random  = flag.Int("random", 8, "extra random Uintr drop/delay faults")
-	events  = flag.Int("events", 12, "containment-trace tail lines to print")
+	seed     = flag.Uint64("seed", 42, "fault-plan seed (same seed → identical run)")
+	steps    = flag.Int("steps", 800_000, "per-core instruction budget")
+	quantum  = flag.Int("quantum", 400, "preemption/injection quantum in instructions")
+	random   = flag.Int("random", 8, "extra random Uintr drop/delay faults")
+	events   = flag.Int("events", 12, "containment-trace tail lines to print")
+	traceOut = flag.String("trace", "", "write the chaos run's observability span timeline to this file")
 )
 
 func parkLoop(mg *vessel.Manager, name string) *smas.Program {
@@ -58,11 +60,12 @@ type runResult struct {
 	summary stats.Summary
 }
 
-func run(chaotic bool) (runResult, error) {
+func run(chaotic bool, o *obs.Observer) (runResult, error) {
 	mg, err := vessel.NewManager(1, nil)
 	if err != nil {
 		return runResult{}, err
 	}
+	mg.AttachObs(o)
 	good, err := mg.Launch("good", parkLoop(mg, "good"), 0)
 	if err != nil {
 		return runResult{}, err
@@ -115,12 +118,16 @@ func main() {
 	fmt.Printf("chaosbench: survivor latency with a crash-looping neighbour (seed=%d, %d steps @ quantum %d)\n\n",
 		*seed, *steps, *quantum)
 
-	base, err := run(false)
+	base, err := run(false, nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaosbench: baseline: %v\n", err)
 		os.Exit(1)
 	}
-	chaos, err := run(true)
+	var o *obs.Observer
+	if *traceOut != "" {
+		o = obs.New(0)
+	}
+	chaos, err := run(true, o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaosbench: chaos: %v\n", err)
 		os.Exit(1)
@@ -142,8 +149,8 @@ func main() {
 
 	if inj := chaos.mg.Injector(); inj != nil {
 		fmt.Printf("\ninjector counters:\n")
-		for _, name := range inj.Counters.Names() {
-			fmt.Printf("  %-24s %d\n", name, inj.Counters.Get(name))
+		for _, kv := range inj.Counters.Snapshot() {
+			fmt.Printf("  %-24s %d\n", kv.Name, kv.Value)
 		}
 	}
 
@@ -152,6 +159,22 @@ func main() {
 		for _, e := range chaos.mg.Events().Tail(*events) {
 			fmt.Printf("  %s\n", e)
 		}
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaosbench:", err)
+			os.Exit(1)
+		}
+		if err := o.WriteText(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "chaosbench:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\nspan timeline written to %s (%d spans; convert with traceconv)\n",
+			*traceOut, o.SpanCount())
 	}
 
 	if rep.Restarts == 0 || rep.ContainedFaults == 0 {

@@ -10,10 +10,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"vessel/internal/experiments"
+	"vessel/internal/obs"
 )
 
 func main() {
@@ -21,6 +23,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	run := flag.String("run", "all", "which experiment(s) to run (comma-separated)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	traceOut := flag.String("trace", "", "write the observability span timeline to this file (convert with traceconv)")
+	obsOut := flag.String("obs", "", "write the observability bench report (profile + metrics) to this JSON file")
 	flag.Parse()
 
 	results := map[string]any{}
@@ -43,6 +47,9 @@ func main() {
 	}()
 
 	o := experiments.Options{Seed: *seed, Quick: *quick}
+	if *traceOut != "" || *obsOut != "" {
+		o.Obs = obs.New(0)
+	}
 	want := map[string]bool{}
 	for _, name := range strings.Split(*run, ",") {
 		want[strings.TrimSpace(strings.ToLower(name))] = true
@@ -141,4 +148,30 @@ func main() {
 		}
 		emit("sens", f)
 	}
+
+	if *traceOut != "" {
+		if err := writeTo(*traceOut, o.Obs.WriteText); err != nil {
+			fail("trace", err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: span timeline written to %s (%d spans)\n",
+			*traceOut, o.Obs.SpanCount())
+	}
+	if *obsOut != "" {
+		if err := writeTo(*obsOut, o.Obs.WriteBenchJSON); err != nil {
+			fail("obs", err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: observability report written to %s\n", *obsOut)
+	}
+}
+
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

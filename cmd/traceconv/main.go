@@ -1,0 +1,99 @@
+// Command traceconv converts the plain-text span timelines written by the
+// observability layer (-trace on vesselsim, experiments, or chaosbench)
+// into downstream formats, and validates Chrome trace documents.
+//
+// Usage:
+//
+//	traceconv -in run.obs -format chrome    [-out trace.json]
+//	traceconv -in run.obs -format collapsed [-out stacks.txt]
+//	traceconv -in run.obs -format gantt [-from us] [-to us] [-width N]
+//	traceconv -validate trace.json
+//
+// chrome output opens in chrome://tracing or Perfetto; collapsed output
+// feeds flamegraph.pl-style tooling; gantt renders an ASCII per-core
+// timeline directly to the terminal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vessel/internal/obs"
+	"vessel/internal/sim"
+)
+
+var (
+	in       = flag.String("in", "", "input span timeline (written by -trace)")
+	format   = flag.String("format", "chrome", "output format: chrome, collapsed or gantt")
+	out      = flag.String("out", "", "output file (default stdout)")
+	fromUs   = flag.Int64("from", 0, "gantt window start in microseconds (0 = full range)")
+	toUs     = flag.Int64("to", 0, "gantt window end in microseconds (0 = full range)")
+	width    = flag.Int("width", 100, "gantt columns")
+	validate = flag.String("validate", "", "validate a Chrome trace JSON file and exit")
+)
+
+func main() {
+	flag.Parse()
+
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := obs.ValidateChromeTrace(f); err != nil {
+			fatal(fmt.Errorf("%s: %w", *validate, err))
+		}
+		fmt.Printf("%s: valid chrome trace\n", *validate)
+		return
+	}
+
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required (or use -validate FILE)"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	spans, err := obs.ReadText(f)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", *in, err))
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer of.Close()
+		w = of
+	}
+
+	switch *format {
+	case "chrome":
+		err = obs.WriteChromeTrace(w, spans)
+	case "collapsed":
+		_, err = io.WriteString(w, obs.FromSpans(spans).Collapsed())
+	case "gantt":
+		from := sim.Time(*fromUs * int64(sim.Microsecond))
+		to := sim.Time(*toUs * int64(sim.Microsecond))
+		err = obs.WriteGantt(w, spans, from, to, *width)
+	default:
+		err = fmt.Errorf("unknown format %q (want chrome, collapsed or gantt)", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Printf("%s: wrote %s (%d spans)\n", *format, *out, len(spans))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceconv:", err)
+	os.Exit(1)
+}

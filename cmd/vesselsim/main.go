@@ -28,6 +28,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	timeline := flag.Bool("timeline", false, "render Figure 7-style core timelines of a 100µs window")
 	chromeOut := flag.String("chrometrace", "", "write a chrome://tracing JSON of the run to this file")
+	traceOut := flag.String("trace", "", "write the observability span timeline to this file (convert with traceconv)")
+	profile := flag.Bool("profile", false, "print the cycle-attribution profile after the run")
 	flag.Parse()
 
 	s, err := vessel.NewScheduler(*schedName)
@@ -68,6 +70,11 @@ func main() {
 	if *timeline || *chromeOut != "" {
 		rec = vessel.NewTraceRecorder(1 << 20)
 		cfg.Trace = rec
+	}
+	var o *vessel.Observer
+	if *traceOut != "" || *profile {
+		o = vessel.NewObserver(0)
+		cfg.Obs = o
 	}
 	res, err := s.Run(cfg)
 	if err != nil {
@@ -110,6 +117,22 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nchrome trace written to %s (open in chrome://tracing or Perfetto)\n", *chromeOut)
+	}
+	if *profile {
+		fmt.Println()
+		fmt.Print(o.Profile().Table(20))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := o.WriteText(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nspan timeline written to %s (%d spans, %d overwritten; convert with traceconv)\n",
+			*traceOut, o.SpanCount(), o.Overwritten())
 	}
 }
 

@@ -80,6 +80,12 @@ type Runtime struct {
 	S     *smas.SMAS
 	gates map[FuncID]*Gate
 	names map[FuncID]string
+	// OnInvoke, when non-nil, observes every runtime-function body that
+	// executes with the privileged PKRU — i.e. every legitimate gate
+	// crossing, after stage 1 raised privilege and before the body runs.
+	// Direct jumps into runtime text that fail the privilege guard are
+	// not reported; they fault instead.
+	OnInvoke func(c *cpu.Core, fid FuncID, name string)
 }
 
 // NewRuntime returns a gate builder/registry for the domain.
@@ -126,6 +132,9 @@ func (rt *Runtime) RegisterWithOptions(fid FuncID, name string, impl func(c *cpu
 	guarded := func(c *cpu.Core) *mem.Fault {
 		if c.PKRU != priv {
 			return &mem.Fault{Addr: smas.RuntimeBase, Kind: mem.FaultPKU, Op: mpk.AccessRead}
+		}
+		if rt.OnInvoke != nil {
+			rt.OnInvoke(c, fid, name)
 		}
 		if impl == nil {
 			return nil

@@ -1,0 +1,104 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"vessel/internal/obs"
+	"vessel/internal/sched"
+)
+
+// obsConfig builds a small mixed L+B run with a fresh observer attached.
+func obsConfig(seed uint64) sched.Config {
+	cfg := baseScenario(seed).Config()
+	cfg.Obs = obs.New(0)
+	return cfg
+}
+
+func baseScenario(seed uint64) Scenario {
+	return Scenario{
+		Seed:       seed,
+		Cores:      4,
+		DurationUs: 20000,
+		WarmupUs:   2000,
+		Apps: []AppSpec{
+			{Name: "mc", Kind: "L", Dist: "memcached", LoadFrac: 0.5},
+			{Name: "batch", Kind: "B", BWDemand: 2, MemFrac: 0.2},
+		},
+	}
+}
+
+// TestObsConservationAllSchedulers is the conservation oracle end to end:
+// for every scheduler, a run with the observability layer attached must
+// charge exactly the cycle breakdown it reports — per category and in
+// total.
+func TestObsConservationAllSchedulers(t *testing.T) {
+	for _, s := range Systems() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			cfg := obsConfig(7)
+			res, err := s.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vs := CheckProfile(s.Name(), cfg.Obs, res); len(vs) > 0 {
+				for _, v := range vs {
+					t.Error(v)
+				}
+			}
+			if cfg.Obs.SpanCount() == 0 {
+				t.Fatal("run recorded no spans")
+			}
+			// The profile must actually attribute work to the named apps,
+			// not just to anonymous buckets.
+			prof := cfg.Obs.Profile()
+			var named bool
+			for core := 0; core < cfg.Cores && !named; core++ {
+				if prof.Get(core, "mc", obs.CatApp) > 0 {
+					named = true
+				}
+			}
+			if !named {
+				t.Error("no app cycles attributed to \"mc\" on any core")
+			}
+		})
+	}
+}
+
+// TestObsTimelineDeterministic: two same-seed runs produce byte-identical
+// timelines and collapsed stacks (the layer-2 half of the determinism
+// contract; the vessel golden test covers layer-1).
+func TestObsTimelineDeterministic(t *testing.T) {
+	for _, s := range Systems() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			render := func() (string, string) {
+				cfg := obsConfig(11)
+				if _, err := s.Run(cfg); err != nil {
+					t.Fatal(err)
+				}
+				return renderTimeline(t, cfg.Obs), cfg.Obs.Profile().Collapsed()
+			}
+			tl1, cs1 := render()
+			tl2, cs2 := render()
+			if tl1 != tl2 {
+				t.Error("timelines differ across same-seed runs")
+			}
+			if cs1 != cs2 {
+				t.Error("collapsed stacks differ across same-seed runs")
+			}
+			if cs1 == "" {
+				t.Error("empty collapsed stacks")
+			}
+		})
+	}
+}
+
+func renderTimeline(t *testing.T, o *obs.Observer) string {
+	t.Helper()
+	var b strings.Builder
+	if err := o.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}

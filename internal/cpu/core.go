@@ -19,6 +19,10 @@ type Hooks struct {
 	// the fault was handled (e.g. redirected to a signal handler by
 	// updating PC) and execution continues.
 	OnFault func(c *Core, f *mem.Fault) bool
+	// OnWrPkru fires after each WRPKRU retires, with the value the
+	// register held before the write — the per-call protection-switch
+	// probe (libmpk measures exactly this path at 11–260 cycles).
+	OnWrPkru func(c *Core, prev mpk.PKRU)
 }
 
 // Core is a simulated CPU core: register file, PKRU, program counter,

@@ -319,7 +319,11 @@ func (i Pop) String() string            { return fmt.Sprintf("pop %s", i.Dst) }
 type WrPkru struct{}
 
 func (i WrPkru) Exec(c *Core) *mem.Fault {
+	prev := c.PKRU
 	c.PKRU = mpk.PKRU(uint32(c.Regs[RAX]))
+	if c.Hooks.OnWrPkru != nil {
+		c.Hooks.OnWrPkru(c, prev)
+	}
 	return nil
 }
 func (i WrPkru) Cycles(m *CostModel) int64 { return m.WrPkruCycles }

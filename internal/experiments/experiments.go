@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"vessel/internal/cpu"
+	"vessel/internal/obs"
 	"vessel/internal/sched"
 	"vessel/internal/sim"
 	"vessel/internal/workload"
@@ -30,6 +31,10 @@ type Options struct {
 	// (default 8 quick / 16 full — normalized metrics are
 	// core-count-invariant in shape).
 	Cores int
+	// Obs, when non-nil, threads the observability layer into every run
+	// the experiment performs (span timelines, cycle attribution, and the
+	// metrics registry accumulate across the experiment's runs).
+	Obs *obs.Observer
 }
 
 func (o Options) seed() uint64 {
@@ -80,6 +85,7 @@ func (o Options) baseConfig(apps ...*workload.App) sched.Config {
 		Warmup:   o.warmup(),
 		Apps:     apps,
 		Costs:    cpu.Default(),
+		Obs:      o.Obs,
 	}
 }
 

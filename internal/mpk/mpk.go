@@ -132,6 +132,11 @@ func (p PKRU) Check(k PKey, kind AccessKind) bool {
 // memory outside SMAS keeps working, §4.1 footnote 2).
 type Allocator struct {
 	used [NumKeys]bool
+	// OnAlloc and OnFree, when non-nil, observe successful allocations
+	// and frees — key-lifecycle probes for the observability layer
+	// (libmpk's key-virtualisation pressure is visible exactly here).
+	OnAlloc func(k PKey)
+	OnFree  func(k PKey)
 }
 
 // NewAllocator returns an allocator with key 0 already reserved.
@@ -147,6 +152,9 @@ func (a *Allocator) Alloc() (PKey, error) {
 	for k := PKey(1); k < NumKeys; k++ {
 		if !a.used[k] {
 			a.used[k] = true
+			if a.OnAlloc != nil {
+				a.OnAlloc(k)
+			}
 			return k, nil
 		}
 	}
@@ -166,6 +174,9 @@ func (a *Allocator) Free(k PKey) error {
 		return fmt.Errorf("mpk: key %d is not allocated", k)
 	}
 	a.used[k] = false
+	if a.OnFree != nil {
+		a.OnFree(k)
+	}
 	return nil
 }
 

@@ -1,0 +1,371 @@
+// Package obs is the deterministic observability layer of the reproduction:
+// a span timeline tracer, a cycle-attribution profiler, and a metrics
+// registry, threaded through both fidelity layers (the instruction-stepped
+// uProcess machine and the discrete-event scheduling simulators).
+//
+// Three design rules govern everything here:
+//
+//   - Determinism. All timestamps are virtual time. Recording order is the
+//     simulation's own order, every renderer sorts or iterates in a fixed
+//     order, and no wall-clock or map-iteration nondeterminism can reach an
+//     export. Two runs with the same seed produce byte-identical timelines,
+//     profiles, and Chrome traces — the goldens in export_test.go hold this.
+//   - Near-zero cost when disabled. Every method is safe on a nil *Observer
+//     and returns immediately; instrumentation sites call through without
+//     guarding. The vessel bench guard (internal/vessel/bench_test.go)
+//     keeps the disabled path under 2% of the uninstrumented baseline.
+//   - Bounded memory. Spans land in fixed-capacity per-core rings allocated
+//     once; when a ring is full the oldest span is overwritten and counted,
+//     never silently lost.
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"vessel/internal/sim"
+)
+
+// Category classifies a span (and a profiler bucket). The first five
+// categories mirror sched.Activity and partition core time — the
+// conservation oracle in internal/conformance checks that exactly these sum
+// to the run's total simulated cycles. The remaining categories are overlay
+// spans (gate crossings, WRPKRU writes, Uintr flight, watchdog kills,
+// supervised restarts) that annotate the timeline without being part of the
+// partition.
+type Category uint8
+
+const (
+	CatIdle Category = iota
+	CatApp
+	CatRuntime
+	CatKernel
+	CatSwitch
+	// Overlay categories below: not part of the core-time partition.
+	CatGate
+	CatWrPkru
+	CatUintr
+	CatWatchdog
+	CatRestart
+	NumCategories
+)
+
+// Activity reports whether the category is one of the five that partition
+// core time (the conservation set).
+func (c Category) Activity() bool { return c <= CatSwitch }
+
+func (c Category) String() string {
+	switch c {
+	case CatIdle:
+		return "idle"
+	case CatApp:
+		return "app"
+	case CatRuntime:
+		return "runtime"
+	case CatKernel:
+		return "kernel"
+	case CatSwitch:
+		return "switch"
+	case CatGate:
+		return "gate"
+	case CatWrPkru:
+		return "wrpkru"
+	case CatUintr:
+		return "uintr"
+	case CatWatchdog:
+		return "watchdog"
+	case CatRestart:
+		return "restart"
+	default:
+		return fmt.Sprintf("Category(%d)", uint8(c))
+	}
+}
+
+// ParseCategory is the inverse of String, used by the timeline decoder.
+func ParseCategory(s string) (Category, error) {
+	for c := Category(0); c < NumCategories; c++ {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown category %q", s)
+}
+
+// Span is one begin/end interval in virtual time on one core. A zero-length
+// span (End == Start) is an instant marker (a watchdog kill, a dropped
+// Uintr).
+type Span struct {
+	Core  int
+	Start sim.Time
+	End   sim.Time
+	Cat   Category
+	// Name names the occupant or subject: an app or uProcess name, a gate
+	// function, an event detail. Empty renders as "-".
+	Name string
+}
+
+// Duration returns the span length.
+func (s Span) Duration() sim.Duration { return s.End.Sub(s.Start) }
+
+// ring is a fixed-capacity per-core span buffer: allocated once, oldest
+// span overwritten when full.
+type ring struct {
+	spans []Span
+	next  int
+	full  bool
+	// open is the Begin/End stack (small, preallocated).
+	open []Span
+	// uintrPending marks an in-flight deferred Uintr delivery window.
+	uintrPending  bool
+	uintrSince    sim.Time
+	overwritten   uint64
+	openOverflows uint64
+}
+
+func (r *ring) add(s Span) {
+	if r.full {
+		r.overwritten++ // the slot about to be reused still holds a span
+	}
+	r.spans[r.next] = s
+	r.next++
+	if r.next == len(r.spans) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// snapshot appends the ring's retained spans in recording order.
+func (r *ring) snapshot(out []Span) []Span {
+	if r.full {
+		out = append(out, r.spans[r.next:]...)
+		return append(out, r.spans[:r.next]...)
+	}
+	return append(out, r.spans[:r.next]...)
+}
+
+const (
+	// DefaultPerCore is the default per-core ring capacity.
+	DefaultPerCore = 1 << 13
+	maxOpenDepth   = 16
+)
+
+// Observer is the recording hub: per-core span rings, the cycle-attribution
+// profiler, and the metrics registry. The zero observer (nil) is the
+// disabled state: every method returns immediately.
+//
+// An Observer is single-writer by design, exactly like the simulation
+// engines that feed it; the registry it owns is independently safe for
+// concurrent use (it wraps stats.Counters).
+type Observer struct {
+	perCore int
+	rings   []*ring
+	prof    Profiler
+	reg     *Registry
+}
+
+// New returns an enabled observer whose per-core rings hold perCore spans
+// each (perCore ≤ 0 selects DefaultPerCore). Rings are allocated lazily, on
+// the first span a core records, and never again after that.
+func New(perCore int) *Observer {
+	if perCore <= 0 {
+		perCore = DefaultPerCore
+	}
+	return &Observer{perCore: perCore, reg: NewRegistry()}
+}
+
+// Enabled reports whether the observer records anything.
+func (o *Observer) Enabled() bool { return o != nil }
+
+// Reg returns the observer's metrics registry (nil when disabled; the
+// registry's methods are themselves nil-safe, so chained calls like
+// o.Reg().Inc(...) cost one pointer test when observability is off).
+func (o *Observer) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Profile returns the cycle-attribution profiler (nil when disabled).
+func (o *Observer) Profile() *Profiler {
+	if o == nil {
+		return nil
+	}
+	return &o.prof
+}
+
+// coreRing returns (allocating on first use) the ring for a core.
+func (o *Observer) coreRing(core int) *ring {
+	if core < 0 {
+		core = 0
+	}
+	for core >= len(o.rings) {
+		o.rings = append(o.rings, nil)
+	}
+	if o.rings[core] == nil {
+		o.rings[core] = &ring{
+			spans: make([]Span, o.perCore),
+			open:  make([]Span, 0, maxOpenDepth),
+		}
+	}
+	return o.rings[core]
+}
+
+// Span records one closed interval. Negative-length spans are ignored;
+// zero-length spans are kept as instant markers.
+func (o *Observer) Span(core int, start, end sim.Time, cat Category, name string) {
+	if o == nil || end < start {
+		return
+	}
+	o.coreRing(core).add(Span{Core: core, Start: start, End: end, Cat: cat, Name: name})
+}
+
+// Mark records an instant marker (a zero-length span).
+func (o *Observer) Mark(core int, at sim.Time, cat Category, name string) {
+	o.Span(core, at, at, cat, name)
+}
+
+// Begin opens an interval on the core's span stack; the matching End closes
+// it. Intervals nest LIFO per core; opening deeper than the fixed stack
+// depth drops the innermost spans (counted, never silent).
+func (o *Observer) Begin(core int, at sim.Time, cat Category, name string) {
+	if o == nil {
+		return
+	}
+	r := o.coreRing(core)
+	if len(r.open) == cap(r.open) {
+		r.openOverflows++
+		return
+	}
+	r.open = append(r.open, Span{Core: core, Start: at, Cat: cat, Name: name})
+}
+
+// End closes the innermost open interval on the core, recording it with the
+// given end time. An End with no matching Begin is a no-op.
+func (o *Observer) End(core int, at sim.Time) {
+	if o == nil {
+		return
+	}
+	r := o.coreRing(core)
+	if len(r.open) == 0 {
+		return
+	}
+	s := r.open[len(r.open)-1]
+	r.open = r.open[:len(r.open)-1]
+	s.End = at
+	if s.End < s.Start {
+		s.End = s.Start
+	}
+	r.add(s)
+}
+
+// Charge adds d to the profiler bucket (core, name, cat). The scheduling
+// accountant calls this with window-clipped durations so the profile obeys
+// the conservation law; overlay spans are recorded but never charged.
+func (o *Observer) Charge(core int, name string, cat Category, d sim.Duration) {
+	if o == nil || d <= 0 {
+		return
+	}
+	o.prof.charge(core, name, cat, d)
+}
+
+// UintrDeferred opens the deferred-delivery window of a user interrupt
+// whose receiver (conventionally tracked by its core id) was descheduled or
+// suppressed at SENDUIPI time. Subsequent deferred posts to the same
+// receiver fold into the one open window, mirroring the UPID's PIR bitmap.
+func (o *Observer) UintrDeferred(core int, at sim.Time) {
+	if o == nil {
+		return
+	}
+	r := o.coreRing(core)
+	if !r.uintrPending {
+		r.uintrPending = true
+		r.uintrSince = at
+	}
+}
+
+// UintrFlush closes a pending deferred-delivery window: the receiver
+// reattached and its posted vectors reached the handler. Without a pending
+// window it is a no-op.
+func (o *Observer) UintrFlush(core int, at sim.Time) {
+	if o == nil {
+		return
+	}
+	r := o.coreRing(core)
+	if !r.uintrPending {
+		return
+	}
+	r.uintrPending = false
+	if at < r.uintrSince {
+		at = r.uintrSince
+	}
+	r.add(Span{Core: core, Start: r.uintrSince, End: at, Cat: CatUintr, Name: "uintr.deferred"})
+}
+
+// Spans returns every retained span, sorted by (Start, Core, End, Cat,
+// Name) — the canonical export order. The sort is stable over each ring's
+// recording order, so the result is a pure function of the recorded
+// sequence.
+func (o *Observer) Spans() []Span {
+	if o == nil {
+		return nil
+	}
+	var out []Span
+	for _, r := range o.rings {
+		if r != nil {
+			out = r.snapshot(out)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Core != b.Core {
+			return a.Core < b.Core
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Cat != b.Cat {
+			return a.Cat < b.Cat
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// Overwritten returns how many spans were evicted by ring wraparound,
+// summed over cores — reported by every exporter so a truncated timeline is
+// never mistaken for a complete one.
+func (o *Observer) Overwritten() uint64 {
+	if o == nil {
+		return 0
+	}
+	var n uint64
+	for _, r := range o.rings {
+		if r != nil {
+			n += r.overwritten
+		}
+	}
+	return n
+}
+
+// SpanCount returns the number of retained spans.
+func (o *Observer) SpanCount() int {
+	if o == nil {
+		return 0
+	}
+	n := 0
+	for _, r := range o.rings {
+		if r == nil {
+			continue
+		}
+		if r.full {
+			n += len(r.spans)
+		} else {
+			n += r.next
+		}
+	}
+	return n
+}

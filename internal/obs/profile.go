@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vessel/internal/sim"
+)
+
+// Key addresses one profiler bucket: which core, which occupant (app or
+// uProcess name), which category.
+type Key struct {
+	Core int
+	Name string
+	Cat  Category
+}
+
+// Profiler charges simulated cycles (as virtual nanoseconds) to
+// (core, occupant, category) buckets. The scheduling accountant feeds it
+// window-clipped activity durations, so the activity buckets partition the
+// measured interval exactly — the conservation law the conformance oracle
+// checks. Charging is allocation-free after a bucket's first touch.
+type Profiler struct {
+	buckets map[Key]sim.Duration
+}
+
+func (p *Profiler) charge(core int, name string, cat Category, d sim.Duration) {
+	if p.buckets == nil {
+		p.buckets = make(map[Key]sim.Duration)
+	}
+	p.buckets[Key{Core: core, Name: name, Cat: cat}] += d
+}
+
+// Get returns one bucket's accumulated time.
+func (p *Profiler) Get(core int, name string, cat Category) sim.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.buckets[Key{Core: core, Name: name, Cat: cat}]
+}
+
+// CategoryTotals sums buckets per category.
+func (p *Profiler) CategoryTotals() [NumCategories]sim.Duration {
+	var out [NumCategories]sim.Duration
+	if p == nil {
+		return out
+	}
+	for k, v := range p.buckets {
+		out[k.Cat] += v
+	}
+	return out
+}
+
+// ActivityTotal sums the five partition categories — the quantity that must
+// equal cores × measured duration (and the result's cycle-breakdown total).
+func (p *Profiler) ActivityTotal() sim.Duration {
+	totals := p.CategoryTotals()
+	var sum sim.Duration
+	for c := Category(0); c <= CatSwitch; c++ {
+		sum += totals[c]
+	}
+	return sum
+}
+
+// sortedKeys returns bucket keys in the canonical (Core, Name, Cat) order.
+func (p *Profiler) sortedKeys() []Key {
+	if p == nil {
+		return nil
+	}
+	keys := make([]Key, 0, len(p.buckets))
+	for k := range p.buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Core != b.Core {
+			return a.Core < b.Core
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Cat < b.Cat
+	})
+	return keys
+}
+
+func displayName(name string) string {
+	if name == "" {
+		return "-"
+	}
+	return name
+}
+
+// Table renders the top-n buckets by charged time as a text table, with a
+// per-category footer. n ≤ 0 renders every bucket. Ordering is charged time
+// descending, ties broken by the canonical key order, so the rendering is
+// deterministic.
+func (p *Profiler) Table(n int) string {
+	keys := p.sortedKeys()
+	sort.SliceStable(keys, func(i, j int) bool {
+		return p.buckets[keys[i]] > p.buckets[keys[j]]
+	})
+	total := p.ActivityTotal()
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle attribution (total %v over activity categories)\n", total)
+	fmt.Fprintf(&b, "%-5s %-16s %-9s %14s %7s\n", "core", "occupant", "category", "ns", "share")
+	shown := 0
+	for _, k := range keys {
+		if n > 0 && shown >= n {
+			fmt.Fprintf(&b, "... %d more buckets\n", len(keys)-shown)
+			break
+		}
+		v := p.buckets[k]
+		share := 0.0
+		if total > 0 && k.Cat.Activity() {
+			share = float64(v) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-5d %-16s %-9s %14d %6.2f%%\n",
+			k.Core, displayName(k.Name), k.Cat, int64(v), 100*share)
+		shown++
+	}
+	totals := p.CategoryTotals()
+	b.WriteString("per-category totals:")
+	for c := Category(0); c < NumCategories; c++ {
+		if totals[c] != 0 {
+			fmt.Fprintf(&b, " %s=%d", c, int64(totals[c]))
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Collapsed renders the buckets in collapsed-stack form — one
+// "core;occupant;category count" line per bucket, sorted by the canonical
+// key order — directly consumable by flamegraph.pl and speedscope.
+func (p *Profiler) Collapsed() string {
+	var b strings.Builder
+	for _, k := range p.sortedKeys() {
+		fmt.Fprintf(&b, "core%d;%s;%s %d\n", k.Core, displayName(k.Name), k.Cat, int64(p.buckets[k]))
+	}
+	return b.String()
+}
+
+// FromSpans builds a profiler by charging every span's full (unclipped)
+// duration — how cmd/traceconv derives collapsed stacks and attribution
+// tables from a recorded timeline after the fact.
+func FromSpans(spans []Span) *Profiler {
+	p := &Profiler{}
+	for _, s := range spans {
+		if d := s.Duration(); d > 0 {
+			p.charge(s.Core, s.Name, s.Cat, d)
+		}
+	}
+	return p
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"vessel/internal/obs"
 	"vessel/internal/sim"
 	"vessel/internal/trace"
 )
@@ -32,20 +33,51 @@ func kindOf(act Activity) trace.Kind {
 	}
 }
 
+// CatOf maps an Activity to its obs category. The two enums share ordering
+// by construction — obs.CatIdle..obs.CatSwitch mirror ActIdle..ActSwitch —
+// so the conversion is a cast, asserted here rather than assumed.
+func CatOf(act Activity) obs.Category {
+	return obs.Category(act)
+}
+
+// Compile-time alignment assertions: the array index must be the constant 0,
+// so any drift between the enums breaks the build.
+var (
+	_ = [1]struct{}{}[uint8(obs.CatIdle)-uint8(ActIdle)]
+	_ = [1]struct{}{}[uint8(obs.CatApp)-uint8(ActApp)]
+	_ = [1]struct{}{}[uint8(obs.CatRuntime)-uint8(ActRuntime)]
+	_ = [1]struct{}{}[uint8(obs.CatKernel)-uint8(ActKernel)]
+	_ = [1]struct{}{}[uint8(obs.CatSwitch)-uint8(ActSwitch)]
+)
+
 // Accountant accrues per-activity core time clipped to the measurement
 // window [From, To]. When Trace is set, every accrued span is also
-// recorded as a timeline segment.
+// recorded as a timeline segment; when Obs is set, it is also recorded as
+// an observability span (unclipped, for the timeline) and charged to the
+// cycle-attribution profiler (clipped, so the profile's activity buckets
+// exactly partition the measured interval — the conservation oracle in
+// internal/conformance depends on every breakdown accrual passing through
+// AccrueCore).
 type Accountant struct {
 	From, To  sim.Time
 	Breakdown CycleBreakdown
 	Trace     *trace.Recorder
+	Obs       *obs.Observer
 }
 
 // AccrueCore is Accrue plus timeline recording for the given core.
 func (a *Accountant) AccrueCore(core int, act Activity, t0, t1 sim.Time, label string) {
 	a.Accrue(act, t0, t1)
-	if a.Trace != nil && t1 > t0 {
+	if t1 <= t0 {
+		return
+	}
+	if a.Trace != nil {
 		a.Trace.Add(core, t0, t1, kindOf(act), label)
+	}
+	if a.Obs != nil {
+		cat := CatOf(act)
+		a.Obs.Span(core, t0, t1, cat, label)
+		a.Obs.Charge(core, label, cat, a.Clip(t0, t1))
 	}
 }
 

@@ -92,7 +92,7 @@ func (s Simulator) Run(cfg sched.Config) (sched.Result, error) {
 		lWork:  make(map[*workload.App]sim.Duration),
 	}
 	r.endAt = sim.Time(cfg.Warmup + cfg.Duration)
-	r.acct = sched.Accountant{From: sim.Time(cfg.Warmup), To: r.endAt, Trace: cfg.Trace}
+	r.acct = sched.Accountant{From: sim.Time(cfg.Warmup), To: r.endAt, Trace: cfg.Trace, Obs: cfg.Obs}
 	for i := 0; i < cfg.Cores; i++ {
 		r.cores = append(r.cores, &core{id: i, act: sched.ActIdle})
 	}
@@ -331,12 +331,17 @@ func (r *run) stopB(c *core) {
 
 // collect finalises accounting.
 func (r *run) collect() (sched.Result, error) {
-	now := r.eng.Now()
 	for _, c := range r.cores {
 		if c.owner != nil && c.l == nil {
 			r.stopB(c)
 		}
-		r.acct.Accrue(c.act, c.lastT, now)
+		// Close the span through setAct so it keeps its occupant label
+		// (and reaches the obs timeline/profiler like every other accrual).
+		r.setAct(c, c.act)
+	}
+	if o := r.cfg.Obs; o != nil {
+		o.Reg().Add("arachne.switches", r.switches)
+		o.Reg().Add("arachne.reallocs", r.reallocs)
 	}
 	res := sched.Result{
 		Scheduler:     "Arachne",

@@ -127,7 +127,7 @@ func (s Simulator) Run(cfg sched.Config) (sched.Result, error) {
 		lWork:  make(map[*workload.App]sim.Duration),
 	}
 	r.endAt = sim.Time(cfg.Warmup + cfg.Duration)
-	r.acct = sched.Accountant{From: sim.Time(cfg.Warmup), To: r.endAt, Trace: cfg.Trace}
+	r.acct = sched.Accountant{From: sim.Time(cfg.Warmup), To: r.endAt, Trace: cfg.Trace, Obs: cfg.Obs}
 	if cfg.BWTargetFrac > 0 {
 		r.bwCap = cfg.BWTargetFrac * cfg.Costs.MemBWTotal
 	}
@@ -471,13 +471,18 @@ func (r *run) transition(c *core, app *workload.App, cost sim.Duration) {
 
 // collect finalises accounting.
 func (r *run) collect() (sched.Result, error) {
-	now := r.eng.Now()
 	for _, c := range r.cores {
+		// Close the span through setAct (before stopB clears the owner) so
+		// it keeps its occupant label and reaches the obs layer.
+		r.setAct(c, c.act)
 		if c.mode == modeRunB {
 			r.stopB(c)
 		}
-		r.acct.Accrue(c.act, c.lastT, now)
-		c.lastT = now
+	}
+	if o := r.cfg.Obs; o != nil {
+		o.Reg().Add("caladan.switches", r.switches)
+		o.Reg().Add("caladan.preempts", r.preempts)
+		o.Reg().Add("caladan.reallocs", r.reallocs)
 	}
 	res := sched.Result{
 		Scheduler:     r.v.Name(),

@@ -114,7 +114,7 @@ func (s Simulator) Run(cfg sched.Config) (sched.Result, error) {
 	}
 	r.k = kernel.New(r.eng, cfg.Costs)
 	r.endAt = sim.Time(cfg.Warmup + cfg.Duration)
-	r.acct = sched.Accountant{From: sim.Time(cfg.Warmup), To: r.endAt, Trace: cfg.Trace}
+	r.acct = sched.Accountant{From: sim.Time(cfg.Warmup), To: r.endAt, Trace: cfg.Trace, Obs: cfg.Obs}
 	for i := 0; i < cfg.Cores; i++ {
 		r.cores = append(r.cores, &core{id: i, rq: kernel.NewRunqueue(), act: sched.ActIdle})
 	}
@@ -404,7 +404,13 @@ func (r *run) collect() (sched.Result, error) {
 				r.bWall[c.cur.app] += useful
 			}
 		}
-		r.acct.Accrue(c.act, c.lastT, now)
+		// Close the span through setAct so it keeps its occupant label
+		// (and reaches the obs timeline/profiler like every other accrual).
+		r.setAct(c, c.act)
+	}
+	if o := r.cfg.Obs; o != nil {
+		o.Reg().Add("cfs.switches", r.switches)
+		o.Reg().Add("cfs.preempts", r.preempts)
 	}
 	res := sched.Result{
 		Scheduler:   "Linux",

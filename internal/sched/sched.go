@@ -13,6 +13,7 @@ import (
 	"strconv"
 
 	"vessel/internal/cpu"
+	"vessel/internal/obs"
 	"vessel/internal/sim"
 	"vessel/internal/stats"
 	"vessel/internal/trace"
@@ -35,6 +36,10 @@ type Config struct {
 	// Trace, when non-nil, records per-core execution segments for
 	// Figure 7-style timeline rendering.
 	Trace *trace.Recorder
+	// Obs, when non-nil, enables the deterministic observability layer:
+	// span timelines, cycle-attribution profiling, and the metrics
+	// registry (internal/obs). Nil means fully disabled.
+	Obs *obs.Observer
 }
 
 // Validate checks a config and fills defaults.

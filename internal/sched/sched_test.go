@@ -65,7 +65,7 @@ func TestResultCanonicalStability(t *testing.T) {
 		Switches:  7,
 		Apps: []AppResult{
 			{Name: "a", Kind: workload.LatencyCritical, Offered: 10, Completed: 9,
-				Latency: stats.Summary{Count: 9, Avg: 1.5, P50: 1, P90: 2, P99: 3, P999: 4, Max: 5},
+				Latency:  stats.Summary{Count: 9, Avg: 1.5, P50: 1, P90: 2, P99: 3, P999: 4, Max: 5},
 				NormTput: 0.25},
 			{Name: "b", Kind: workload.BestEffort, BUsefulNs: 100, BWallNs: 120, AvgBWGBs: 8.4},
 		},

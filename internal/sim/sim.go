@@ -85,6 +85,9 @@ type Engine struct {
 	queue   eventHeap
 	stopped bool
 	fired   uint64
+	// hwPending is the deepest the event queue has ever been — a cheap
+	// health signal the observability layer surfaces per run.
+	hwPending int
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -111,8 +114,15 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	ev := &Event{at: t, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, ev)
+	if len(e.queue) > e.hwPending {
+		e.hwPending = len(e.queue)
+	}
 	return ev
 }
+
+// HighWaterPending returns the maximum number of simultaneously scheduled
+// events observed over the engine's lifetime.
+func (e *Engine) HighWaterPending() int { return e.hwPending }
 
 // After schedules fn to run d after the current time. A non-positive d means
 // "as soon as possible, after already-queued events at the current instant".

@@ -54,6 +54,26 @@ func (c *Counters) Names() []string {
 	return out
 }
 
+// KV is one counter's name and value, as captured by Snapshot.
+type KV struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// Snapshot returns every counter as name/value pairs in insertion order,
+// captured under a single lock acquisition — the consistent-read form for
+// callers that would otherwise pair Names() with one Get() per name (one
+// lock round-trip each, and values that can shear between reads).
+func (c *Counters) Snapshot() []KV {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]KV, len(c.names))
+	for i, n := range c.names {
+		out[i] = KV{Name: n, Value: c.values[n]}
+	}
+	return out
+}
+
 // String renders "name=value" lines in insertion order.
 func (c *Counters) String() string {
 	c.mu.Lock()

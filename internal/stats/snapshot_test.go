@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersSnapshotOrderAndValues(t *testing.T) {
+	c := NewCounters()
+	c.Inc("z")
+	c.Add("a", 10)
+	c.Inc("z")
+	snap := c.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries", len(snap))
+	}
+	if snap[0] != (KV{Name: "z", Value: 2}) || snap[1] != (KV{Name: "a", Value: 10}) {
+		t.Fatalf("snapshot = %+v (insertion order required)", snap)
+	}
+	// The snapshot is a copy: later mutation must not leak in.
+	c.Inc("z")
+	if snap[0].Value != 2 {
+		t.Fatal("snapshot aliased live state")
+	}
+}
+
+func TestCountersSnapshotConcurrent(t *testing.T) {
+	c := NewCounters()
+	c.Inc("seed")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Inc("seed")
+				c.Inc("other")
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		for _, kv := range c.Snapshot() {
+			if kv.Name == "" {
+				t.Error("empty name in snapshot")
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -108,10 +108,13 @@ func (l *EventLog) String() string {
 }
 
 // Tail returns a copy of the last n events (all of them when n exceeds the
-// length).
+// length, none when n is negative).
 func (l *EventLog) Tail(n int) []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
 	if n > len(l.events) {
 		n = len(l.events)
 	}

@@ -1,0 +1,23 @@
+package trace
+
+import "testing"
+
+// Tail used to panic on negative n (make with a negative length); it must
+// clamp to "no events" instead.
+func TestTailClampsNegativeN(t *testing.T) {
+	l := NewEventLog(0)
+	l.Record(1, "a", "")
+	l.Record(2, "b", "")
+	if got := l.Tail(-1); len(got) != 0 {
+		t.Fatalf("Tail(-1) returned %d events", len(got))
+	}
+	if got := l.Tail(-1 << 40); len(got) != 0 {
+		t.Fatal("Tail(very negative) returned events")
+	}
+	if got := l.Tail(1); len(got) != 1 || got[0].Name != "b" {
+		t.Fatalf("Tail(1) = %+v", got)
+	}
+	if got := l.Tail(99); len(got) != 2 {
+		t.Fatalf("Tail(99) = %d events", len(got))
+	}
+}

@@ -24,6 +24,36 @@ type UPID struct {
 	SN  bool   // suppress notifications (receiver opted out temporarily)
 }
 
+// Outcome classifies the disposition of one SENDUIPI, for observers.
+type Outcome uint8
+
+const (
+	// Delivered: the notification reached (or was scheduled to reach) the
+	// receiver's handler directly.
+	Delivered Outcome = iota
+	// Deferred: the receiver was descheduled; the vector parked in the PIR.
+	Deferred
+	// Suppressed: the UPID's SN bit swallowed the notification.
+	Suppressed
+	// Dropped: the fault-injection interposer discarded the post.
+	Dropped
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Delivered:
+		return "delivered"
+	case Deferred:
+		return "deferred"
+	case Suppressed:
+		return "suppressed"
+	case Dropped:
+		return "dropped"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
 // Receiver is a thread-side endpoint: a UPID plus the binding to the core
 // the receiver thread currently occupies (nil when descheduled).
 type Receiver struct {
@@ -35,6 +65,10 @@ type Receiver struct {
 	// posts that arrived while the receiver was descheduled.
 	Delivered uint64
 	Deferred  uint64
+	// OnFlush, when non-nil, fires in Attach whenever deferred vectors
+	// flush from the PIR to the newly attached core — the close of a
+	// deferred-delivery window.
+	OnFlush func(flushed uint64)
 }
 
 // NewReceiver returns a receiver with no core attached. The handler address
@@ -49,9 +83,13 @@ func (r *Receiver) Attach(core *cpu.Core) {
 	r.core = core
 	core.HandlerAddr = r.handler
 	if r.upid.PIR != 0 {
+		flushed := r.upid.PIR
 		core.PendingVectors |= r.upid.PIR
 		r.upid.PIR = 0
 		r.upid.ON = false
+		if r.OnFlush != nil {
+			r.OnFlush(flushed)
+		}
 	}
 }
 
@@ -104,6 +142,9 @@ type Sender struct {
 	Interpose func(idx int, vector uint8) Tamper
 	// Dropped counts sends discarded by the interposer.
 	Dropped uint64
+	// OnSend, when non-nil, observes every SENDUIPI with its disposition,
+	// after the send is resolved but before any delayed delivery fires.
+	OnSend func(idx int, vector uint8, o Outcome)
 }
 
 // NewSender creates a sender with capacity table entries. eng may be nil for
@@ -145,9 +186,15 @@ func (s *Sender) SendUIPI(idx int) (sim.Duration, error) {
 	e := s.uitt[idx]
 	r := e.Receiver
 	s.Sent++
+	observe := func(o Outcome) {
+		if s.OnSend != nil {
+			s.OnSend(idx, e.Vector, o)
+		}
+	}
 	if s.Interpose != nil {
 		if t := s.Interpose(idx, e.Vector); t.Drop {
 			s.Dropped++
+			observe(Dropped)
 			return s.costs.UintrSend, nil
 		}
 	}
@@ -155,6 +202,7 @@ func (s *Sender) SendUIPI(idx int) (sim.Duration, error) {
 		// Suppressed: post into PIR only; no notification.
 		r.upid.PIR |= 1 << (e.Vector & 63)
 		r.Deferred++
+		observe(Suppressed)
 		return s.costs.UintrSend, nil
 	}
 	if r.core == nil {
@@ -162,8 +210,10 @@ func (s *Sender) SendUIPI(idx int) (sim.Duration, error) {
 		r.upid.PIR |= 1 << (e.Vector & 63)
 		r.upid.ON = true
 		r.Deferred++
+		observe(Deferred)
 		return s.costs.UintrSend, nil
 	}
+	observe(Delivered)
 	deliver := func() {
 		// The receiver may have been descheduled between post and
 		// notification; re-check and defer if so.

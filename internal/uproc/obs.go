@@ -1,0 +1,122 @@
+package uproc
+
+import (
+	"vessel/internal/callgate"
+	"vessel/internal/cpu"
+	"vessel/internal/mpk"
+	"vessel/internal/obs"
+	"vessel/internal/sim"
+	"vessel/internal/uintr"
+)
+
+// coreTime converts a core's cycle counter to virtual time under the
+// machine's cost model — the layer-1 clock the observability spans use.
+// Each core's clock is its own (layer-1 cores step independently), which is
+// exactly the semantics a per-core timeline wants.
+func (d *Domain) coreTime(c *cpu.Core) sim.Time {
+	return sim.Time(int64(d.Machine.NsFor(c.Cycles)))
+}
+
+// obsMark drops an instant marker at the core's current time, when an
+// observer is attached.
+func (d *Domain) obsMark(c *cpu.Core, cat obs.Category, name string) {
+	if d.Obs != nil {
+		d.Obs.Mark(c.ID, d.coreTime(c), cat, name)
+	}
+}
+
+// AttachObs installs the observability layer across the domain's layer-1
+// instrumentation points: WRPKRU retirement on every core, call-gate body
+// invocations, SENDUIPI dispositions (including deferred-delivery windows
+// closed on reattach), and protection-key lifecycle. The hooks chain with
+// anything already installed. Attaching a nil observer is a no-op.
+func (d *Domain) AttachObs(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	d.Obs = o
+
+	// WRPKRU: one span per retired write, spanning the modeled cost, on
+	// the writing core's own clock — the libmpk probe.
+	wrCost := sim.Duration(int64(d.Machine.NsFor(d.Machine.Costs.WrPkruCycles)))
+	for i := 0; i < d.Machine.NumCores(); i++ {
+		c := d.Machine.Core(i)
+		prev := c.Hooks.OnWrPkru
+		c.Hooks.OnWrPkru = func(c *cpu.Core, old mpk.PKRU) {
+			at := d.coreTime(c)
+			o.Span(c.ID, at, at.Add(wrCost), obs.CatWrPkru, "")
+			o.Charge(c.ID, "", obs.CatWrPkru, wrCost)
+			o.Reg().Inc("uproc.wrpkru")
+			if prev != nil {
+				prev(c, old)
+			}
+		}
+	}
+
+	// Gate crossings: every runtime-function body that runs privileged.
+	prevInvoke := d.RT.OnInvoke
+	d.RT.OnInvoke = func(c *cpu.Core, fid callgate.FuncID, name string) {
+		d.obsMark(c, obs.CatGate, name)
+		o.Reg().Inc("uproc.gate." + name)
+		if prevInvoke != nil {
+			prevInvoke(c, fid, name)
+		}
+	}
+
+	// UINTR: count every SENDUIPI by disposition; deferred posts open a
+	// per-receiver window (UITT index i routes to core i) that closes when
+	// the receiver reattaches and its PIR flushes.
+	prevSend := d.Sched.OnSend
+	d.Sched.OnSend = func(idx int, vector uint8, out uintr.Outcome) {
+		o.Reg().Inc("uproc.uintr." + out.String())
+		if out == uintr.Deferred || out == uintr.Suppressed {
+			if idx >= 0 && idx < d.Machine.NumCores() {
+				o.UintrDeferred(idx, d.coreTime(d.Machine.Core(idx)))
+			}
+		}
+		if prevSend != nil {
+			prevSend(idx, vector, out)
+		}
+	}
+	for i := range d.cores {
+		i := i
+		r := d.cores[i].receiver
+		if r == nil {
+			continue
+		}
+		prevFlush := r.OnFlush
+		r.OnFlush = func(flushed uint64) {
+			o.UintrFlush(i, d.coreTime(d.Machine.Core(i)))
+			o.Reg().Inc("uproc.uintr.flush")
+			if prevFlush != nil {
+				prevFlush(flushed)
+			}
+		}
+	}
+
+	// Protection-key lifecycle (pkey_alloc/pkey_free pressure).
+	prevAlloc, prevFree := d.S.Keys.OnAlloc, d.S.Keys.OnFree
+	d.S.Keys.OnAlloc = func(k mpk.PKey) {
+		o.Reg().Inc("uproc.pkey.alloc")
+		o.Reg().Observe("uproc.pkey.inuse", int64(mpk.NumKeys-d.S.Keys.Available()))
+		if prevAlloc != nil {
+			prevAlloc(k)
+		}
+	}
+	d.S.Keys.OnFree = func(k mpk.PKey) {
+		o.Reg().Inc("uproc.pkey.free")
+		if prevFree != nil {
+			prevFree(k)
+		}
+	}
+}
+
+// obsKill records a watchdog or containment kill as an instant marker and a
+// registry counter ("uproc.kill.watchdog" / "uproc.kill.fault").
+func (d *Domain) obsKill(c *cpu.Core, kind, uprocName string) {
+	if d.Obs == nil {
+		return
+	}
+	d.obsMark(c, obs.CatWatchdog, kind+":"+uprocName)
+	d.Obs.Reg().Inc("uproc.kill." + kind)
+}

@@ -20,6 +20,7 @@ import (
 	"vessel/internal/kernel"
 	"vessel/internal/mem"
 	"vessel/internal/mpk"
+	"vessel/internal/obs"
 	"vessel/internal/sim"
 	"vessel/internal/smas"
 	"vessel/internal/trace"
@@ -179,6 +180,10 @@ type Domain struct {
 	// application images cannot carry Go hooks (the loader's code
 	// inspection rejects them).
 	OnActivate func(core int, t *Thread)
+	// Obs, when non-nil, is the observability layer; install it with
+	// AttachObs so the layer-1 hooks (WRPKRU, gate bodies, UINTR
+	// dispositions, pkey lifecycle) are wired too.
+	Obs *obs.Observer
 
 	cores      []*coreState
 	uprocs     []*UProc
@@ -591,6 +596,7 @@ func (d *Domain) schedImpl(c *cpu.Core) *mem.Fault {
 		if wd.HardBudgetCycles > 0 && t.BurnCycles > wd.HardBudgetCycles {
 			wd.Kills++
 			d.event("watchdog.kill", fmt.Sprintf("core=%d uproc=%s thread=%d burn=%d", c.ID, t.U.Name, t.ID, t.BurnCycles))
+			d.obsKill(c, "watchdog", t.U.Name)
 			d.killUProc(t.U, c.ID)
 		} else if wd.SoftBudgetCycles > 0 && t.BurnCycles > wd.SoftBudgetCycles {
 			wd.Overruns++
@@ -709,6 +715,7 @@ func (d *Domain) faultHook(c *cpu.Core, f *mem.Fault) bool {
 	cur.U.FaultSignals++
 	cur.State = ThreadDead
 	d.event("contain.fault", fmt.Sprintf("core=%d uproc=%s addr=%#x kind=%d", c.ID, cur.U.Name, uint64(f.Addr), f.Kind))
+	d.obsKill(c, "fault", cur.U.Name)
 	d.killUProc(cur.U, c.ID)
 	d.switchNext(c, cs)
 	if cs.current == nil {

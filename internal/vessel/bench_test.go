@@ -4,15 +4,18 @@ import (
 	"testing"
 
 	"vessel/internal/cpu"
+	"vessel/internal/obs"
 	"vessel/internal/sched"
 	"vessel/internal/sim"
 	"vessel/internal/workload"
 )
 
-// BenchmarkSimulatorThroughput measures the layer-2 simulator's host cost:
-// one full colocation run per iteration (requests simulated per host
-// second are reported as a custom metric).
-func BenchmarkSimulatorThroughput(b *testing.B) {
+// benchRun executes one full colocation run, optionally with the
+// observability layer attached. makeObs returns nil for the disabled
+// path — the guard we care about: obs off must cost within noise of
+// the pre-obs simulator.
+func benchRun(b *testing.B, makeObs func() *obs.Observer) {
+	b.Helper()
 	var totalReqs uint64
 	for i := 0; i < b.N; i++ {
 		mc := workload.NewLApp("memcached", workload.Memcached(), 4e6)
@@ -23,6 +26,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			Warmup:   2 * sim.Millisecond,
 			Apps:     []*workload.App{mc, workload.Linpack()},
 			Costs:    cpu.Default(),
+			Obs:      makeObs(),
 		}
 		res, err := Simulator{}.Run(cfg)
 		if err != nil {
@@ -32,4 +36,21 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		totalReqs += a.Completed
 	}
 	b.ReportMetric(float64(totalReqs)/b.Elapsed().Seconds(), "sim-reqs/s")
+}
+
+// BenchmarkSimulatorThroughput measures the layer-2 simulator's host cost:
+// one full colocation run per iteration (requests simulated per host
+// second are reported as a custom metric). Observability disabled — the
+// default configuration and the baseline for the <2% overhead guard
+// (see DESIGN.md §10).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	benchRun(b, func() *obs.Observer { return nil })
+}
+
+// BenchmarkSimulatorThroughputObs is the same run with span timelines,
+// profiling, and the metrics registry enabled (default ring size).
+// Compare against BenchmarkSimulatorThroughput to measure the cost of
+// turning observability on.
+func BenchmarkSimulatorThroughputObs(b *testing.B) {
+	benchRun(b, func() *obs.Observer { return obs.New(0) })
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"vessel/internal/faultinject"
+	"vessel/internal/obs"
 	"vessel/internal/sim"
 	"vessel/internal/smas"
 	"vessel/internal/trace"
@@ -174,6 +175,7 @@ func (mg *Manager) pollSupervised() error {
 		s.pending = true
 		mg.event("restart.schedule", fmt.Sprintf("uproc=%s backoff=%v", s.name, backoff))
 		sup := s
+		scheduledAt := now
 		mg.eng.After(backoff, func() {
 			sup.pending = false
 			sup.restarts++
@@ -187,6 +189,12 @@ func (mg *Manager) pollSupervised() error {
 			}
 			sup.u = u
 			mg.event("restart", fmt.Sprintf("uproc=%s n=%d", sup.name, sup.restarts))
+			// The restart span covers schedule→relaunch: the whole
+			// backoff window the uProcess spent dead, on its home core.
+			if o := mg.Domain.Obs; o != nil {
+				o.Span(sup.core, scheduledAt, sup.lastStart, obs.CatRestart, sup.name)
+				o.Reg().Inc("vessel.restarts")
+			}
 			if _, err := mg.Domain.Wake(sup.core); err != nil {
 				sup.err = err
 			}

@@ -5,6 +5,7 @@ import (
 
 	"vessel/internal/cpu"
 	"vessel/internal/faultinject"
+	"vessel/internal/obs"
 	"vessel/internal/sim"
 	"vessel/internal/smas"
 	"vessel/internal/trace"
@@ -48,6 +49,11 @@ func NewManager(cores int, costs *cpu.CostModel) (*Manager, error) {
 	}
 	return &Manager{Domain: d, eng: eng, m: m, named: make(map[string]*uproc.UProc)}, nil
 }
+
+// AttachObs installs the observability layer across the manager's domain
+// (WRPKRU, gates, UINTR, pkeys, kills) and enables the manager's own
+// restart spans. Nil is a no-op.
+func (mg *Manager) AttachObs(o *obs.Observer) { mg.Domain.AttachObs(o) }
 
 // Launch creates a uProcess from a program (fork of the hosting kProcess,
 // SMAS attach, load with code inspection) and pins its main thread to the

@@ -17,6 +17,7 @@
 package vessel
 
 import (
+	"vessel/internal/obs"
 	"vessel/internal/sched"
 	"vessel/internal/sim"
 	"vessel/internal/stats"
@@ -90,7 +91,7 @@ func (Simulator) Run(cfg sched.Config) (sched.Result, error) {
 		reacting: make(map[*workload.App]bool),
 	}
 	r.endAt = sim.Time(cfg.Warmup + cfg.Duration)
-	r.acct = sched.Accountant{From: sim.Time(cfg.Warmup), To: r.endAt, Trace: cfg.Trace}
+	r.acct = sched.Accountant{From: sim.Time(cfg.Warmup), To: r.endAt, Trace: cfg.Trace, Obs: cfg.Obs}
 	if cfg.BWTargetFrac > 0 {
 		r.bwCap = cfg.BWTargetFrac * cfg.Costs.MemBWTotal
 	}
@@ -268,6 +269,12 @@ func (r *vesselRun) preemptB(c *coreState) {
 	r.preempts++
 	r.reallocs++
 	now := r.eng.Now()
+	// The preemption arrived by user interrupt: the reaction timer included
+	// one UintrDeliver of flight, so the send→delivery window ends now.
+	if o := r.cfg.Obs; o != nil {
+		o.Span(c.id, now.Add(-cm.UintrDeliver), now, obs.CatUintr, b.Name)
+		o.Reg().Inc("vessel.uintr.preempt")
+	}
 	// Accrue the B run's useful time, deflated by memory contention.
 	useful := r.acct.Clip(c.bStart, now)
 	if useful > 0 {
@@ -462,8 +469,14 @@ func (r *vesselRun) collect() (sched.Result, error) {
 				r.bWall[c.runningB] += useful
 			}
 		}
-		r.acct.Accrue(c.act, c.lastT, now)
-		c.lastT = now
+		// Close the span through setAct so it keeps its occupant label
+		// (and reaches the obs timeline/profiler like every other accrual).
+		r.setAct(c, c.act)
+	}
+	if o := r.cfg.Obs; o != nil {
+		o.Reg().Add("vessel.switches", r.switches)
+		o.Reg().Add("vessel.preempts", r.preempts)
+		o.Reg().Add("vessel.reallocs", r.reallocs)
 	}
 	res := sched.Result{
 		Scheduler:     "VESSEL",
