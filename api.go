@@ -6,6 +6,7 @@ import (
 
 	"vessel/internal/cpu"
 	"vessel/internal/faultinject"
+	"vessel/internal/harness"
 	"vessel/internal/obs"
 	"vessel/internal/sched"
 	"vessel/internal/sched/arachne"
@@ -159,6 +160,53 @@ func SiloDist() ServiceDist { return workload.Silo() }
 func IdealCapacity(cores int, dist ServiceDist) float64 {
 	return sched.IdealLCapacity(cores, dist)
 }
+
+// Run-harness types, re-exported so sweeps are composed entirely through
+// this package: declare RunSpecs, gather them into a Plan, and execute on
+// a deterministic parallel Executor with an optional content-addressed
+// cache (DESIGN.md §11 "Run harness").
+type (
+	// RunSpec is the declarative, hashable description of one run.
+	RunSpec = harness.RunSpec
+	// AppSpec is a RunSpec's serializable application description.
+	AppSpec = harness.AppSpec
+	// BurstSpec is an AppSpec's ON/OFF arrival modulation.
+	BurstSpec = harness.BurstSpec
+	// Plan is an ordered list of RunSpecs; results always merge in plan
+	// order, independent of execution order.
+	Plan = harness.Plan
+	// Axes composes a Plan from sweep dimensions.
+	Axes = harness.Axes
+	// Executor runs plans on a worker pool with byte-identical output at
+	// any parallelism.
+	Executor = harness.Executor
+	// RunResult pairs a RunSpec with its result and cache provenance.
+	RunResult = harness.RunResult
+	// RunCache is the content-addressed result cache keyed by spec hash.
+	RunCache = harness.Cache
+)
+
+// NewExecutor builds an executor with the given worker-pool width
+// (≤ 0 selects DefaultParallel) backed by a content-addressed cache at
+// cacheDir (empty disables caching).
+func NewExecutor(parallel int, cacheDir string) (*Executor, error) {
+	e := &Executor{Parallel: parallel}
+	if cacheDir != "" {
+		c, err := harness.OpenCache(cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		e.Cache = c
+	}
+	return e, nil
+}
+
+// DefaultParallel is the default worker-pool width: the host's usable
+// parallelism, never less than one.
+func DefaultParallel() int { return harness.DefaultParallel() }
+
+// SchedulerNames lists every scheduler the harness can resolve by name.
+func SchedulerNames() []string { return harness.SchedulerNames() }
 
 // Fault-injection and chaos-harness types, re-exported so chaos runs are
 // driven entirely through this package (the robustness surface: see

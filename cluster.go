@@ -39,13 +39,29 @@ func NewCluster(domains, coresPerDomain int, costs *CostModel) (*Cluster, error)
 // Domains returns the number of domains.
 func (c *Cluster) Domains() int { return len(c.managers) }
 
-// Capacity returns how many more uProcesses the cluster can host.
+// Capacity returns how many more uProcesses the cluster can host. Each
+// domain contributes the smaller of its cluster-side budget and the
+// protection keys actually free in its SMAS — the two can disagree when
+// uProcesses were launched directly on a domain's manager, or when
+// destroyed regions still await reaping.
 func (c *Cluster) Capacity() int {
 	total := 0
-	for _, n := range c.perDomain {
-		total += MaxUProcsPerDomain - n
+	for i := range c.managers {
+		if free := c.domainFree(i); free > 0 {
+			total += free
+		}
 	}
 	return total
+}
+
+// domainFree is domain i's placeable headroom: the cluster's own count
+// clamped by the domain's free protection keys.
+func (c *Cluster) domainFree(i int) int {
+	free := MaxUProcsPerDomain - c.perDomain[i]
+	if avail := c.managers[i].KeysAvailable(); avail < free {
+		free = avail
+	}
+	return free
 }
 
 // Manager returns domain i's manager (to build programs against its gates).
@@ -64,21 +80,32 @@ func (c *Cluster) Launch(name string, build func(*Manager) (*Program, error), co
 	if _, dup := c.placement[name]; dup {
 		return nil, fmt.Errorf("vessel: uProcess %q already exists in the cluster", name)
 	}
+	var lastErr error
 	for i, m := range c.managers {
-		if c.perDomain[i] >= MaxUProcsPerDomain {
+		if c.domainFree(i) <= 0 {
 			continue
 		}
 		prog, err := build(m)
 		if err != nil {
+			// A build error is the caller's bug, not a capacity signal:
+			// fail the launch with no bookkeeping recorded anywhere.
 			return nil, err
 		}
 		u, err := m.Launch(name, prog, core)
 		if err != nil {
-			return nil, err
+			// The domain refused — e.g. its keys were consumed by
+			// uProcesses launched directly on its manager, or the name
+			// collides there. perDomain/placement stay untouched for the
+			// failed attempt; try the next domain.
+			lastErr = err
+			continue
 		}
 		c.perDomain[i]++
 		c.placement[name] = i
 		return u, nil
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("vessel: no domain accepted uProcess %q: %w", name, lastErr)
 	}
 	return nil, fmt.Errorf("vessel: cluster full (%d domains × %d uProcesses)",
 		len(c.managers), MaxUProcsPerDomain)
@@ -96,14 +123,21 @@ func (c *Cluster) Destroy(name string) error {
 	if err := m.Destroy(name); err != nil {
 		return err
 	}
+	// The kill command is in flight: from here the uProcess is gone from
+	// the cluster's point of view, so release the slot before reaping —
+	// a reap error must not leave the name permanently stuck in
+	// placement (the manager no longer knows it, so a retry could never
+	// succeed). Capacity stays honest either way because domainFree
+	// clamps on the SMAS's actual free keys, which an unreaped zombie
+	// still holds.
+	delete(c.placement, name)
+	c.perDomain[i]--
 	for core := 0; core < m.NumCores(); core++ {
 		m.Step(core, 2000)
 	}
 	if _, err := m.Reap(); err != nil {
 		return err
 	}
-	delete(c.placement, name)
-	c.perDomain[i]--
 	return nil
 }
 

@@ -72,3 +72,83 @@ func TestClusterBeyondThirteenUProcesses(t *testing.T) {
 		t.Fatal("zero domains accepted")
 	}
 }
+
+// TestClusterCapacityWithDirectManagerLaunches pins the bookkeeping
+// contract when uProcesses are launched directly on a domain's manager,
+// behind the cluster's back: Capacity must clamp on the keys actually
+// free in each SMAS, and Launch must skip the silently-full domain
+// instead of failing the cluster-wide placement.
+func TestClusterCapacityWithDirectManagerLaunches(t *testing.T) {
+	c, err := NewCluster(2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust domain 0's protection keys without telling the cluster.
+	m0 := c.Manager(0)
+	for i := 0; i < MaxUProcsPerDomain; i++ {
+		prog, err := buildParkLoop(m0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m0.Launch(fmt.Sprintf("direct-%02d", i), prog, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The cluster's own count says domain 0 is empty; the SMAS says it is
+	// full. Capacity must believe the SMAS.
+	if got := c.Capacity(); got != MaxUProcsPerDomain {
+		t.Fatalf("capacity = %d, want %d (only domain 1)", got, MaxUProcsPerDomain)
+	}
+	// A cluster launch must spill straight to domain 1 — before the
+	// audit, it aborted with domain 0's key-exhaustion error.
+	if _, err := c.Launch("spill", buildParkLoop, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := c.DomainOf("spill"); !ok || d != 1 {
+		t.Fatalf("spill placed in domain %d, want 1", d)
+	}
+	// Fill domain 1 and confirm exhaustion is reported as such, with no
+	// phantom capacity left over from the failed attempts.
+	for i := 1; i < MaxUProcsPerDomain; i++ {
+		if _, err := c.Launch(fmt.Sprintf("fill-%02d", i), buildParkLoop, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Capacity(); got != 0 {
+		t.Fatalf("capacity = %d, want 0", got)
+	}
+	if _, err := c.Launch("overflow", buildParkLoop, 0); err == nil {
+		t.Fatal("launch into a key-exhausted cluster accepted")
+	}
+}
+
+// TestClusterDestroyWithPendingReap pins Destroy's bookkeeping when the
+// lazy kill cannot land during its stepping — here the core was never
+// started, so the queued kill command stays undrained. The name must be
+// released immediately (the manager no longer knows it, so a stuck
+// placement could never be retried) while Capacity stays honest because
+// the unreaped zombie still holds its key.
+func TestClusterDestroyWithPendingReap(t *testing.T) {
+	c, err := NewCluster(1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Launch("spin", buildParkLoop, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Destroy("spin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.DomainOf("spin"); ok {
+		t.Fatal("placement not released after destroy")
+	}
+	// The kill has not landed: the zombie's key is still allocated, so
+	// the domain offers one slot fewer than its nominal budget.
+	if got := c.Capacity(); got != MaxUProcsPerDomain-1 {
+		t.Fatalf("capacity = %d, want %d (zombie key still held)", got, MaxUProcsPerDomain-1)
+	}
+	// The freed name is immediately reusable on a fresh key.
+	if _, err := c.Launch("spin", buildParkLoop, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,12 @@
 // two runs. A bounded P999 factor is the containment claim: a crash-looping
 // tenant costs its neighbours a slowdown, never a stall, and its region and
 // protection key are reclaimed and recycled on every cycle.
+//
+// With -seeds N the chaos run is swept over N consecutive fault-plan
+// seeds on a worker pool (-parallel): per-seed lines print in seed order
+// and the per-seed latency histograms and injector counters fold into
+// one merged distribution, so the report is byte-identical at any
+// -parallel width.
 package main
 
 import (
@@ -15,6 +21,8 @@ import (
 
 	"vessel/internal/cpu"
 	"vessel/internal/faultinject"
+	"vessel/internal/harness"
+	"vessel/internal/harness/cliflags"
 	"vessel/internal/mem"
 	"vessel/internal/obs"
 	"vessel/internal/sim"
@@ -25,7 +33,9 @@ import (
 )
 
 var (
-	seed     = flag.Uint64("seed", 42, "fault-plan seed (same seed → identical run)")
+	seed     = flag.Uint64("seed", 42, "first fault-plan seed (same seed → identical run)")
+	seeds    = flag.Int("seeds", 1, "number of consecutive fault-plan seeds to sweep")
+	parallel = cliflags.Parallel()
 	steps    = flag.Int("steps", 800_000, "per-core instruction budget")
 	quantum  = flag.Int("quantum", 400, "preemption/injection quantum in instructions")
 	random   = flag.Int("random", 8, "extra random Uintr drop/delay faults")
@@ -57,10 +67,11 @@ func crasher(mg *vessel.Manager, name string) *smas.Program {
 type runResult struct {
 	rep     vessel.ChaosReport
 	mg      *vessel.Manager
+	hist    *stats.Histogram
 	summary stats.Summary
 }
 
-func run(chaotic bool, o *obs.Observer) (runResult, error) {
+func run(chaotic bool, planSeed uint64, o *obs.Observer) (runResult, error) {
 	mg, err := vessel.NewManager(1, nil)
 	if err != nil {
 		return runResult{}, err
@@ -92,7 +103,7 @@ func run(chaotic bool, o *obs.Observer) (runResult, error) {
 			return runResult{}, err
 		}
 		mg.InjectFaults(faultinject.Plan{
-			Seed:         *seed,
+			Seed:         planSeed,
 			Random:       *random,
 			RandomKinds:  []faultinject.Kind{faultinject.DropUintr, faultinject.DelayUintr},
 			RandomCores:  1,
@@ -110,53 +121,107 @@ func run(chaotic bool, o *obs.Observer) (runResult, error) {
 	if err != nil {
 		return runResult{}, err
 	}
-	return runResult{rep: rep, mg: mg, summary: h.Summarize()}, nil
+	return runResult{rep: rep, mg: mg, hist: h, summary: h.Summarize()}, nil
+}
+
+// runChaosSweep runs the chaos scenario once per seed on the worker pool
+// and folds the per-seed results — histograms via Histogram.Merge,
+// injector counters via Counters.Merge, report fields by summation — in
+// seed order, so the merged output is independent of -parallel.
+func runChaosSweep(n int, traceObs *obs.Observer) ([]runResult, error) {
+	results := make([]runResult, n)
+	exec := &harness.Executor{Parallel: *parallel}
+	err := exec.Map(n, func(i int) error {
+		var o *obs.Observer
+		if i == 0 {
+			o = traceObs
+		}
+		r, err := run(true, *seed+uint64(i), o)
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", *seed+uint64(i), err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 func main() {
 	flag.Parse()
-	fmt.Printf("chaosbench: survivor latency with a crash-looping neighbour (seed=%d, %d steps @ quantum %d)\n\n",
-		*seed, *steps, *quantum)
+	if *seeds < 1 {
+		os.Exit(cliflags.UsageErr("chaosbench", fmt.Errorf("-seeds must be ≥ 1 (got %d)", *seeds)))
+	}
+	fmt.Printf("chaosbench: survivor latency with a crash-looping neighbour (seed=%d, seeds=%d, %d steps @ quantum %d)\n\n",
+		*seed, *seeds, *steps, *quantum)
 
-	base, err := run(false, nil)
+	base, err := run(false, *seed, nil)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "chaosbench: baseline: %v\n", err)
-		os.Exit(1)
+		cliflags.Fail("chaosbench: baseline", err)
 	}
-	var o *obs.Observer
+	var traceObs *obs.Observer
 	if *traceOut != "" {
-		o = obs.New(0)
+		traceObs = obs.New(0)
 	}
-	chaos, err := run(true, o)
+	chaosRuns, err := runChaosSweep(*seeds, traceObs)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "chaosbench: chaos: %v\n", err)
-		os.Exit(1)
+		cliflags.Fail("chaosbench: chaos", err)
 	}
+
+	// Fold the sweep in seed order: merged histogram, merged injector
+	// counters, summed report fields. With -seeds 1 this degenerates to
+	// the single-run report.
+	merged := stats.NewHistogram()
+	counters := stats.NewCounters()
+	var rep vessel.ChaosReport
+	for _, r := range chaosRuns {
+		merged.Merge(r.hist)
+		if inj := r.mg.Injector(); inj != nil {
+			counters.Merge(inj.Counters)
+		}
+		rep.Rounds += r.rep.Rounds
+		rep.Preemptions += r.rep.Preemptions
+		rep.Restarts += r.rep.Restarts
+		rep.WatchdogKills += r.rep.WatchdogKills
+		rep.ContainedFaults += r.rep.ContainedFaults
+		rep.FatalCores = append(rep.FatalCores, r.rep.FatalCores...)
+	}
+	chaosSummary := merged.Summarize()
 
 	fmt.Printf("survivor activation gaps:\n")
 	fmt.Printf("  baseline (calm neighbour):   %s\n", base.summary)
-	fmt.Printf("  chaos (crash-loop + tamper): %s\n", chaos.summary)
+	fmt.Printf("  chaos (crash-loop + tamper): %s\n", chaosSummary)
 	if base.summary.P999 > 0 {
-		fmt.Printf("  p999 factor: %.2fx\n", float64(chaos.summary.P999)/float64(base.summary.P999))
+		fmt.Printf("  p999 factor: %.2fx\n", float64(chaosSummary.P999)/float64(base.summary.P999))
+	}
+	if *seeds > 1 {
+		fmt.Printf("\nper-seed chaos runs:\n")
+		for i, r := range chaosRuns {
+			fmt.Printf("  seed %-6d %s  restarts=%d contained=%d\n",
+				*seed+uint64(i), r.summary, r.rep.Restarts, r.rep.ContainedFaults)
+		}
 	}
 
-	rep := chaos.rep
 	fmt.Printf("\nchaos run: rounds=%d preemptions=%d restarts=%d watchdog-kills=%d contained-faults=%d fatal-cores=%v\n",
 		rep.Rounds, rep.Preemptions, rep.Restarts, rep.WatchdogKills, rep.ContainedFaults, rep.FatalCores)
-	avail := chaos.mg.Domain.S.Keys.Available()
+	lastChaos := chaosRuns[len(chaosRuns)-1]
+	avail := lastChaos.mg.Domain.S.Keys.Available()
 	fmt.Printf("pkeys: %d/%d available after %d crash/restart cycles (no leak)\n",
-		avail, smas.MaxUProcs, rep.Restarts)
+		avail, smas.MaxUProcs, lastChaos.rep.Restarts)
 
-	if inj := chaos.mg.Injector(); inj != nil {
-		fmt.Printf("\ninjector counters:\n")
-		for _, kv := range inj.Counters.Snapshot() {
+	if len(counters.Names()) > 0 {
+		fmt.Printf("\ninjector counters (merged across %d seed(s)):\n", *seeds)
+		for _, kv := range counters.Snapshot() {
 			fmt.Printf("  %-24s %d\n", kv.Name, kv.Value)
 		}
 	}
 
 	if *events > 0 {
-		fmt.Printf("\ncontainment trace (last %d of %d events):\n", *events, chaos.mg.Events().Len())
-		for _, e := range chaos.mg.Events().Tail(*events) {
+		fmt.Printf("\ncontainment trace (last %d of %d events, seed %d):\n",
+			*events, lastChaos.mg.Events().Len(), *seed+uint64(len(chaosRuns)-1))
+		for _, e := range lastChaos.mg.Events().Tail(*events) {
 			fmt.Printf("  %s\n", e)
 		}
 	}
@@ -164,22 +229,22 @@ func main() {
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "chaosbench:", err)
-			os.Exit(1)
+			cliflags.Fail("chaosbench", err)
 		}
-		if err := o.WriteText(f); err != nil {
+		if err := traceObs.WriteText(f); err != nil {
 			f.Close()
-			fmt.Fprintln(os.Stderr, "chaosbench:", err)
-			os.Exit(1)
+			cliflags.Fail("chaosbench", err)
 		}
 		f.Close()
 		fmt.Printf("\nspan timeline written to %s (%d spans; convert with traceconv)\n",
-			*traceOut, o.SpanCount())
+			*traceOut, traceObs.SpanCount())
 	}
 
-	if rep.Restarts == 0 || rep.ContainedFaults == 0 {
-		fmt.Fprintln(os.Stderr, "\nchaosbench: chaos run exercised no containment — tune flags")
-		os.Exit(1)
+	for i, r := range chaosRuns {
+		if r.rep.Restarts == 0 || r.rep.ContainedFaults == 0 {
+			fmt.Fprintf(os.Stderr, "\nchaosbench: seed %d exercised no containment — tune flags\n", *seed+uint64(i))
+			os.Exit(cliflags.ExitFailure)
+		}
 	}
 	fmt.Println("\ncontainment held: the crash loop cost a bounded slowdown, not a stall")
 }

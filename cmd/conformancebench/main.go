@@ -6,12 +6,20 @@
 // monotonicity). On the first violation it greedily shrinks the scenario
 // to a locally minimal reproducer and prints the one-line replay command.
 //
+// Each scenario's four scheduler pipelines run on a worker pool
+// (-parallel); results merge in a fixed system order, so the report —
+// and the exit status — is byte-identical at any width. The -paracheck
+// mode runs the parallel-determinism oracle itself: the same plan of
+// scenario runs executed sequentially and at -parallel N must produce
+// identical canonical result bytes and spec hashes.
+//
 // Typical uses:
 //
 //	go run ./cmd/conformancebench -seeds 50 -quick          # CI sweep
 //	go run ./cmd/conformancebench -seeds 500                # long sweep
 //	go run ./cmd/conformancebench -replay '<json token>'    # one repro
 //	go run ./cmd/conformancebench -plant overcount -seeds 5 # demo shrinking
+//	go run ./cmd/conformancebench -paracheck -seeds 20      # executor oracle
 //
 // Exit status: 0 when every oracle passed, 1 on any violation, 2 on usage
 // or scenario-decoding errors.
@@ -23,6 +31,8 @@ import (
 	"os"
 
 	"vessel/internal/conformance"
+	"vessel/internal/harness"
+	"vessel/internal/harness/cliflags"
 	"vessel/internal/sched"
 	"vessel/internal/workload"
 )
@@ -30,9 +40,11 @@ import (
 var (
 	seeds        = flag.Int("seeds", 50, "number of generated scenarios to sweep")
 	seed0        = flag.Uint64("seed0", 1, "first scenario seed")
-	quick        = flag.Bool("quick", false, "generate short scenarios (CI-friendly)")
+	quick        = cliflags.Quick()
+	parallel     = cliflags.Parallel()
 	replay       = flag.String("replay", "", "replay one scenario from its JSON token instead of sweeping")
 	plant        = flag.String("plant", "", "install a known tampering hook (overcount|nondet) to demonstrate detection and shrinking")
+	paracheck    = flag.Bool("paracheck", false, "run the parallel-determinism oracle over the sweep's scenarios instead of the conformance oracles")
 	shrinkBudget = flag.Int("shrink-budget", 120, "max candidate evaluations while shrinking a failure")
 	verbose      = flag.Bool("v", false, "log every scenario, not just failures")
 )
@@ -101,13 +113,11 @@ func reportFailure(sc conformance.Scenario, rep conformance.Report) {
 func runReplay(token string) int {
 	sc, err := conformance.Decode(token)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "conformancebench: bad replay token: %v\n", err)
-		return 2
+		return cliflags.UsageErr("conformancebench", fmt.Errorf("bad replay token: %w", err))
 	}
 	rep, err := conformance.RunScenario(sc)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "conformancebench: %v\n", err)
-		return 2
+		return cliflags.UsageErr("conformancebench", err)
 	}
 	for name, res := range rep.Results {
 		if *verbose {
@@ -119,21 +129,21 @@ func runReplay(token string) int {
 		for _, v := range rep.Violations {
 			fmt.Printf("  %s\n", v)
 		}
-		return 1
+		return cliflags.ExitFailure
 	}
 	fmt.Printf("PASS: replayed scenario (seed %d) clean across %d runs\n", sc.Seed, rep.Runs)
-	return 0
+	return cliflags.ExitOK
 }
 
 func runSweep() int {
+	exec := &harness.Executor{Parallel: *parallel}
 	totalRuns, failures := 0, 0
 	for i := 0; i < *seeds; i++ {
 		seed := *seed0 + uint64(i)
 		sc := conformance.Generate(seed, *quick)
-		rep, err := conformance.RunScenario(sc)
+		rep, err := conformance.RunScenarioExec(sc, exec)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "conformancebench: seed %d: %v\n", seed, err)
-			return 2
+			return cliflags.UsageErr("conformancebench", fmt.Errorf("seed %d: %w", seed, err))
 		}
 		totalRuns += rep.Runs
 		if rep.Failed() {
@@ -148,20 +158,50 @@ func runSweep() int {
 	}
 	if failures > 0 {
 		fmt.Printf("%d/%d scenarios failed (%d scheduler runs)\n", failures, *seeds, totalRuns)
-		return 1
+		return cliflags.ExitFailure
 	}
 	fmt.Printf("conformance: %d scenarios x 4 schedulers clean (%d scheduler runs, 0 violations)\n", *seeds, totalRuns)
-	return 0
+	return cliflags.ExitOK
+}
+
+// runParacheck builds one plan from the sweep's scenarios — every
+// scenario crossed with every registered scheduler — and checks that a
+// sequential execution and a -parallel execution of that plan agree
+// cell-by-cell on canonical result bytes and spec hashes.
+func runParacheck() int {
+	var plan harness.Plan
+	for i := 0; i < *seeds; i++ {
+		sc := conformance.Generate(*seed0+uint64(i), *quick)
+		if err := sc.Validate(); err != nil {
+			return cliflags.UsageErr("conformancebench", fmt.Errorf("seed %d: %w", sc.Seed, err))
+		}
+		for _, name := range harness.SchedulerNames() {
+			plan.Add(sc.Spec(name))
+		}
+	}
+	vs := conformance.CheckPlanDeterminism(plan, *parallel)
+	if len(vs) > 0 {
+		fmt.Printf("FAIL: %d parallel-determinism violation(s) across %d plan cells\n", len(vs), plan.Len())
+		for _, v := range vs {
+			fmt.Printf("  %s\n", v)
+		}
+		return cliflags.ExitFailure
+	}
+	fmt.Printf("paracheck: %d plan cells byte-identical at -parallel 1 and -parallel %d\n",
+		plan.Len(), *parallel)
+	return cliflags.ExitOK
 }
 
 func main() {
 	flag.Parse()
 	if err := installPlant(*plant); err != nil {
-		fmt.Fprintf(os.Stderr, "conformancebench: %v\n", err)
-		os.Exit(2)
+		os.Exit(cliflags.UsageErr("conformancebench", err))
 	}
 	if *replay != "" {
 		os.Exit(runReplay(*replay))
+	}
+	if *paracheck {
+		os.Exit(runParacheck())
 	}
 	os.Exit(runSweep())
 }

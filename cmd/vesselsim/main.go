@@ -6,15 +6,17 @@
 //	vesselsim [-sched vessel|caladan|caladan-dr-l|caladan-dr-h|linux|arachne]
 //	          [-cores N] [-load frac] [-lapp memcached|silo]
 //	          [-bapp linpack|membench|none] [-duration ms] [-bwtarget frac]
-//	          [-seed N]
+//	          [-seed N] [-out file]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"vessel"
+	"vessel/internal/harness/cliflags"
 )
 
 func main() {
@@ -25,7 +27,8 @@ func main() {
 	bapp := flag.String("bapp", "linpack", "best-effort app: linpack, membench or none")
 	durMs := flag.Int("duration", 50, "measured duration in milliseconds")
 	bwTarget := flag.Float64("bwtarget", 0, "B-app bandwidth budget as a fraction of machine bandwidth (0 = off)")
-	seed := flag.Uint64("seed", 1, "simulation seed")
+	seed := cliflags.Seed(1)
+	outPath := cliflags.Out()
 	timeline := flag.Bool("timeline", false, "render Figure 7-style core timelines of a 100µs window")
 	chromeOut := flag.String("chrometrace", "", "write a chrome://tracing JSON of the run to this file")
 	traceOut := flag.String("trace", "", "write the observability span timeline to this file (convert with traceconv)")
@@ -34,7 +37,7 @@ func main() {
 
 	s, err := vessel.NewScheduler(*schedName)
 	if err != nil {
-		fatal(err)
+		os.Exit(cliflags.UsageErr("vesselsim", err))
 	}
 	var dist vessel.ServiceDist
 	switch *lapp {
@@ -43,7 +46,7 @@ func main() {
 	case "silo":
 		dist = vessel.SiloDist()
 	default:
-		fatal(fmt.Errorf("unknown L-app %q", *lapp))
+		os.Exit(cliflags.UsageErr("vesselsim", fmt.Errorf("unknown L-app %q", *lapp)))
 	}
 	rate := *load * vessel.IdealCapacity(*cores, dist)
 	apps := []*vessel.App{vessel.NewLApp(*lapp, dist, rate)}
@@ -54,7 +57,7 @@ func main() {
 		apps = append(apps, vessel.NewMembench())
 	case "none":
 	default:
-		fatal(fmt.Errorf("unknown B-app %q", *bapp))
+		os.Exit(cliflags.UsageErr("vesselsim", fmt.Errorf("unknown B-app %q", *bapp)))
 	}
 
 	cfg := vessel.Config{
@@ -78,65 +81,70 @@ func main() {
 	}
 	res, err := s.Run(cfg)
 	if err != nil {
-		fatal(err)
+		cliflags.Fail("vesselsim", err)
 	}
 
-	fmt.Printf("scheduler: %s   cores: %d   measured: %v\n\n", res.Scheduler, res.Cores, res.Measured)
+	w, closeOut, err := cliflags.OutWriter(*outPath)
+	if err != nil {
+		os.Exit(cliflags.UsageErr("vesselsim", err))
+	}
+
+	fmt.Fprintf(w, "scheduler: %s   cores: %d   measured: %v\n\n", res.Scheduler, res.Cores, res.Measured)
 	for _, a := range res.Apps {
-		fmt.Printf("%-12s %-6s", a.Name, a.Kind)
+		fmt.Fprintf(w, "%-12s %-6s", a.Name, a.Kind)
 		if a.Kind == 0 { // latency-critical
-			fmt.Printf(" tput=%.3f Mops  norm=%.3f  %s\n",
+			fmt.Fprintf(w, " tput=%.3f Mops  norm=%.3f  %s\n",
 				a.Tput.PerSecond()/1e6, a.NormTput, a.Latency)
 		} else {
-			fmt.Printf(" cpu=%.1f core-s-equivalent  norm=%.3f  bw=%.1f GB/s\n",
+			fmt.Fprintf(w, " cpu=%.1f core-s-equivalent  norm=%.3f  bw=%.1f GB/s\n",
 				float64(a.BUsefulNs)/1e9, a.NormTput, a.AvgBWGBs)
 		}
 	}
 	bd := res.Cycles
 	total := float64(bd.Total())
-	fmt.Printf("\ntotal normalized throughput: %.3f (ideal 1.0)\n", res.TotalNormTput())
-	fmt.Printf("cycle breakdown: app %.1f%%  runtime %.1f%%  kernel %.1f%%  switch %.1f%%  idle %.1f%%\n",
+	fmt.Fprintf(w, "\ntotal normalized throughput: %.3f (ideal 1.0)\n", res.TotalNormTput())
+	fmt.Fprintf(w, "cycle breakdown: app %.1f%%  runtime %.1f%%  kernel %.1f%%  switch %.1f%%  idle %.1f%%\n",
 		100*float64(bd.AppNs)/total, 100*float64(bd.RuntimeNs)/total,
 		100*float64(bd.KernelNs)/total, 100*float64(bd.SwitchNs)/total,
 		100*float64(bd.IdleNs)/total)
-	fmt.Printf("switches: %d   preemptions: %d   core reallocations: %d\n",
+	fmt.Fprintf(w, "switches: %d   preemptions: %d   core reallocations: %d\n",
 		res.Switches, res.Preemptions, res.Reallocations)
 	if *timeline {
 		from := vessel.Time(cfg.Warmup)
 		to := from + vessel.Time(100*vessel.Microsecond)
-		fmt.Println()
-		fmt.Print(rec.Render(cfg.Cores, from, to, 100))
+		fmt.Fprintln(w)
+		fmt.Fprint(w, rec.Render(cfg.Cores, from, to, 100))
 	}
 	if *chromeOut != "" {
-		f, err := os.Create(*chromeOut)
-		if err != nil {
-			fatal(err)
+		if err := writeTo(*chromeOut, rec.WriteChromeJSON); err != nil {
+			cliflags.Fail("vesselsim", err)
 		}
-		defer f.Close()
-		if err := rec.WriteChromeJSON(f); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("\nchrome trace written to %s (open in chrome://tracing or Perfetto)\n", *chromeOut)
+		fmt.Fprintf(w, "\nchrome trace written to %s (open in chrome://tracing or Perfetto)\n", *chromeOut)
 	}
 	if *profile {
-		fmt.Println()
-		fmt.Print(o.Profile().Table(20))
+		fmt.Fprintln(w)
+		fmt.Fprint(w, o.Profile().Table(20))
 	}
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatal(err)
+		if err := writeTo(*traceOut, o.WriteText); err != nil {
+			cliflags.Fail("vesselsim", err)
 		}
-		defer f.Close()
-		if err := o.WriteText(f); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("\nspan timeline written to %s (%d spans, %d overwritten; convert with traceconv)\n",
+		fmt.Fprintf(w, "\nspan timeline written to %s (%d spans, %d overwritten; convert with traceconv)\n",
 			*traceOut, o.SpanCount(), o.Overwritten())
+	}
+	if err := closeOut(); err != nil {
+		cliflags.Fail("vesselsim", err)
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vesselsim:", err)
-	os.Exit(1)
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

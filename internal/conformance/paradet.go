@@ -1,0 +1,45 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+
+	"vessel/internal/harness"
+)
+
+// CheckPlanDeterminism is the parallel-determinism oracle: it executes the
+// plan twice — once sequentially, once on a pool of `parallel` workers —
+// and demands byte-identical canonical results cell by cell. The executor
+// promises that results land in plan-order slots regardless of worker
+// interleaving; this oracle is what holds it to that promise, the same way
+// the per-scheduler determinism oracle holds each sim.Engine to same-seed
+// reproducibility. Caches are deliberately absent from both executors: the
+// oracle must compare two live runs, not a run to its own cached bytes.
+func CheckPlanDeterminism(plan harness.Plan, parallel int) []Violation {
+	seq, err := harness.Sequential().RunPlan(plan)
+	if err != nil {
+		return []Violation{{Oracle: "parallel-determinism", Detail: fmt.Sprintf("sequential run failed: %v", err)}}
+	}
+	par, err := (&harness.Executor{Parallel: parallel}).RunPlan(plan)
+	if err != nil {
+		return []Violation{{Oracle: "parallel-determinism", Detail: fmt.Sprintf("parallel run failed: %v", err)}}
+	}
+	var vs []Violation
+	for i := range seq {
+		a, b := seq[i].Result.Canonical(), par[i].Result.Canonical()
+		if !bytes.Equal(a, b) {
+			vs = append(vs, Violation{
+				System: plan.Specs[i].Scheduler, Oracle: "parallel-determinism",
+				Detail: fmt.Sprintf("plan cell %d (%s seed=%d) differs between -parallel 1 and -parallel %d:\n--- sequential\n%s--- parallel\n%s",
+					i, plan.Specs[i].Scheduler, plan.Specs[i].Seed, parallel, a, b),
+			})
+		}
+		if seq[i].Hash != par[i].Hash {
+			vs = append(vs, Violation{
+				System: plan.Specs[i].Scheduler, Oracle: "parallel-determinism",
+				Detail: fmt.Sprintf("plan cell %d hash differs: %s vs %s", i, seq[i].Hash, par[i].Hash),
+			})
+		}
+	}
+	return vs
+}

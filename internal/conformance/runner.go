@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"vessel/internal/harness"
 	"vessel/internal/sched"
 	"vessel/internal/sched/arachne"
 	"vessel/internal/sched/caladan"
@@ -57,10 +58,33 @@ type Report struct {
 // Failed reports whether any oracle fired.
 func (r Report) Failed() bool { return len(r.Violations) > 0 }
 
-// RunScenario runs the scenario through every scheduler and every oracle.
+// systemOutcome collects one scheduler's runs and oracle verdicts; each
+// executor worker fills exactly one, so merging them in Systems() order
+// reconstructs the sequential report byte for byte.
+type systemOutcome struct {
+	name       string
+	result     sched.Result
+	violations []Violation
+	runs       int
+}
+
+// RunScenario runs the scenario through every scheduler and every oracle,
+// sequentially. Shorthand for RunScenarioExec with a sequential executor.
+func RunScenario(sc Scenario) (Report, error) {
+	return RunScenarioExec(sc, harness.Sequential())
+}
+
+// RunScenarioExec runs the scenario through every scheduler and every
+// oracle, using the executor's worker pool to run the per-system pipelines
+// (first run, determinism re-run, metamorphic companion) concurrently.
+// Violations are merged in Systems() order, so the report is identical at
+// any parallelism. The executor's cache is deliberately not consulted:
+// oracles must observe live runs (cached results bypass post-run hooks,
+// and the determinism oracle would otherwise compare a result to itself).
+//
 // A returned error means a run itself failed (which generated scenarios
 // never should) — oracle failures land in the report, not the error.
-func RunScenario(sc Scenario) (Report, error) {
+func RunScenarioExec(sc Scenario, exec *harness.Executor) (Report, error) {
 	rep := Report{Scenario: sc, Results: make(map[string]sched.Result)}
 	if err := sc.Validate(); err != nil {
 		return rep, err
@@ -75,25 +99,30 @@ func RunScenario(sc Scenario) (Report, error) {
 		}
 	}
 	checkMonotonicity := hasL && sumL <= subcriticalLoad
-	for _, s := range Systems() {
-		name := s.Name()
+
+	systems := Systems()
+	outcomes := make([]systemOutcome, len(systems))
+	err := exec.Map(len(systems), func(i int) error {
+		s := systems[i]
+		out := &outcomes[i]
+		out.name = s.Name()
 		res, err := sched.Run(s, sc.Config())
 		if err != nil {
-			return rep, fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", out.name, err)
 		}
-		rep.Runs++
-		rep.Results[name] = res
-		rep.Violations = append(rep.Violations, CheckResult(name, sc.Config(), res)...)
+		out.runs++
+		out.result = res
+		out.violations = append(out.violations, CheckResult(out.name, sc.Config(), res)...)
 
 		// Determinism: the same seed must reproduce the same bytes.
 		again, err := sched.Run(s, sc.Config())
 		if err != nil {
-			return rep, fmt.Errorf("%s (rerun): %w", name, err)
+			return fmt.Errorf("%s (rerun): %w", out.name, err)
 		}
-		rep.Runs++
+		out.runs++
 		if !bytes.Equal(res.Canonical(), again.Canonical()) {
-			rep.Violations = append(rep.Violations, Violation{
-				System: name, Oracle: "determinism",
+			out.violations = append(out.violations, Violation{
+				System: out.name, Oracle: "determinism",
 				Detail: fmt.Sprintf("same seed %d produced different results:\n--- run 1\n%s--- run 2\n%s",
 					sc.Seed, res.Canonical(), again.Canonical()),
 			})
@@ -105,7 +134,7 @@ func RunScenario(sc Scenario) (Report, error) {
 		// (Caladan's park path, a CFS context switch) — the paper's
 		// Table 1 relationship. The mean per-switch cost can only sit at
 		// or below the dearest userspace path.
-		if name == "VESSEL" && res.Switches > 0 {
+		if out.name == "VESSEL" && res.Switches > 0 {
 			costs := sc.Config().Costs
 			mean := float64(res.Cycles.SwitchNs) / float64(res.Switches)
 			ceiling := float64(costs.VesselPreemptSwitch)
@@ -113,8 +142,8 @@ func RunScenario(sc Scenario) (Report, error) {
 				ceiling = wake
 			}
 			if mean > ceiling+1 {
-				rep.Violations = append(rep.Violations, Violation{
-					System: name, Oracle: "switch-bound",
+				out.violations = append(out.violations, Violation{
+					System: out.name, Oracle: "switch-bound",
 					Detail: fmt.Sprintf("mean switch %.1f ns exceeds the dearest userspace path %.0f ns", mean, ceiling),
 				})
 			}
@@ -123,8 +152,8 @@ func RunScenario(sc Scenario) (Report, error) {
 				kernelFloor = costs.CFSSwitchCost
 			}
 			if mean >= float64(kernelFloor) {
-				rep.Violations = append(rep.Violations, Violation{
-					System: name, Oracle: "switch-bound",
+				out.violations = append(out.violations, Violation{
+					System: out.name, Oracle: "switch-bound",
 					Detail: fmt.Sprintf("mean switch %.1f ns not below the cheapest kernel path %v", mean, kernelFloor),
 				})
 			}
@@ -137,9 +166,9 @@ func RunScenario(sc Scenario) (Report, error) {
 		if checkMonotonicity {
 			halfRes, err := sched.Run(s, half.Config())
 			if err != nil {
-				return rep, fmt.Errorf("%s (half load): %w", name, err)
+				return fmt.Errorf("%s (half load): %w", out.name, err)
 			}
-			rep.Runs++
+			out.runs++
 			for _, a := range res.Apps {
 				if a.Kind != workload.LatencyCritical {
 					continue
@@ -150,14 +179,23 @@ func RunScenario(sc Scenario) (Report, error) {
 				}
 				floor := monotonicityTolerance*float64(ha.Completed) - monotonicitySlack
 				if float64(a.Completed) < floor {
-					rep.Violations = append(rep.Violations, Violation{
-						System: name, Oracle: "load-monotonicity",
+					out.violations = append(out.violations, Violation{
+						System: out.name, Oracle: "load-monotonicity",
 						Detail: fmt.Sprintf("%s: completed %d at full load but %d at half load (floor %.0f)",
 							a.Name, a.Completed, ha.Completed, floor),
 					})
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	for _, out := range outcomes {
+		rep.Runs += out.runs
+		rep.Results[out.name] = out.result
+		rep.Violations = append(rep.Violations, out.violations...)
 	}
 	return rep, nil
 }

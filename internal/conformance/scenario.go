@@ -22,37 +22,18 @@ import (
 	"fmt"
 	"math"
 
-	"vessel/internal/cpu"
+	"vessel/internal/harness"
 	"vessel/internal/sched"
 	"vessel/internal/sim"
-	"vessel/internal/workload"
 )
 
-// BurstSpec describes an optional ON/OFF arrival modulation.
-type BurstSpec struct {
-	OnUs   int64   `json:"on_us"`
-	OffUs  int64   `json:"off_us"`
-	Factor float64 `json:"factor"`
-}
-
-// AppSpec describes one application declaratively. Specs — not
-// workload.App values — are what scenarios carry, because an App
-// accumulates run state (queues, counters, histograms) and must be built
-// fresh for every scheduler run.
-type AppSpec struct {
-	Name string `json:"name"`
-	Kind string `json:"kind"` // "L" or "B"
-
-	// L-app fields.
-	Dist     string     `json:"dist,omitempty"` // "memcached" or "silo"
-	LoadFrac float64    `json:"load_frac,omitempty"`
-	Priority int        `json:"priority,omitempty"`
-	Burst    *BurstSpec `json:"burst,omitempty"`
-
-	// B-app fields.
-	BWDemand float64 `json:"bw_demand,omitempty"`
-	MemFrac  float64 `json:"mem_frac,omitempty"`
-}
+// BurstSpec and AppSpec are the harness's declarative app descriptions;
+// scenarios carry them verbatim, so a scenario's apps and a RunSpec's apps
+// share one schema (and one JSON encoding — replay tokens are unchanged).
+type (
+	BurstSpec = harness.BurstSpec
+	AppSpec   = harness.AppSpec
+)
 
 // Scenario is one generated test case: everything needed to rebuild the
 // same sched.Config any number of times.
@@ -166,91 +147,39 @@ func (s Scenario) Validate() error {
 	}
 	seen := make(map[string]bool, len(s.Apps))
 	for i, a := range s.Apps {
-		if a.Name == "" || len(a.Name) > 32 {
-			return fmt.Errorf("conformance: app %d has bad name %q", i, a.Name)
+		if err := a.Validate(maxDurationUs); err != nil {
+			return fmt.Errorf("conformance: app %d: %w", i, err)
 		}
 		if seen[a.Name] {
 			return fmt.Errorf("conformance: duplicate app name %q", a.Name)
 		}
 		seen[a.Name] = true
-		switch a.Kind {
-		case "L":
-			if a.Dist != "memcached" && a.Dist != "silo" {
-				return fmt.Errorf("conformance: app %q has unknown dist %q", a.Name, a.Dist)
-			}
-			if !finite(a.LoadFrac) || a.LoadFrac <= 0 || a.LoadFrac > 2 {
-				return fmt.Errorf("conformance: app %q load %v outside (0,2]", a.Name, a.LoadFrac)
-			}
-			if a.Priority < 0 || a.Priority > 8 {
-				return fmt.Errorf("conformance: app %q priority %d outside [0,8]", a.Name, a.Priority)
-			}
-			if b := a.Burst; b != nil {
-				if b.OnUs < 1 || b.OnUs > maxDurationUs || b.OffUs < 1 || b.OffUs > maxDurationUs {
-					return fmt.Errorf("conformance: app %q burst periods outside [1,%d]µs", a.Name, maxDurationUs)
-				}
-				if !finite(b.Factor) || b.Factor < 1 || b.Factor > 64 {
-					return fmt.Errorf("conformance: app %q burst factor %v outside [1,64]", a.Name, b.Factor)
-				}
-			}
-			if a.BWDemand != 0 || a.MemFrac != 0 {
-				return fmt.Errorf("conformance: L-app %q carries B-app fields", a.Name)
-			}
-		case "B":
-			if !finite(a.BWDemand) || a.BWDemand < 0 || a.BWDemand > 64 {
-				return fmt.Errorf("conformance: app %q bw demand %v outside [0,64]", a.Name, a.BWDemand)
-			}
-			if !finite(a.MemFrac) || a.MemFrac < 0 || a.MemFrac > 1 {
-				return fmt.Errorf("conformance: app %q mem frac %v outside [0,1]", a.Name, a.MemFrac)
-			}
-			if a.Dist != "" || a.LoadFrac != 0 || a.Priority != 0 || a.Burst != nil {
-				return fmt.Errorf("conformance: B-app %q carries L-app fields", a.Name)
-			}
-		default:
-			return fmt.Errorf("conformance: app %q has unknown kind %q", a.Name, a.Kind)
-		}
 	}
 	return nil
 }
 
-// dist returns the service distribution for an L-app spec.
-func (a AppSpec) dist() workload.ServiceDist {
-	if a.Dist == "silo" {
-		return workload.Silo()
+// Spec renders the scenario as a harness RunSpec for the named scheduler —
+// the bridge onto the shared plan executor. Scenario.Config() and
+// Spec(name).Config() build identical configs.
+func (s Scenario) Spec(scheduler string) harness.RunSpec {
+	apps := make([]AppSpec, len(s.Apps))
+	copy(apps, s.Apps)
+	return harness.RunSpec{
+		Scheduler:    scheduler,
+		Seed:         s.Seed,
+		Cores:        s.Cores,
+		DurationNs:   s.DurationUs * int64(sim.Microsecond),
+		WarmupNs:     s.WarmupUs * int64(sim.Microsecond),
+		BWTargetFrac: s.BWTargetFrac,
+		Apps:         apps,
 	}
-	return workload.Memcached()
 }
 
 // Config builds a fresh sched.Config for one run. Apps are constructed
 // anew on every call: workload.App values accumulate run state, so two
 // runs must never share them.
 func (s Scenario) Config() sched.Config {
-	cfg := sched.Config{
-		Seed:         s.Seed,
-		Cores:        s.Cores,
-		Duration:     sim.Duration(s.DurationUs) * sim.Microsecond,
-		Warmup:       sim.Duration(s.WarmupUs) * sim.Microsecond,
-		BWTargetFrac: s.BWTargetFrac,
-		Costs:        cpu.Default(),
-	}
-	for _, a := range s.Apps {
-		switch a.Kind {
-		case "L":
-			rate := a.LoadFrac * sched.IdealLCapacity(s.Cores, a.dist())
-			app := workload.NewLApp(a.Name, a.dist(), rate)
-			app.Priority = a.Priority
-			if a.Burst != nil {
-				app.Burst = &workload.Burst{
-					OnMean:  sim.Duration(a.Burst.OnUs) * sim.Microsecond,
-					OffMean: sim.Duration(a.Burst.OffUs) * sim.Microsecond,
-					Factor:  a.Burst.Factor,
-				}
-			}
-			cfg.Apps = append(cfg.Apps, app)
-		case "B":
-			cfg.Apps = append(cfg.Apps, workload.NewBApp(a.Name, a.BWDemand, a.MemFrac))
-		}
-	}
-	return cfg
+	return s.Spec("").Config()
 }
 
 // ScaleLoad returns a copy with every L-app's offered load scaled by f —

@@ -142,9 +142,11 @@ func (c *Core) Inject(f *mem.Fault) bool {
 }
 
 // Step fetches, checks, and executes one instruction. It reports whether
-// the core can continue (i.e. it is not halted).
+// the core can continue (i.e. it is not halted). A core that was never
+// dispatched has no address space yet and simply cannot run — stepping it
+// is a no-op, not a fault.
 func (c *Core) Step() bool {
-	if c.Halted {
+	if c.Halted || c.AS == nil {
 		return false
 	}
 	// Recognise pending user interrupts at the instruction boundary,

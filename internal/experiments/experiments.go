@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"vessel/internal/cpu"
+	"vessel/internal/harness"
 	"vessel/internal/obs"
 	"vessel/internal/sched"
 	"vessel/internal/sim"
@@ -35,6 +36,60 @@ type Options struct {
 	// the experiment performs (span timelines, cycle attribution, and the
 	// metrics registry accumulate across the experiment's runs).
 	Obs *obs.Observer
+	// Exec runs the figure's sweep plan: nil means sequential and
+	// uncached. A parallel executor runs independent cells concurrently;
+	// results are always folded in plan order, so the rendered figure is
+	// byte-identical at any parallelism.
+	Exec *harness.Executor
+}
+
+// exec resolves the executor. A shared Observer accumulates spans across
+// runs, so observability forces a sequential, cache-bypassing executor
+// regardless of what Exec asks for.
+func (o Options) exec() *harness.Executor {
+	if o.Obs != nil {
+		return &harness.Executor{Parallel: 1, Observer: o.Obs}
+	}
+	if o.Exec != nil {
+		return o.Exec
+	}
+	return harness.Sequential()
+}
+
+// spec assembles a RunSpec with the experiment-wide defaults, mirroring
+// baseConfig on the declarative side.
+func (o Options) spec(scheduler string, apps ...harness.AppSpec) harness.RunSpec {
+	return harness.RunSpec{
+		Scheduler:  scheduler,
+		Seed:       o.seed(),
+		Cores:      o.cores(),
+		DurationNs: int64(o.duration()),
+		WarmupNs:   int64(o.warmup()),
+		Apps:       apps,
+		Obs:        o.Obs != nil,
+	}
+}
+
+// mcSpec declares a memcached app at a fraction of ideal capacity.
+func mcSpec(loadFrac float64) harness.AppSpec {
+	return harness.AppSpec{Name: "memcached", Kind: "L", Dist: "memcached", LoadFrac: loadFrac}
+}
+
+// siloSpec declares a Silo app at a fraction of ideal capacity.
+func siloSpec(loadFrac float64) harness.AppSpec {
+	return harness.AppSpec{Name: "silo", Kind: "L", Dist: "silo", LoadFrac: loadFrac}
+}
+
+// linpackSpec declares the compute-bound best-effort app
+// (workload.Linpack's parameters).
+func linpackSpec() harness.AppSpec {
+	return harness.AppSpec{Name: "linpack", Kind: "B", BWDemand: 0.5, MemFrac: 0.05}
+}
+
+// membenchSpec declares the memory-intensive best-effort app
+// (workload.Membench's parameters).
+func membenchSpec() harness.AppSpec {
+	return harness.AppSpec{Name: "membench", Kind: "B", BWDemand: 12.0, MemFrac: 0.7}
 }
 
 func (o Options) seed() uint64 {

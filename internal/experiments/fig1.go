@@ -3,9 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"vessel/internal/sched"
-	"vessel/internal/sched/caladan"
-	"vessel/internal/workload"
+	"vessel/internal/harness"
 )
 
 // Fig1Point is one load level of Figure 1.
@@ -41,17 +39,24 @@ type Fig1 struct {
 // Figure1 runs the experiment.
 func Figure1(o Options) (Fig1, error) {
 	var out Fig1
-	for _, lf := range o.loadFractions() {
-		cfg := o.baseConfig(o.mcApp(lf), workload.Linpack())
-		res, err := caladan.Simulator{Variant: caladan.Plain}.Run(cfg)
-		if err != nil {
-			return Fig1{}, err
-		}
+	plan := harness.Axes{
+		Loads: o.loadFractions(),
+		Build: func(_ string, lf float64, _ uint64) (harness.RunSpec, bool) {
+			return o.spec("Caladan", mcSpec(lf), linpackSpec()), true
+		},
+	}.Plan()
+	results, err := o.exec().RunPlan(plan)
+	if err != nil {
+		return Fig1{}, err
+	}
+	for i, rr := range results {
+		lf := o.loadFractions()[i]
+		res := rr.Result
 		bd := res.Cycles
 		total := float64(bd.Total())
 		la, _ := res.App("memcached")
 		ba, _ := res.App("linpack")
-		durF := float64(cfg.Duration)
+		durF := float64(rr.Spec.DurationNs)
 		p := Fig1Point{
 			LoadFrac:      lf,
 			TotalNorm:     res.TotalNormTput(),
@@ -105,6 +110,19 @@ type Fig2 struct {
 	Points []Fig2Point
 }
 
+// denseMcSpecs declares n memcached instances splitting an aggregate load
+// fraction evenly — the dense-colocation workload of Figures 2 and 10.
+func denseMcSpecs(n int, aggFrac float64, burst *harness.BurstSpec) []harness.AppSpec {
+	apps := make([]harness.AppSpec, n)
+	for i := range apps {
+		apps[i] = harness.AppSpec{
+			Name: fmt.Sprintf("mc-%d", i), Kind: "L", Dist: "memcached",
+			LoadFrac: aggFrac / float64(n), Burst: burst,
+		}
+	}
+	return apps
+}
+
 // Figure2 runs the experiment.
 func Figure2(o Options) (Fig2, error) {
 	counts := []int{1, 2, 4, 6, 8, 10}
@@ -112,26 +130,26 @@ func Figure2(o Options) (Fig2, error) {
 		counts = []int{1, 4, 10}
 	}
 	const aggFrac = 0.6 // aggregate load, fraction of a single core's capacity
-	var out Fig2
+	var plan harness.Plan
 	for _, n := range counts {
-		apps := make([]*workload.App, n)
-		agg := aggFrac * sched.IdealLCapacity(1, workload.Memcached())
-		for i := range apps {
-			apps[i] = workload.NewLApp(fmt.Sprintf("mc-%d", i), workload.Memcached(), agg/float64(n))
-		}
-		cfg := o.baseConfig(apps...)
-		cfg.Cores = 1
-		res, err := caladan.Simulator{Variant: caladan.DRLow}.Run(cfg)
-		if err != nil {
-			return Fig2{}, err
-		}
+		spec := o.spec("Caladan-DR-L", denseMcSpecs(n, aggFrac, nil)...)
+		spec.Cores = 1
+		plan.Add(spec)
+	}
+	results, err := o.exec().RunPlan(plan)
+	if err != nil {
+		return Fig2{}, err
+	}
+	var out Fig2
+	for i, rr := range results {
+		res := rr.Result
 		var tput float64
 		for _, a := range res.Apps {
 			tput += a.Tput.PerSecond()
 		}
 		bd := res.Cycles
 		out.Points = append(out.Points, Fig2Point{
-			Apps:         n,
+			Apps:         counts[i],
 			AggTputMops:  tput / 1e6,
 			KernelFrac:   float64(bd.KernelNs) / float64(bd.Total()),
 			OverheadFrac: bd.OverheadFrac(),

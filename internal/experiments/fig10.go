@@ -3,10 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"vessel/internal/sched"
-	"vessel/internal/sched/caladan"
-	"vessel/internal/vessel"
-	"vessel/internal/workload"
+	"vessel/internal/harness"
 )
 
 // Fig10Point is one (system, instances, load) cell.
@@ -26,52 +23,53 @@ type Fig10 struct {
 	Points []Fig10Point
 }
 
+// fig10Cell identifies one plan cell for the fold.
+type fig10Cell struct {
+	system    string
+	instances int
+	loadFrac  float64
+}
+
 // Figure10 runs the dense-colocation sweep.
 func Figure10(o Options) (Fig10, error) {
-	systems := []sched.Scheduler{
-		vessel.Simulator{},
-		caladan.Simulator{Variant: caladan.DRLow},
-	}
+	systems := []string{"VESSEL", "Caladan-DR-L"}
 	instances := []int{1, 10}
 	loads := o.loadFractions()
-	var out Fig10
-	for _, s := range systems {
+	var plan harness.Plan
+	var cells []fig10Cell
+	for _, name := range systems {
 		for _, n := range instances {
 			for _, lf := range loads {
-				agg := lf * sched.IdealLCapacity(1, workload.Memcached())
-				apps := make([]*workload.App, n)
-				for i := range apps {
-					apps[i] = workload.NewLApp(fmt.Sprintf("mc-%d", i), workload.Memcached(), agg/float64(n))
-					// Bursty arrivals, as §6.2.2 specifies.
-					apps[i].Burst = &workload.Burst{
-						OnMean:  200 * 1000, // 200µs
-						OffMean: 200 * 1000,
-						Factor:  2,
-					}
-				}
-				cfg := o.baseConfig(apps...)
-				cfg.Cores = 1
-				res, err := s.Run(cfg)
-				if err != nil {
-					return Fig10{}, err
-				}
-				var tput float64
-				var p999 int64
-				for _, a := range res.Apps {
-					tput += a.Tput.PerSecond()
-					if a.Latency.P999 > p999 {
-						p999 = a.Latency.P999
-					}
-				}
-				out.Points = append(out.Points, Fig10Point{
-					System:      s.Name(),
-					Instances:   n,
-					LoadFrac:    lf,
-					AggTputMops: tput / 1e6,
-					MaxP999Ns:   p999,
-				})
+				// Bursty arrivals, as §6.2.2 specifies.
+				burst := &harness.BurstSpec{OnUs: 200, OffUs: 200, Factor: 2}
+				spec := o.spec(name, denseMcSpecs(n, lf, burst)...)
+				spec.Cores = 1
+				plan.Add(spec)
+				cells = append(cells, fig10Cell{system: name, instances: n, loadFrac: lf})
 			}
 		}
+	}
+	results, err := o.exec().RunPlan(plan)
+	if err != nil {
+		return Fig10{}, err
+	}
+	var out Fig10
+	for i, rr := range results {
+		var tput float64
+		var p999 int64
+		for _, a := range rr.Result.Apps {
+			tput += a.Tput.PerSecond()
+			if a.Latency.P999 > p999 {
+				p999 = a.Latency.P999
+			}
+		}
+		out.Points = append(out.Points, Fig10Point{
+			System:      cells[i].system,
+			Instances:   cells[i].instances,
+			LoadFrac:    cells[i].loadFrac,
+			AggTputMops: tput / 1e6,
+			MaxP999Ns:   p999,
+		})
 	}
 	return out, nil
 }

@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
+	"vessel/internal/harness"
 	"vessel/internal/sched"
-	"vessel/internal/sched/caladan"
 	"vessel/internal/sim"
-	"vessel/internal/vessel"
 	"vessel/internal/workload"
 )
 
@@ -31,31 +31,35 @@ type Fig12 struct {
 // p999Limit is the goodput constraint.
 const p999Limit = 60_000 // ns
 
-// goodput binary-searches the max load meeting the P999 limit.
-func goodput(s sched.Scheduler, o Options, cores int) (float64, error) {
-	mk := func(rate float64) sched.Config {
-		app := workload.NewLApp("memcached", workload.Memcached(), rate)
-		cfg := o.baseConfig(app, workload.Linpack())
-		cfg.Cores = cores
+// goodput binary-searches the max load meeting the P999 limit. The search
+// is adaptive — each probe's spec depends on the previous probe's result —
+// so the cell runs its probes sequentially through e.RunOne; with a cache
+// attached, each probe is content-addressed, so re-running the figure
+// replays the whole search from cache.
+func goodput(system string, o Options, e *harness.Executor, cores int) (float64, error) {
+	mk := func(frac float64) harness.RunSpec {
+		spec := o.spec(system, mcSpec(frac), linpackSpec())
+		spec.Cores = cores
 		if o.Quick {
-			cfg.Duration = 8 * sim.Millisecond
-			cfg.Warmup = 2 * sim.Millisecond
+			spec.DurationNs = int64(8 * sim.Millisecond)
+			spec.WarmupNs = int64(2 * sim.Millisecond)
 		} else {
-			cfg.Duration = 25 * sim.Millisecond
-			cfg.Warmup = 5 * sim.Millisecond
+			spec.DurationNs = int64(25 * sim.Millisecond)
+			spec.WarmupNs = int64(5 * sim.Millisecond)
 		}
-		return cfg
+		return spec
 	}
-	meets := func(rate float64) (bool, float64, error) {
-		res, err := s.Run(mk(rate))
+	capacity := sched.IdealLCapacity(cores, workload.Memcached())
+	meets := func(frac float64) (bool, float64, error) {
+		rr, err := e.RunOne(mk(frac))
 		if err != nil {
 			return false, 0, err
 		}
-		a, _ := res.App("memcached")
-		ok := a.Latency.P999 <= p999Limit && a.Tput.PerSecond() >= 0.93*rate
+		a, _ := rr.Result.App("memcached")
+		ok := a.Latency.P999 <= p999Limit && a.Tput.PerSecond() >= 0.93*frac*capacity
 		return ok, a.Tput.PerSecond(), nil
 	}
-	lo, hi := 0.0, 1.1*sched.IdealLCapacity(cores, workload.Memcached())
+	lo, hi := 0.0, 1.1
 	iters := 9
 	if o.Quick {
 		iters = 6
@@ -77,29 +81,45 @@ func goodput(s sched.Scheduler, o Options, cores int) (float64, error) {
 	return best, nil
 }
 
-// Figure12 runs the core sweep.
+// Figure12 runs the core sweep. Each (system, cores) cell is an adaptive
+// binary search, so cells — not individual runs — are the parallel unit.
 func Figure12(o Options) (Fig12, error) {
 	coreCounts := []int{32, 34, 36, 38, 40, 42, 44}
 	if o.Quick {
 		coreCounts = []int{32, 38, 42, 44}
 	}
-	systems := []sched.Scheduler{
-		vessel.Simulator{},
-		caladan.Simulator{Variant: caladan.DRLow},
+	systems := []string{"VESSEL", "Caladan-DR-L"}
+	type cell struct {
+		system string
+		cores  int
+	}
+	var cells []cell
+	for _, name := range systems {
+		for _, n := range coreCounts {
+			cells = append(cells, cell{system: name, cores: n})
+		}
+	}
+	e := o.exec()
+	goodputs := make([]float64, len(cells))
+	err := e.Map(len(cells), func(i int) error {
+		g, err := goodput(cells[i].system, o, e, cells[i].cores)
+		if err != nil {
+			return err
+		}
+		goodputs[i] = g
+		return nil
+	})
+	if err != nil {
+		return Fig12{}, err
 	}
 	out := Fig12{PeakCores: make(map[string]int)}
 	bestGoodput := make(map[string]float64)
-	for _, s := range systems {
-		for _, n := range coreCounts {
-			g, err := goodput(s, o, n)
-			if err != nil {
-				return Fig12{}, err
-			}
-			out.Points = append(out.Points, Fig12Point{System: s.Name(), Cores: n, GoodputMops: g / 1e6})
-			if g > bestGoodput[s.Name()] {
-				bestGoodput[s.Name()] = g
-				out.PeakCores[s.Name()] = n
-			}
+	for i, c := range cells {
+		g := goodputs[i]
+		out.Points = append(out.Points, Fig12Point{System: c.system, Cores: c.cores, GoodputMops: g / 1e6})
+		if g > bestGoodput[c.system] {
+			bestGoodput[c.system] = g
+			out.PeakCores[c.system] = c.cores
 		}
 	}
 	return out, nil
@@ -113,8 +133,13 @@ func (f Fig12) String() string {
 	}
 	s := table("Figure 12 — goodput (P999 ≤ 60µs) vs domain core count",
 		[]string{"system", "cores", "goodput-Mops"}, rows)
-	for name, cores := range f.PeakCores {
-		s += fmt.Sprintf("%s peaks at %d cores\n", name, cores)
+	names := make([]string, 0, len(f.PeakCores))
+	for name := range f.PeakCores {
+		names = append(names, name)
+	}
+	sort.Strings(names) // map order must not leak into rendered bytes
+	for _, name := range names {
+		s += fmt.Sprintf("%s peaks at %d cores\n", name, f.PeakCores[name])
 	}
 	s += "(paper: VESSEL scales to 42 cores (+25.4%% from 32), dips at 44; Caladan peaks at 34)\n"
 	return s

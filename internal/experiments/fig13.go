@@ -1,12 +1,11 @@
 package experiments
 
 import (
+	"sort"
+
+	"vessel/internal/harness"
 	"vessel/internal/memband"
-	"vessel/internal/sched"
-	"vessel/internal/sched/caladan"
 	"vessel/internal/sim"
-	"vessel/internal/vessel"
-	"vessel/internal/workload"
 )
 
 // Fig13aPoint is one (system, load) cell of the bandwidth-contended
@@ -39,55 +38,57 @@ type Fig13a struct {
 	Advantage float64
 }
 
-// fig13aBest finds the best budget for one (system, load).
-func fig13aBest(o Options, s sched.Scheduler, lf float64) (Fig13aPoint, error) {
+// Figure13a runs the sweep. The budget search is not adaptive — every
+// (system, load, budget) cell is declared up front — so the whole grid is
+// one plan and the best-budget pick happens in the fold.
+func Figure13a(o Options) (Fig13a, error) {
 	budgets := []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2}
 	if o.Quick {
 		budgets = []float64{1.0, 0.8, 0.6, 0.4, 0.2}
 	}
-	best := Fig13aPoint{System: s.Name(), LoadFrac: lf}
-	for _, b := range budgets {
-		cfg := o.baseConfig(o.mcApp(lf), workload.Membench())
-		// A 100% budget is no regulation at all; Validate rejects
-		// BWTargetFrac ≥ 1, and 0 is its explicit "off" encoding.
-		if b < 1 {
-			cfg.BWTargetFrac = b
-		}
-		res, err := s.Run(cfg)
-		if err != nil {
-			return Fig13aPoint{}, err
-		}
-		la, _ := res.App("memcached")
-		if la.Latency.P999 > fig13aP999Limit {
-			continue
-		}
-		if res.TotalNormTput() > best.TotalNorm {
-			best.BudgetFrac = b
-			best.TotalNorm = res.TotalNormTput()
-			best.P999Ns = la.Latency.P999
+	systems := []string{"VESSEL", "Caladan-DR-L"}
+	loads := o.loadFractions()
+	var plan harness.Plan
+	for _, name := range systems {
+		for _, lf := range loads {
+			for _, b := range budgets {
+				spec := o.spec(name, mcSpec(lf), membenchSpec())
+				// A 100% budget is no regulation at all; Validate rejects
+				// BWTargetFrac ≥ 1, and 0 is its explicit "off" encoding.
+				if b < 1 {
+					spec.BWTargetFrac = b
+				}
+				plan.Add(spec)
+			}
 		}
 	}
-	return best, nil
-}
-
-// Figure13a runs the sweep.
-func Figure13a(o Options) (Fig13a, error) {
-	systems := []sched.Scheduler{
-		vessel.Simulator{},
-		caladan.Simulator{Variant: caladan.DRLow},
+	results, err := o.exec().RunPlan(plan)
+	if err != nil {
+		return Fig13a{}, err
 	}
 	var out Fig13a
 	sums := map[string]float64{}
 	counts := map[string]int{}
-	for _, s := range systems {
-		for _, lf := range o.loadFractions() {
-			p, err := fig13aBest(o, s, lf)
-			if err != nil {
-				return Fig13a{}, err
+	i := 0
+	for _, name := range systems {
+		for _, lf := range loads {
+			best := Fig13aPoint{System: name, LoadFrac: lf}
+			for _, b := range budgets {
+				res := results[i].Result
+				i++
+				la, _ := res.App("memcached")
+				if la.Latency.P999 > fig13aP999Limit {
+					continue
+				}
+				if res.TotalNormTput() > best.TotalNorm {
+					best.BudgetFrac = b
+					best.TotalNorm = res.TotalNormTput()
+					best.P999Ns = la.Latency.P999
+				}
 			}
-			out.Points = append(out.Points, p)
-			sums[s.Name()] += p.TotalNorm
-			counts[s.Name()]++
+			out.Points = append(out.Points, best)
+			sums[name] += best.TotalNorm
+			counts[name]++
 		}
 	}
 	v := sums["VESSEL"] / float64(counts["VESSEL"])
@@ -129,7 +130,18 @@ type Fig13b struct {
 	AvgError map[string]float64
 }
 
-// Figure13b runs the sweep.
+// fig13bKey is the cache key of one regulation cell.
+type fig13bKey struct {
+	Regulator string         `json:"regulator"`
+	Target    float64        `json:"target"`
+	Config    memband.Config `json:"config"`
+}
+
+// fig13bEpoch versions the memband regulators' cached cells.
+const fig13bEpoch = 1
+
+// Figure13b runs the sweep. Regulation cells are not sched runs, so they
+// go through the executor's Map + CachedJSON instead of a RunSpec plan.
 func Figure13b(o Options) (Fig13b, error) {
 	cfg := memband.Config{
 		Duration:  50 * sim.Millisecond,
@@ -145,24 +157,33 @@ func Figure13b(o Options) (Fig13b, error) {
 	if o.Quick {
 		targets = []float64{0.1, 0.3, 0.5, 0.8, 1.0}
 	}
-	out := Fig13b{AvgError: make(map[string]float64)}
-	for _, r := range regs {
-		var errSum float64
-		for _, tgt := range targets {
-			m, err := r.Regulate(tgt, cfg)
-			if err != nil {
-				return Fig13b{}, err
-			}
-			out.Points = append(out.Points, Fig13bPoint{
-				Regulator: r.Name(),
-				Target:    tgt,
-				TargetGBs: m.TargetGBs,
-				ActualGBs: m.ActualGBs,
-				ErrorFrac: m.ErrorFrac(),
-			})
-			errSum += m.ErrorFrac()
+	e := o.exec()
+	measurements := make([]memband.Measurement, len(regs)*len(targets))
+	err := e.Map(len(measurements), func(i int) error {
+		r, tgt := regs[i/len(targets)], targets[i%len(targets)]
+		m, _, err := harness.CachedJSON(e, "memband", fig13bEpoch,
+			fig13bKey{Regulator: r.Name(), Target: tgt, Config: cfg},
+			func() (memband.Measurement, error) { return r.Regulate(tgt, cfg) })
+		if err != nil {
+			return err
 		}
-		out.AvgError[r.Name()] = errSum / float64(len(targets))
+		measurements[i] = m
+		return nil
+	})
+	if err != nil {
+		return Fig13b{}, err
+	}
+	out := Fig13b{AvgError: make(map[string]float64)}
+	for i, m := range measurements {
+		r := regs[i/len(targets)]
+		out.Points = append(out.Points, Fig13bPoint{
+			Regulator: r.Name(),
+			Target:    targets[i%len(targets)],
+			TargetGBs: m.TargetGBs,
+			ActualGBs: m.ActualGBs,
+			ErrorFrac: m.ErrorFrac(),
+		})
+		out.AvgError[r.Name()] += m.ErrorFrac() / float64(len(targets))
 	}
 	return out, nil
 }
@@ -177,8 +198,13 @@ func (f Fig13b) String() string {
 	}
 	s := table("Figure 13b — accuracy of memory-bandwidth regulation",
 		[]string{"regulator", "target", "target-GB/s", "actual-GB/s", "error"}, rows)
-	for name, e := range f.AvgError {
-		s += "avg error " + name + ": " + pct(e) + "\n"
+	names := make([]string, 0, len(f.AvgError))
+	for name := range f.AvgError {
+		names = append(names, name)
+	}
+	sort.Strings(names) // map order must not leak into rendered bytes
+	for _, name := range names {
+		s += "avg error " + name + ": " + pct(f.AvgError[name]) + "\n"
 	}
 	s += "(paper: MBA and Linux CFS use far more bandwidth than desired; VESSEL tracks targets)\n"
 	return s

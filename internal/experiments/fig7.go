@@ -26,11 +26,21 @@ type Fig7 struct {
 }
 
 // Figure7 runs both schedulers on the same workload with tracing and
-// renders a 100 µs window.
+// renders a 100 µs window. Tracing needs a live per-run trace.Recorder, so
+// the two runs go directly through sched.Run — the executor contributes
+// only its worker pool (one run per system, uncached).
 func Figure7(o Options) (Fig7, error) {
 	out := Fig7{AppFrac: make(map[string]float64)}
 	window := 100 * sim.Microsecond
-	for _, s := range []sched.Scheduler{vessel.Simulator{}, caladan.Simulator{Variant: caladan.Plain}} {
+	systems := []sched.Scheduler{vessel.Simulator{}, caladan.Simulator{Variant: caladan.Plain}}
+	type fig7Out struct {
+		name  string
+		strip string
+		frac  float64
+	}
+	outs := make([]fig7Out, len(systems))
+	err := o.exec().Map(len(systems), func(i int) error {
+		s := systems[i]
 		rec := trace.NewRecorder(1 << 20)
 		const cores = 4
 		mc := workload.NewLApp("memcached", workload.Memcached(),
@@ -40,8 +50,8 @@ func Figure7(o Options) (Fig7, error) {
 		cfg.Duration = 5 * sim.Millisecond
 		cfg.Warmup = 1 * sim.Millisecond
 		cfg.Trace = rec
-		if _, err := s.Run(cfg); err != nil {
-			return Fig7{}, err
+		if _, err := sched.Run(s, cfg); err != nil {
+			return err
 		}
 		from := sim.Time(cfg.Warmup)
 		to := from.Add(window)
@@ -68,11 +78,18 @@ func Figure7(o Options) (Fig7, error) {
 		if total > 0 {
 			frac = float64(app) / float64(total)
 		}
-		out.AppFrac[s.Name()] = frac
-		if s.Name() == "VESSEL" {
-			out.VesselStrip = strip
+		outs[i] = fig7Out{name: s.Name(), strip: strip, frac: frac}
+		return nil
+	})
+	if err != nil {
+		return Fig7{}, err
+	}
+	for _, r := range outs {
+		out.AppFrac[r.name] = r.frac
+		if r.name == "VESSEL" {
+			out.VesselStrip = r.strip
 		} else {
-			out.CaladanStrip = strip
+			out.CaladanStrip = r.strip
 		}
 	}
 	return out, nil

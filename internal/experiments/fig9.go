@@ -3,12 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"vessel/internal/sched"
-	"vessel/internal/sched/arachne"
-	"vessel/internal/sched/caladan"
-	"vessel/internal/sched/cfs"
-	"vessel/internal/vessel"
-	"vessel/internal/workload"
+	"vessel/internal/harness"
 )
 
 // Fig9Point is one (system, load) cell of Figure 9.
@@ -34,15 +29,8 @@ type Fig9 struct {
 // fig9Systems lists the compared schedulers. Arachne and Linux are swept
 // only over the low-load region, as in the paper (their latencies explode
 // beyond it).
-func fig9Systems() []sched.Scheduler {
-	return []sched.Scheduler{
-		vessel.Simulator{},
-		caladan.Simulator{Variant: caladan.Plain},
-		caladan.Simulator{Variant: caladan.DRLow},
-		caladan.Simulator{Variant: caladan.DRHigh},
-		arachne.Simulator{},
-		cfs.Simulator{},
-	}
+func fig9Systems() []string {
+	return []string{"VESSEL", "Caladan", "Caladan-DR-L", "Caladan-DR-H", "Arachne", "Linux"}
 }
 
 // maxLoadFor caps the sweep per system the way the paper does ("we only
@@ -59,12 +47,16 @@ func maxLoadFor(name string) float64 {
 	}
 }
 
-// Figure9 runs the sweep for "memcached" or "silo".
-func Figure9(o Options, wl string) (Fig9, error) {
-	out := Fig9{Workload: wl, AvgDecline: make(map[string]float64)}
-	counts := make(map[string]int)
-	for _, s := range fig9Systems() {
-		cap := maxLoadFor(s.Name())
+// Figure9Plan builds the Figure 9 sweep plan for "memcached" or "silo" —
+// it is also the parallel-determinism benchmark's reference plan (it mixes
+// all six schedulers, per-system load caps, and long/short cells).
+func Figure9Plan(o Options, wl string) (harness.Plan, error) {
+	if wl != "memcached" && wl != "silo" {
+		return harness.Plan{}, fmt.Errorf("experiments: unknown workload %q", wl)
+	}
+	var plan harness.Plan
+	for _, name := range fig9Systems() {
+		cap := maxLoadFor(name)
 		loads := make([]float64, 0, len(o.loadFractions()))
 		for _, lf := range o.loadFractions() {
 			if lf <= cap {
@@ -77,37 +69,48 @@ func Figure9(o Options, wl string) (Fig9, error) {
 			loads = []float64{cap}
 		}
 		for _, lf := range loads {
-			var lapp *workload.App
-			switch wl {
-			case "silo":
-				lapp = o.siloApp(lf)
-			case "memcached":
-				lapp = o.mcApp(lf)
-			default:
-				return Fig9{}, fmt.Errorf("experiments: unknown workload %q", wl)
+			lapp := mcSpec(lf)
+			if wl == "silo" {
+				lapp = siloSpec(lf)
 			}
-			cfg := o.baseConfig(lapp, workload.Linpack())
+			spec := o.spec(name, lapp, linpackSpec())
 			if wl == "silo" && !o.Quick {
-				cfg.Duration = 150 * o.duration() / 60
-				cfg.Warmup = 3 * o.warmup()
+				spec.DurationNs = int64(150 * o.duration() / 60)
+				spec.WarmupNs = int64(3 * o.warmup())
 			}
-			res, err := s.Run(cfg)
-			if err != nil {
-				return Fig9{}, err
-			}
-			la, _ := res.App(lapp.Name)
-			ba, _ := res.App("linpack")
-			out.Points = append(out.Points, Fig9Point{
-				System:    s.Name(),
-				LoadFrac:  lf,
-				TotalNorm: res.TotalNormTput(),
-				BNorm:     ba.NormTput,
-				LTputMops: la.Tput.PerSecond() / 1e6,
-				P999Ns:    la.Latency.P999,
-			})
-			out.AvgDecline[s.Name()] += 1 - res.TotalNormTput()
-			counts[s.Name()]++
+			plan.Add(spec)
 		}
+	}
+	return plan, nil
+}
+
+// Figure9 runs the sweep for "memcached" or "silo".
+func Figure9(o Options, wl string) (Fig9, error) {
+	plan, err := Figure9Plan(o, wl)
+	if err != nil {
+		return Fig9{}, err
+	}
+	results, err := o.exec().RunPlan(plan)
+	if err != nil {
+		return Fig9{}, err
+	}
+	out := Fig9{Workload: wl, AvgDecline: make(map[string]float64)}
+	counts := make(map[string]int)
+	for i, rr := range results {
+		spec := plan.Specs[i]
+		res := rr.Result
+		la, _ := res.App(spec.Apps[0].Name)
+		ba, _ := res.App("linpack")
+		out.Points = append(out.Points, Fig9Point{
+			System:    spec.Scheduler,
+			LoadFrac:  spec.Apps[0].LoadFrac,
+			TotalNorm: res.TotalNormTput(),
+			BNorm:     ba.NormTput,
+			LTputMops: la.Tput.PerSecond() / 1e6,
+			P999Ns:    la.Latency.P999,
+		})
+		out.AvgDecline[spec.Scheduler] += 1 - res.TotalNormTput()
+		counts[spec.Scheduler]++
 	}
 	for name, n := range counts {
 		if n > 0 {

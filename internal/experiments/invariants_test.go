@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"vessel/internal/conformance"
+	"vessel/internal/harness"
 	"vessel/internal/sched"
 	"vessel/internal/workload"
 )
@@ -52,7 +53,11 @@ func TestSchedulerInvariants(t *testing.T) {
 			return cfg
 		}},
 	}
-	for _, s := range fig9Systems() {
+	for _, name := range fig9Systems() {
+		s, err := harness.SchedulerByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, sc := range scenarios {
 			cfg := sc.mk()
 			// Keep Arachne/Linux within their operating envelopes the
@@ -60,9 +65,9 @@ func TestSchedulerInvariants(t *testing.T) {
 			// regardless — so run them anyway.
 			res, err := s.Run(cfg)
 			if err != nil {
-				t.Fatalf("%s/%s: %v", s.Name(), sc.name, err)
+				t.Fatalf("%s/%s: %v", name, sc.name, err)
 			}
-			checkInvariants(t, s.Name()+"/"+sc.name, cfg, res)
+			checkInvariants(t, name+"/"+sc.name, cfg, res)
 		}
 	}
 }

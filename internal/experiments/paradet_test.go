@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"vessel/internal/harness"
+)
+
+// TestFig9ParallelGolden is the golden parallel-determinism check for the
+// experiment drivers: the quick Figure 9 plan — all six schedulers, mixed
+// per-system load caps — must produce byte-identical canonical results and
+// byte-identical rendered output at -parallel 1 and -parallel 8. Run under
+// -race in CI, this doubles as the executor's data-race probe on a real
+// sweep.
+func TestFig9ParallelGolden(t *testing.T) {
+	o := Options{Seed: 42, Quick: true}
+	plan, err := Figure9Plan(o, "memcached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := harness.Sequential().RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := (&harness.Executor{Parallel: 8}).RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if !bytes.Equal(seq[i].Result.Canonical(), par[i].Result.Canonical()) {
+			t.Errorf("cell %d (%s @ %.2f): canonical result bytes diverge",
+				i, plan.Specs[i].Scheduler, plan.Specs[i].Apps[0].LoadFrac)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The rendered figure must match too — plan-order folding is part of
+	// the contract, not just per-cell determinism.
+	fSeq, err := Figure9(o, "memcached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oPar := o
+	oPar.Exec = &harness.Executor{Parallel: 8}
+	fPar, err := Figure9(oPar, "memcached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fSeq.String() != fPar.String() {
+		t.Fatalf("rendered Figure 9 diverges between -parallel 1 and -parallel 8:\n--- seq ---\n%s\n--- par ---\n%s",
+			fSeq.String(), fPar.String())
+	}
+}

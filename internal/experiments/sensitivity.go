@@ -4,11 +4,8 @@ import (
 	"fmt"
 
 	"vessel/internal/cpu"
-	"vessel/internal/sched"
-	"vessel/internal/sched/caladan"
+	"vessel/internal/harness"
 	"vessel/internal/sim"
-	"vessel/internal/vessel"
-	"vessel/internal/workload"
 )
 
 // SensPoint is one (knob, value) measurement of the standard colocation.
@@ -28,34 +25,18 @@ type Sensitivity struct {
 	Points []SensPoint
 }
 
-// sensRun runs the standard memcached+Linpack colocation at 50% load.
-func sensRun(o Options, s sched.Scheduler, cm *cpu.CostModel) (SensPoint, error) {
-	cfg := o.baseConfig(o.mcApp(0.5), workload.Linpack())
-	cfg.Costs = cm
-	res, err := s.Run(cfg)
-	if err != nil {
-		return SensPoint{}, err
-	}
-	la, _ := res.App("memcached")
-	return SensPoint{
-		System:    s.Name(),
-		TotalNorm: res.TotalNormTput(),
-		P999Ns:    la.Latency.P999,
-	}, nil
-}
-
-// RunSensitivity executes the sweep.
+// RunSensitivity executes the sweep: every (knob, value) cell is the
+// standard 50%-load colocation with one cost-model constant overridden.
+// The override rides the RunSpec's Costs field, so each ablation hashes —
+// and caches — as its own cell.
 func RunSensitivity(o Options) (Sensitivity, error) {
-	var out Sensitivity
-	add := func(knob, value string, s sched.Scheduler, cm *cpu.CostModel) error {
-		p, err := sensRun(o, s, cm)
-		if err != nil {
-			return err
-		}
-		p.Knob = knob
-		p.Value = value
-		out.Points = append(out.Points, p)
-		return nil
+	var plan harness.Plan
+	var labels []struct{ knob, value string }
+	add := func(knob, value, system string, cm *cpu.CostModel) {
+		spec := o.spec(system, mcSpec(0.5), linpackSpec())
+		spec.Costs = cm
+		plan.Add(spec)
+		labels = append(labels, struct{ knob, value string }{knob, value})
 	}
 
 	// 1. UINTR delivery latency: the paper's 15× claim (§2.2) swept from
@@ -64,9 +45,7 @@ func RunSensitivity(o Options) (Sensitivity, error) {
 		cm := cpu.Default()
 		cm.UintrDeliver *= sim.Duration(mult)
 		cm.VesselPreemptSwitch += cm.UintrDeliver - cpu.Default().UintrDeliver
-		if err := add("uintr-delivery", fmt.Sprintf("%v", cm.UintrDeliver), vessel.Simulator{}, cm); err != nil {
-			return out, err
-		}
+		add("uintr-delivery", fmt.Sprintf("%v", cm.UintrDeliver), "VESSEL", cm)
 	}
 	// 2. WRPKRU cost across the §2.3 range (two per gate crossing).
 	for _, cycles := range []int64{11, 28, 260} {
@@ -75,25 +54,35 @@ func RunSensitivity(o Options) (Sensitivity, error) {
 		cm.WrPkruCycles = cycles
 		cm.VesselParkSwitch += delta
 		cm.VesselPreemptSwitch += delta
-		if err := add("wrpkru-cycles", fmt.Sprintf("%d", cycles), vessel.Simulator{}, cm); err != nil {
-			return out, err
-		}
+		add("wrpkru-cycles", fmt.Sprintf("%d", cycles), "VESSEL", cm)
 	}
 	// 3. Caladan's steal window (§4.5): the conservative-policy dial.
 	for _, win := range []sim.Duration{500, 2000, 8000} {
 		cm := cpu.Default()
 		cm.CaladanStealWin = win
-		if err := add("steal-window", fmt.Sprintf("%v", win), caladan.Simulator{Variant: caladan.Plain}, cm); err != nil {
-			return out, err
-		}
+		add("steal-window", fmt.Sprintf("%v", win), "Caladan", cm)
 	}
 	// 4. Caladan's core-reallocation interval (§4.5).
 	for _, iv := range []sim.Duration{5000, 10000, 20000} {
 		cm := cpu.Default()
 		cm.CaladanReallocMs = iv
-		if err := add("realloc-interval", fmt.Sprintf("%v", iv), caladan.Simulator{Variant: caladan.Plain}, cm); err != nil {
-			return out, err
-		}
+		add("realloc-interval", fmt.Sprintf("%v", iv), "Caladan", cm)
+	}
+
+	results, err := o.exec().RunPlan(plan)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	var out Sensitivity
+	for i, rr := range results {
+		la, _ := rr.Result.App("memcached")
+		out.Points = append(out.Points, SensPoint{
+			Knob:      labels[i].knob,
+			Value:     labels[i].value,
+			System:    plan.Specs[i].Scheduler,
+			TotalNorm: rr.Result.TotalNormTput(),
+			P999Ns:    la.Latency.P999,
+		})
 	}
 	return out, nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"vessel/internal/harness"
 	"vessel/internal/sched"
 	"vessel/internal/sim"
 	"vessel/internal/workload"
@@ -29,15 +30,19 @@ func TestSoakLongDeterministicRuns(t *testing.T) {
 		cfg.Warmup = 10 * sim.Millisecond
 		return cfg
 	}
-	for _, s := range fig9Systems() {
-		s := s
-		t.Run(s.Name(), func(t *testing.T) {
+	for _, name := range fig9Systems() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, err := harness.SchedulerByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
 			cfg1 := build()
 			res1, err := s.Run(cfg1)
 			if err != nil {
 				t.Fatal(err)
 			}
-			checkInvariants(t, "soak/"+s.Name(), cfg1, res1)
+			checkInvariants(t, "soak/"+name, cfg1, res1)
 			// Determinism across an identical rebuild.
 			cfg2 := build()
 			res2, err := s.Run(cfg2)

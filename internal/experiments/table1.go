@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vessel/internal/cpu"
+	"vessel/internal/harness"
 	"vessel/internal/mem"
 	"vessel/internal/sim"
 	"vessel/internal/smas"
@@ -100,16 +101,35 @@ func jitter(rng *sim.RNG, base float64, medP, medMean, spikeP, spikeBase, spikeM
 	return v
 }
 
+// table1Key caches the whole computation — the layer-1 measurement plus
+// both jitter-sampled histograms — as one cell: the two sample loops share
+// one RNG sequence, so they cannot be split into independent runs.
+type table1Key struct {
+	Seed     uint64 `json:"seed"`
+	NSamples int    `json:"n_samples"`
+}
+
+// table1Epoch versions Table 1's cached cells (bump when the measurement
+// or the jitter model changes).
+const table1Epoch = 1
+
 // RunTable1 produces the table with nSamples per system.
 func RunTable1(o Options, nSamples int) (Table1, error) {
 	if nSamples <= 0 {
 		nSamples = 200_000
 	}
+	t, _, err := harness.CachedJSON(o.exec(), "table1", table1Epoch,
+		table1Key{Seed: o.seed(), NSamples: nSamples},
+		func() (Table1, error) { return runTable1(o.seed(), nSamples) })
+	return t, err
+}
+
+func runTable1(seed uint64, nSamples int) (Table1, error) {
 	base, err := measureVesselSwitch()
 	if err != nil {
 		return Table1{}, err
 	}
-	rng := sim.NewRNG(o.seed())
+	rng := sim.NewRNG(seed)
 	vh := stats.NewHistogram()
 	for i := 0; i < nSamples; i++ {
 		vh.Record(int64(jitter(rng, base, 0.01, 12, 0.0013, 450, 120)))

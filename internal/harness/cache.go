@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// cacheEntry is the on-disk envelope: the key is stored next to the value
+// so `cat` on a cache file shows exactly which cell it holds, and Get can
+// reject hash collisions with mismatched keys (paranoia, not expectation).
+type cacheEntry struct {
+	Kind  string          `json:"kind"`
+	Key   json.RawMessage `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// Cache is a content-addressed result store: one JSON file per spec hash
+// under a directory. Entries never mutate — a hash fully determines its
+// value — so concurrent readers and writers only race on whole-file
+// creation, which the temp-file+rename Put makes atomic.
+type Cache struct {
+	dir                string
+	hits, misses, puts atomic.Int64
+}
+
+// OpenCache creates (if needed) and opens a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}
+
+// Get loads the entry for hash into out (a JSON-decodable pointer).
+// It returns false on a miss; a present-but-corrupt entry is treated as a
+// miss (the next Put rewrites it).
+func (c *Cache) Get(hash string, out any) bool {
+	b, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		c.misses.Add(1)
+		return false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(b, &e); err != nil || e.Value == nil {
+		c.misses.Add(1)
+		return false
+	}
+	if err := json.Unmarshal(e.Value, out); err != nil {
+		c.misses.Add(1)
+		return false
+	}
+	c.hits.Add(1)
+	return true
+}
+
+// Put stores value under hash, recording key (the hashed spec) alongside
+// for debuggability. The write is atomic: temp file in the same directory,
+// then rename.
+func (c *Cache) Put(hash, kind string, key, value any) error {
+	kb, err := json.Marshal(key)
+	if err != nil {
+		return fmt.Errorf("harness: cache key: %w", err)
+	}
+	vb, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("harness: cache value: %w", err)
+	}
+	b, err := json.MarshalIndent(cacheEntry{Kind: kind, Key: kb, Value: vb}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, ".tmp-"+hash+"-*")
+	if err != nil {
+		return fmt.Errorf("harness: cache put: %w", err)
+	}
+	_, werr := tmp.Write(append(b, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache put: %w", errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), c.path(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache put: %w", err)
+	}
+	c.puts.Add(1)
+	return nil
+}
+
+// Stats reports hit/miss/store counts since open.
+func (c *Cache) Stats() (hits, misses, puts int64) {
+	return c.hits.Load(), c.misses.Load(), c.puts.Load()
+}

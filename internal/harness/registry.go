@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vessel/internal/sched"
+	"vessel/internal/sched/arachne"
+	"vessel/internal/sched/caladan"
+	"vessel/internal/sched/cfs"
+	"vessel/internal/vessel"
+)
+
+// schedulerEntry couples a constructor with an implementation epoch. The
+// epoch folds into every RunSpec hash for that scheduler: bumping it when
+// the implementation's behaviour changes invalidates exactly that
+// scheduler's cached cells and nobody else's.
+type schedulerEntry struct {
+	make  func() sched.Scheduler
+	epoch int
+}
+
+// registry maps Scheduler.Name() strings (lower-cased) to entries. All
+// writes happen in this package's init-time literal; runtime access is
+// read-only, so concurrent executor workers need no locking.
+var registry = map[string]schedulerEntry{
+	"vessel":       {func() sched.Scheduler { return vessel.Simulator{} }, 1},
+	"caladan":      {func() sched.Scheduler { return caladan.Simulator{} }, 1},
+	"caladan-dr-l": {func() sched.Scheduler { return caladan.Simulator{Variant: caladan.DRLow} }, 1},
+	"caladan-dr-h": {func() sched.Scheduler { return caladan.Simulator{Variant: caladan.DRHigh} }, 1},
+	"arachne":      {func() sched.Scheduler { return arachne.Simulator{} }, 1},
+	"linux":        {func() sched.Scheduler { return cfs.Simulator{} }, 1},
+}
+
+// SchedulerByName resolves a Scheduler.Name() string (case-insensitive)
+// to a fresh scheduler value.
+func SchedulerByName(name string) (sched.Scheduler, error) {
+	e, ok := registry[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown scheduler %q (known: %s)", name, strings.Join(SchedulerNames(), ", "))
+	}
+	return e.make(), nil
+}
+
+// SchedulerNames lists the registered canonical names, sorted.
+func SchedulerNames() []string {
+	names := make([]string, 0, len(registry))
+	for k := range registry {
+		e := registry[k]
+		names = append(names, e.make().Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// schedulerEpoch returns the implementation epoch folded into RunSpec
+// hashes; unknown names get epoch 0 (they fail later at run time with a
+// clear error from SchedulerByName).
+func schedulerEpoch(name string) int {
+	return registry[strings.ToLower(name)].epoch
+}

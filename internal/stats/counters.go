@@ -74,6 +74,22 @@ func (c *Counters) Snapshot() []KV {
 	return out
 }
 
+// Merge folds other's counters into c: every counter of other is added
+// to c's counter of the same name, creating it (at c's insertion tail)
+// on first touch. Merging goes through other.Snapshot() so the two locks
+// are never held together — c.Merge(other) and other.Merge(c) running
+// concurrently cannot deadlock. Merge order affects only the insertion
+// order of names new to c, never the values: merging the same multiset
+// of counter sets yields the same totals.
+func (c *Counters) Merge(other *Counters) {
+	if other == nil || other == c {
+		return
+	}
+	for _, kv := range other.Snapshot() {
+		c.Add(kv.Name, kv.Value)
+	}
+}
+
 // String renders "name=value" lines in insertion order.
 func (c *Counters) String() string {
 	c.mu.Lock()

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestHistogramMergeCommutes: merging a set of histograms must be
+// commutative and equal to recording every sample into one histogram —
+// the property the parallel sweep drivers rely on when they fold
+// per-seed distributions in seed order.
+func TestHistogramMergeCommutes(t *testing.T) {
+	samples := [][]int64{
+		{1, 2, 3, 1000, 12345},
+		{7, 7, 7, 7},
+		{},
+		{999999, 1, 42},
+	}
+	record := func(vals []int64) *Histogram {
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Record(v)
+		}
+		return h
+	}
+
+	direct := NewHistogram()
+	for _, vals := range samples {
+		for _, v := range vals {
+			direct.Record(v)
+		}
+	}
+
+	forward := NewHistogram()
+	for _, vals := range samples {
+		forward.Merge(record(vals))
+	}
+	backward := NewHistogram()
+	for i := len(samples) - 1; i >= 0; i-- {
+		backward.Merge(record(samples[i]))
+	}
+
+	want := direct.Summarize()
+	if got := forward.Summarize(); got != want {
+		t.Fatalf("forward merge diverged: %v vs %v", got, want)
+	}
+	if got := backward.Summarize(); got != want {
+		t.Fatalf("merge is not commutative: %v vs %v", got, want)
+	}
+	if forward.Count() != direct.Count() || backward.Count() != direct.Count() {
+		t.Fatalf("counts: direct=%d forward=%d backward=%d",
+			direct.Count(), forward.Count(), backward.Count())
+	}
+
+	// Merging nil or an empty histogram is a no-op.
+	before := forward.Summarize()
+	forward.Merge(nil)
+	forward.Merge(NewHistogram())
+	if got := forward.Summarize(); got != before {
+		t.Fatalf("no-op merges changed the histogram: %v vs %v", got, before)
+	}
+}
+
+// TestCountersMergeCommutes: merged totals must be independent of merge
+// order, and merging the same ordered sequence of counter sets must be
+// fully deterministic (values and insertion order both).
+func TestCountersMergeCommutes(t *testing.T) {
+	mk := func(kvs ...KV) *Counters {
+		c := NewCounters()
+		for _, kv := range kvs {
+			c.Add(kv.Name, kv.Value)
+		}
+		return c
+	}
+	a := mk(KV{"x", 1}, KV{"y", 2})
+	b := mk(KV{"y", 10}, KV{"z", 5})
+
+	ab := NewCounters()
+	ab.Merge(a)
+	ab.Merge(b)
+	ba := NewCounters()
+	ba.Merge(b)
+	ba.Merge(a)
+
+	for _, name := range []string{"x", "y", "z"} {
+		if ab.Get(name) != ba.Get(name) {
+			t.Fatalf("%s: %d vs %d", name, ab.Get(name), ba.Get(name))
+		}
+	}
+	if ab.Get("x") != 1 || ab.Get("y") != 12 || ab.Get("z") != 5 {
+		t.Fatalf("totals wrong: %s", ab)
+	}
+
+	// Same merge order twice → identical snapshot, including insertion
+	// order (the rendering determinism the sweep drivers print under).
+	ab2 := NewCounters()
+	ab2.Merge(a)
+	ab2.Merge(b)
+	if !reflect.DeepEqual(ab.Snapshot(), ab2.Snapshot()) {
+		t.Fatalf("replayed merge diverged:\n%s\nvs\n%s", ab, ab2)
+	}
+
+	// Self-merge and nil-merge are no-ops.
+	before := ab.Snapshot()
+	ab.Merge(ab)
+	ab.Merge(nil)
+	if !reflect.DeepEqual(ab.Snapshot(), before) {
+		t.Fatalf("no-op merges changed counters: %s", ab)
+	}
+}

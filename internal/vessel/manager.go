@@ -97,8 +97,8 @@ func (mg *Manager) Destroy(name string) error {
 // uProcesses whose cores have not yet processed the kill stay pending.
 func (mg *Manager) Reap() (int, error) {
 	reclaimed := 0
-	kept := mg.zombies[:0]
-	for _, u := range mg.zombies {
+	kept := make([]*uproc.UProc, 0, len(mg.zombies))
+	for i, u := range mg.zombies {
 		// Stay pending while the kill has not landed or a core still
 		// runs a thread of u — reclaiming then would recycle the pkey
 		// under a live PKRU (the libmpk stale-key pitfall).
@@ -107,6 +107,11 @@ func (mg *Manager) Reap() (int, error) {
 			continue
 		}
 		if err := mg.Domain.ReclaimRegion(u); err != nil {
+			// Zombies already reclaimed this pass must leave the list —
+			// keeping them would reclaim (and double-free the pkey of)
+			// the same region on the next call. The failed one and the
+			// not-yet-examined tail stay pending.
+			mg.zombies = append(kept, mg.zombies[i:]...)
 			return reclaimed, err
 		}
 		reclaimed++

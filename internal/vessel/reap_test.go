@@ -1,0 +1,85 @@
+package vessel
+
+import (
+	"strings"
+	"testing"
+
+	"vessel/internal/uproc"
+)
+
+// TestReapErrorDropsReclaimed pins the Reap error path: when reclaiming
+// one zombie fails mid-pass, the zombies already reclaimed in that pass
+// must leave the pending list. Keeping them would hand their regions to
+// Domain.ReclaimRegion again on the next call — a double-free of an
+// already-recycled protection key.
+func TestReapErrorDropsReclaimed(t *testing.T) {
+	mg, err := NewManager(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, err := mg.Launch("a", parkLoop(mg), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := mg.Launch("b", parkLoop(mg), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	mg.Step(0, 3000)
+	if err := mg.Destroy("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.Destroy("b"); err != nil {
+		t.Fatal(err)
+	}
+	mg.Step(0, 5000)
+	if ua.State != uproc.UProcTerminated || ub.State != uproc.UProcTerminated {
+		t.Fatalf("kills not landed: a=%v b=%v", ua.State, ub.State)
+	}
+
+	// Sabotage: free b's region out from under the manager, so Reap's own
+	// reclaim of b fails with a key double-free.
+	if err := mg.Domain.ReclaimRegion(ub); err != nil {
+		t.Fatal(err)
+	}
+	availBefore := mg.Domain.S.Keys.Available()
+
+	// First pass: a reclaims, b errors. a must be gone from the list.
+	n, err := mg.Reap()
+	if err == nil {
+		t.Fatal("expected reclaim error for b")
+	}
+	if n != 1 {
+		t.Fatalf("reclaimed %d before the error, want 1 (a)", n)
+	}
+	if got := mg.Domain.S.Keys.Available(); got != availBefore+1 {
+		t.Fatalf("available keys = %d, want %d", got, availBefore+1)
+	}
+
+	// a's freed key is recycled to a fresh uProcess (the allocator hands
+	// out the lowest free key).
+	uc, err := mg.Launch("c", parkLoop(mg), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uc.Image.Region.Key != ua.Image.Region.Key {
+		t.Skipf("allocator did not recycle a's key (%d vs %d)", uc.Image.Region.Key, ua.Image.Region.Key)
+	}
+
+	// Second pass: only b may be retried. Before the fix the unfiltered
+	// list still held a, and reclaiming it again freed a's recycled key
+	// out from under the live uProcess c.
+	n, err = mg.Reap()
+	if err == nil || n != 0 {
+		t.Fatalf("second reap: n=%d err=%v, want 0 and b's error", n, err)
+	}
+	if !strings.Contains(err.Error(), "not allocated") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if !mg.Domain.S.Keys.InUse(uc.Image.Region.Key) {
+		t.Fatal("live uProcess c lost its protection key to a stale zombie's re-reclaim")
+	}
+}

@@ -63,6 +63,11 @@ func (m *Manager) Stats(core int) (parks, preemptions uint64) {
 	return m.inner.Domain.CoreStats(core)
 }
 
+// KeysAvailable returns how many protection keys remain free in the
+// domain's SMAS — the architectural launch budget (§4.1). Unreaped
+// zombies still hold theirs.
+func (m *Manager) KeysAvailable() int { return m.inner.Domain.S.Keys.Available() }
+
 // CyclesNs returns the virtual nanoseconds core has executed.
 func (m *Manager) CyclesNs(core int) float64 {
 	c := m.inner.Machine().Core(core)
