@@ -14,6 +14,7 @@ import (
 
 	"vessel/internal/cpu"
 	"vessel/internal/experiments"
+	"vessel/internal/mmubench"
 	"vessel/internal/sched"
 	"vessel/internal/sim"
 	ivessel "vessel/internal/vessel"
@@ -160,6 +161,21 @@ func BenchmarkFigure13b(b *testing.B) {
 		b.ReportMetric(f.AvgError["VESSEL"]*100, "vessel-err-%")
 		b.ReportMetric(f.AvgError["Intel-MBA"]*100, "mba-err-%")
 	}
+}
+
+// ---- simulated-MMU fast path --------------------------------------------------
+//
+// Bodies live in internal/mmubench so cmd/mmubench can run the identical
+// code and emit BENCH_mmu.json; the Slow variants measure the same work
+// with the fast path off, giving an in-process speedup ratio.
+
+func BenchmarkCoreStep(b *testing.B)       { mmubench.BenchCoreStep(b) }
+func BenchmarkCoreStepSlow(b *testing.B)   { mmubench.BenchCoreStepSlow(b) }
+func BenchmarkASCheckHit(b *testing.B)     { mmubench.BenchASCheckHit(b) }
+func BenchmarkASCheckHitSlow(b *testing.B) { mmubench.BenchASCheckHitSlow(b) }
+func BenchmarkReadBytes4K(b *testing.B)    { mmubench.BenchReadBytes4K(b) }
+func BenchmarkReadBytes4KSlow(b *testing.B) {
+	mmubench.BenchReadBytes4KSlow(b)
 }
 
 // ---- ablations ---------------------------------------------------------------

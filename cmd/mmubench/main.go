@@ -1,0 +1,99 @@
+// Command mmubench runs the simulated-MMU fast-path benchmarks (the same
+// bodies `go test -bench` uses, via internal/mmubench) and writes the
+// results to a JSON artifact, BENCH_mmu.json. Fast and slow variants run in
+// the same process, so the reported speedups are ratios on identical
+// hardware rather than absolute numbers that drift across CI machines.
+//
+// Exit status is nonzero when a hard perf gate fails:
+//
+//   - the non-faulting Step path must not allocate (allocs/op == 0);
+//   - Step must be ≥2× the disabled-fast-path walk;
+//   - ReadBytes of a page must be ≥5× the per-byte reference.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"vessel/internal/mmubench"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+type report struct {
+	Results  []benchResult      `json:"results"`
+	Speedups map[string]float64 `json:"speedups"`
+	Gates    []string           `json:"gates_failed,omitempty"`
+}
+
+func run(name string, fn func(*testing.B)) benchResult {
+	r := testing.Benchmark(fn)
+	return benchResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_mmu.json", "output JSON path")
+	flag.Parse()
+
+	pairs := []struct {
+		name       string
+		fast, slow func(*testing.B)
+		minSpeedup float64
+	}{
+		{"core_step", mmubench.BenchCoreStep, mmubench.BenchCoreStepSlow, 2},
+		{"as_check_hit", mmubench.BenchASCheckHit, mmubench.BenchASCheckHitSlow, 1},
+		{"read_bytes_4k", mmubench.BenchReadBytes4K, mmubench.BenchReadBytes4KSlow, 5},
+	}
+
+	rep := report{Speedups: map[string]float64{}}
+	for _, p := range pairs {
+		fast := run(p.name, p.fast)
+		slow := run(p.name+"_slow", p.slow)
+		rep.Results = append(rep.Results, fast, slow)
+		speedup := slow.NsPerOp / fast.NsPerOp
+		rep.Speedups[p.name] = speedup
+		fmt.Printf("%-16s fast %8.2f ns/op (%d allocs/op)  slow %9.2f ns/op  speedup %.2fx\n",
+			p.name, fast.NsPerOp, fast.AllocsPerOp, slow.NsPerOp, speedup)
+		if p.name == "core_step" && fast.AllocsPerOp != 0 {
+			rep.Gates = append(rep.Gates,
+				fmt.Sprintf("core_step allocates %d/op on the non-faulting path; want 0", fast.AllocsPerOp))
+		}
+		if speedup < p.minSpeedup {
+			rep.Gates = append(rep.Gates,
+				fmt.Sprintf("%s speedup %.2fx below required %.0fx", p.name, speedup, p.minSpeedup))
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmubench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "mmubench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+	for _, g := range rep.Gates {
+		fmt.Fprintln(os.Stderr, "GATE FAILED:", g)
+	}
+	if len(rep.Gates) > 0 {
+		os.Exit(1)
+	}
+}

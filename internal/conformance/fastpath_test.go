@@ -1,0 +1,57 @@
+package conformance
+
+import (
+	"bytes"
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/sched"
+)
+
+// TestFastPathByteIdentical runs the standard seed sweep through every
+// scheduler twice — simulated-MMU fast path enabled and disabled — and
+// requires byte-identical canonical results. The fast path (software TLB,
+// decoded-fetch cache, bulk batching) must be pure mechanism: if it ever
+// leaks into an observable number, this differential catches it at the
+// same granularity the golden files use. The sweep also pins down the
+// sim-engine event free-list: recycled event storage must not perturb
+// firing order anywhere in the layer-2 models.
+//
+// Not parallel: DisableFastPath is a package-level toggle that must only
+// change while no simulation is running.
+func TestFastPathByteIdentical(t *testing.T) {
+	if cpu.DisableFastPath {
+		t.Fatal("fast path must be the default")
+	}
+	seeds := []uint64{1, 2, 3, 4, 5}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	sweep := func() map[uint64]map[string][]byte {
+		out := make(map[uint64]map[string][]byte)
+		for _, seed := range seeds {
+			sc := Generate(seed, true)
+			out[seed] = make(map[string][]byte)
+			for _, s := range Systems() {
+				res, err := sched.Run(s, sc.Config())
+				if err != nil {
+					t.Fatalf("seed %d %s: %v", seed, s.Name(), err)
+				}
+				out[seed][s.Name()] = res.Canonical()
+			}
+		}
+		return out
+	}
+	fast := sweep()
+	cpu.DisableFastPath = true
+	defer func() { cpu.DisableFastPath = false }()
+	slow := sweep()
+	for _, seed := range seeds {
+		for name, fb := range fast[seed] {
+			if !bytes.Equal(fb, slow[seed][name]) {
+				t.Errorf("seed %d %s: canonical result differs with fast path off\n--- fast\n%s--- slow\n%s",
+					seed, name, fb, slow[seed][name])
+			}
+		}
+	}
+}

@@ -2,10 +2,18 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"vessel/internal/mem"
 	"vessel/internal/mpk"
 )
+
+// DisableFastPath routes every fetch and data access through the uncached
+// map-walk path, bypassing the per-core software TLB and decoded-fetch
+// cache. It exists for differential testing — the fast path must be
+// semantically invisible, and conformance runs assert byte-identical
+// results with it on and off. Toggle only while no simulation is running.
+var DisableFastPath bool
 
 // Hooks let higher layers observe and extend core execution.
 type Hooks struct {
@@ -61,6 +69,39 @@ type Core struct {
 	machine *Machine
 	nextPC  mem.Addr
 	jumped  bool
+
+	// tlb is the core's software translation cache; see mem.TLB for the
+	// generation-based coherence scheme that keeps it invisible.
+	tlb mem.TLB
+	// faultv is the scratch the TLB access helpers fill on failure, so
+	// the non-faulting path never allocates a *mem.Fault. The pointer
+	// handed to raise aliases this scratch; fault consumers (the OnFault
+	// hook, readers of c.Fault) must not retain it across further
+	// execution of this core, which none do — a contained fault is acted
+	// on synchronously and an uncontained one halts the core.
+	faultv mem.Fault
+
+	// The decoded-fetch cache: a direct-mapped map from PC to the decoded
+	// instruction, tagged with the address space, its translation
+	// generation, and the machine's code generation. A hit skips both the
+	// page-table walk and the codeKey map lookup in fetch. Exec
+	// permission was verified at fill time and cannot have changed while
+	// the generation tags match; PKRU is never consulted for fetches.
+	icache    [icacheSize]icacheEntry
+	icAS      *mem.AddressSpace
+	icASGen   uint64
+	icCodeGen uint64
+}
+
+// icacheSize is the number of direct-mapped decoded-fetch entries, indexed
+// by instruction slot (PC / InstrSize). Power of two.
+const icacheSize = 256
+
+// icacheEntry tags the decoded instruction with PC+1 so the zero value
+// never hits.
+type icacheEntry struct {
+	tag   mem.Addr
+	instr Instr
 }
 
 // setPC redirects control flow for the current instruction.
@@ -69,10 +110,57 @@ func (c *Core) setPC(a mem.Addr) {
 	c.jumped = true
 }
 
+// read is the core's checked data load: the PTE∧PKRU dual check resolved
+// through the per-core TLB, allocation-free unless it faults — and even
+// then the fault lands in the core's scratch.
+func (c *Core) read(addr mem.Addr, size int) (Word, *mem.Fault) {
+	if DisableFastPath {
+		return c.AS.Read(addr, size, c.PKRU)
+	}
+	v, ok := c.AS.ReadVia(&c.tlb, addr, size, c.PKRU, &c.faultv)
+	if !ok {
+		return 0, &c.faultv
+	}
+	return v, nil
+}
+
+// write is read's store counterpart.
+func (c *Core) write(addr mem.Addr, size int, v Word) *mem.Fault {
+	if DisableFastPath {
+		return c.AS.Write(addr, size, v, c.PKRU)
+	}
+	if !c.AS.WriteVia(&c.tlb, addr, size, v, c.PKRU, &c.faultv) {
+		return &c.faultv
+	}
+	return nil
+}
+
+// fetchFast resolves PC to a decoded instruction through the per-core
+// icache, falling back to the machine's checked fetch on a miss.
+func (c *Core) fetchFast() (Instr, *mem.Fault) {
+	if DisableFastPath {
+		return c.machine.fetch(c.AS, c.PC, c.PKRU)
+	}
+	if c.icAS != c.AS || c.icASGen != c.AS.Generation() || c.icCodeGen != c.machine.codeGen {
+		c.icache = [icacheSize]icacheEntry{}
+		c.icAS, c.icASGen, c.icCodeGen = c.AS, c.AS.Generation(), c.machine.codeGen
+	}
+	e := &c.icache[(uint64(c.PC)/InstrSize)&(icacheSize-1)]
+	if e.tag == c.PC+1 {
+		return e.instr, nil
+	}
+	ins, fault := c.machine.fetch(c.AS, c.PC, c.PKRU)
+	if fault != nil {
+		return nil, fault
+	}
+	e.tag, e.instr = c.PC+1, ins
+	return ins, nil
+}
+
 // push writes v at [RSP-8] and decrements RSP.
 func (c *Core) push(v Word) *mem.Fault {
 	sp := mem.Addr(c.Regs[RSP] - 8)
-	if fault := c.AS.Write(sp, 8, v, c.PKRU); fault != nil {
+	if fault := c.write(sp, 8, v); fault != nil {
 		return fault
 	}
 	c.Regs[RSP] = Word(sp)
@@ -82,7 +170,7 @@ func (c *Core) push(v Word) *mem.Fault {
 // pop reads [RSP] and increments RSP.
 func (c *Core) pop() (Word, *mem.Fault) {
 	sp := mem.Addr(c.Regs[RSP])
-	v, fault := c.AS.Read(sp, 8, c.PKRU)
+	v, fault := c.read(sp, 8)
 	if fault != nil {
 		return 0, fault
 	}
@@ -101,13 +189,9 @@ func (c *Core) PostUserInterrupt(vector uint8) {
 // hardware pushes the interrupted PC and the vector number onto the current
 // stack, clears UIF, and jumps to the handler (§2.2).
 func (c *Core) deliverUserInterrupt() *mem.Fault {
-	vec := uint8(0)
-	for v := uint8(0); v < 64; v++ {
-		if c.PendingVectors&(1<<v) != 0 {
-			vec = v
-			break
-		}
-	}
+	// Lowest pending vector wins; the caller guarantees the bitmap is
+	// non-empty, so TrailingZeros64 is in [0, 63].
+	vec := uint8(bits.TrailingZeros64(c.PendingVectors))
 	c.PendingVectors &^= 1 << vec
 	if fault := c.push(Word(c.PC)); fault != nil {
 		return fault
@@ -158,7 +242,7 @@ func (c *Core) Step() bool {
 			return !c.Halted
 		}
 	}
-	instr, fault := c.machine.fetch(c.AS, c.PC, c.PKRU)
+	instr, fault := c.fetchFast()
 	if fault != nil {
 		c.raise(fault)
 		return !c.Halted
@@ -192,6 +276,10 @@ type Machine struct {
 	Costs *CostModel
 	cores []*Core
 	code  map[codeKey]Instr
+	// codeGen counts InstallCode calls; every core's decoded-fetch cache
+	// is tagged with it, so newly installed code invalidates stale
+	// decodes machine-wide on the next fetch.
+	codeGen uint64
 }
 
 type codeKey struct {
@@ -235,6 +323,7 @@ func (m *Machine) InstallCode(as *mem.AddressSpace, base mem.Addr, prog []Instr)
 	if base%InstrSize != 0 {
 		return fmt.Errorf("cpu: code base %#x not instruction aligned", uint64(base))
 	}
+	m.codeGen++
 	for i, ins := range prog {
 		a := base + mem.Addr(i*InstrSize)
 		pte, ok := as.Lookup(a)

@@ -79,7 +79,7 @@ type Load struct {
 
 func (i Load) Exec(c *Core) *mem.Fault {
 	addr := mem.Addr(int64(c.Regs[i.Base]) + i.Off)
-	v, fault := c.AS.Read(addr, 8, c.PKRU)
+	v, fault := c.read(addr, 8)
 	if fault != nil {
 		return fault
 	}
@@ -98,7 +98,7 @@ type Store struct {
 
 func (i Store) Exec(c *Core) *mem.Fault {
 	addr := mem.Addr(int64(c.Regs[i.Base]) + i.Off)
-	return c.AS.Write(addr, 8, c.Regs[i.Src], c.PKRU)
+	return c.write(addr, 8, c.Regs[i.Src])
 }
 func (i Store) Cycles(m *CostModel) int64 { return m.MemCycles }
 func (i Store) String() string            { return fmt.Sprintf("mov [%s%+d], %s", i.Base, i.Off, i.Src) }
@@ -110,7 +110,7 @@ type LoadAbs struct {
 }
 
 func (i LoadAbs) Exec(c *Core) *mem.Fault {
-	v, fault := c.AS.Read(i.Addr, 8, c.PKRU)
+	v, fault := c.read(i.Addr, 8)
 	if fault != nil {
 		return fault
 	}
@@ -127,7 +127,7 @@ type StoreAbs struct {
 }
 
 func (i StoreAbs) Exec(c *Core) *mem.Fault {
-	return c.AS.Write(i.Addr, 8, c.Regs[i.Src], c.PKRU)
+	return c.write(i.Addr, 8, c.Regs[i.Src])
 }
 func (i StoreAbs) Cycles(m *CostModel) int64 { return m.MemCycles }
 func (i StoreAbs) String() string            { return fmt.Sprintf("mov [%#x], %s", uint64(i.Addr), i.Src) }
@@ -264,7 +264,7 @@ func (i CallReg) String() string            { return fmt.Sprintf("call %s", i.Re
 type CallMem struct{ Addr mem.Addr }
 
 func (i CallMem) Exec(c *Core) *mem.Fault {
-	target, fault := c.AS.Read(i.Addr, 8, c.PKRU)
+	target, fault := c.read(i.Addr, 8)
 	if fault != nil {
 		return fault
 	}

@@ -9,6 +9,8 @@
 package mem
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 
 	"vessel/internal/mpk"
@@ -155,6 +157,15 @@ func (f *Fault) Error() string {
 type AddressSpace struct {
 	pages map[uint64]PTE
 	phys  *Physical
+	// gen counts translation-affecting mutations (Map, Unmap, Protect,
+	// SetPKey, ShareRange). Software TLBs tag their entries with the
+	// generation they were filled under, so any stale translation
+	// self-invalidates on the next access — the simulated analogue of the
+	// TLB shootdown the kernel performs on real hardware. Data writes
+	// through frames never bump it, and neither does WRPKRU: PKRU is
+	// checked after translation, exactly as MPK leaves the hardware TLB
+	// valid across protection switches.
+	gen uint64
 }
 
 // NewAddressSpace returns an empty address space over the given physical
@@ -172,8 +183,13 @@ func (as *AddressSpace) Map(vaddr Addr, frame *Frame, perm Perm, key mpk.PKey) e
 		return fmt.Errorf("mem: Map with nil frame")
 	}
 	as.pages[vaddr.PageOf()] = PTE{Frame: frame, Perm: perm, PKey: key}
+	as.gen++
 	return nil
 }
+
+// Generation returns the address space's translation generation. It changes
+// on every mutation that can invalidate a cached translation; see TLB.
+func (as *AddressSpace) Generation() uint64 { return as.gen }
 
 // MapRange allocates fresh frames and maps length bytes starting at vaddr.
 func (as *AddressSpace) MapRange(vaddr Addr, length uint64, perm Perm, key mpk.PKey) error {
@@ -193,6 +209,9 @@ func (as *AddressSpace) MapRange(vaddr Addr, length uint64, perm Perm, key mpk.P
 // address space at the same virtual addresses — the mechanism by which every
 // kProcess in a scheduling domain attaches SMAS (§5.1).
 func (as *AddressSpace) ShareRange(src *AddressSpace, vaddr Addr, length uint64) error {
+	// Bumped up front: a mid-range failure leaves earlier pages remapped,
+	// and those must still invalidate cached translations.
+	as.gen++
 	n := int((length + PageSize - 1) / PageSize)
 	for i := 0; i < n; i++ {
 		a := vaddr + Addr(i*PageSize)
@@ -211,11 +230,13 @@ func (as *AddressSpace) Unmap(vaddr Addr, length uint64) {
 	for i := 0; i < n; i++ {
 		delete(as.pages, (vaddr + Addr(i*PageSize)).PageOf())
 	}
+	as.gen++
 }
 
 // Protect changes the permission bits of the pages covering
 // [vaddr, vaddr+length), mirroring mprotect().
 func (as *AddressSpace) Protect(vaddr Addr, length uint64, perm Perm) error {
+	as.gen++ // up front: a mid-range failure still mutated earlier pages
 	n := int((length + PageSize - 1) / PageSize)
 	for i := 0; i < n; i++ {
 		a := vaddr + Addr(i*PageSize)
@@ -232,6 +253,7 @@ func (as *AddressSpace) Protect(vaddr Addr, length uint64, perm Perm) error {
 // SetPKey tags the pages covering [vaddr, vaddr+length) with a protection
 // key, mirroring pkey_mprotect()'s key assignment.
 func (as *AddressSpace) SetPKey(vaddr Addr, length uint64, key mpk.PKey) error {
+	as.gen++ // up front: a mid-range failure still mutated earlier pages
 	n := int((length + PageSize - 1) / PageSize)
 	for i := 0; i < n; i++ {
 		a := vaddr + Addr(i*PageSize)
@@ -289,12 +311,31 @@ func (as *AddressSpace) Read(vaddr Addr, size int, pkru mpk.PKRU) (uint64, *Faul
 	if fault != nil {
 		return 0, fault
 	}
+	return readWord(frame, vaddr.Offset(), size), nil
+}
+
+// readWord assembles a little-endian word of size bytes at off, which the
+// caller has bounds-checked to be page-local.
+func readWord(frame *Frame, off uint64, size int) uint64 {
+	if size == 8 {
+		return binary.LittleEndian.Uint64(frame.Data[off:])
+	}
 	var v uint64
-	off := vaddr.Offset()
 	for i := 0; i < size; i++ {
 		v |= uint64(frame.Data[off+uint64(i)]) << (8 * i)
 	}
-	return v, nil
+	return v
+}
+
+// writeWord is readWord's store counterpart.
+func writeWord(frame *Frame, off uint64, size int, value uint64) {
+	if size == 8 {
+		binary.LittleEndian.PutUint64(frame.Data[off:], value)
+		return
+	}
+	for i := 0; i < size; i++ {
+		frame.Data[off+uint64(i)] = byte(value >> (8 * i))
+	}
 }
 
 // Write performs a checked write of size bytes (≤8, page-local) at vaddr.
@@ -306,40 +347,72 @@ func (as *AddressSpace) Write(vaddr Addr, size int, value uint64, pkru mpk.PKRU)
 	if fault != nil {
 		return fault
 	}
-	off := vaddr.Offset()
-	for i := 0; i < size; i++ {
-		frame.Data[off+uint64(i)] = byte(value >> (8 * i))
-	}
+	writeWord(frame, vaddr.Offset(), size, value)
 	return nil
 }
 
 // ReadBytes copies length bytes starting at vaddr into a new slice, applying
-// the access check per page. Used by the loader and by privileged runtime
-// code (with an all-access PKRU).
+// the access check once per page touched (permissions and protection keys
+// are page-granular, so one Check covers the whole page run). Used by the
+// loader and by privileged runtime code (with an all-access PKRU). A fault
+// carries the address of the first byte the copy would have touched on the
+// failing page — byte-identical to a per-byte walk.
 func (as *AddressSpace) ReadBytes(vaddr Addr, length int, pkru mpk.PKRU) ([]byte, *Fault) {
 	out := make([]byte, length)
-	for i := 0; i < length; i++ {
-		a := vaddr + Addr(i)
+	for done := 0; done < length; {
+		a := vaddr + Addr(done)
 		frame, fault := as.Check(a, mpk.AccessRead, pkru)
 		if fault != nil {
 			return nil, fault
 		}
-		out[i] = frame.Data[a.Offset()]
+		done += copy(out[done:], frame.Data[a.Offset():])
 	}
 	return out, nil
 }
 
-// WriteBytes copies data into memory starting at vaddr with per-page checks.
+// WriteBytes copies data into memory starting at vaddr with one access check
+// per page touched. On a fault, every page before the failing one has
+// already been written and stays visible — the same partial-write behaviour
+// as a byte-at-a-time copy, since checks can only fail at page boundaries.
+// No guarantee is made about bytes on or after the failing page.
 func (as *AddressSpace) WriteBytes(vaddr Addr, data []byte, pkru mpk.PKRU) *Fault {
-	for i, b := range data {
-		a := vaddr + Addr(i)
+	for done := 0; done < len(data); {
+		a := vaddr + Addr(done)
 		frame, fault := as.Check(a, mpk.AccessWrite, pkru)
 		if fault != nil {
 			return fault
 		}
-		frame.Data[a.Offset()] = b
+		done += copy(frame.Data[a.Offset():], data[done:])
 	}
 	return nil
+}
+
+// ReadCString reads a NUL-terminated string of at most max bytes starting at
+// vaddr, checking access once per page actually touched: the scan stops at
+// the first NUL, and pages beyond it are never checked — exactly where a
+// byte-at-a-time reader would have stopped. The terminator is not included;
+// max bytes without a NUL returns the full run.
+func (as *AddressSpace) ReadCString(vaddr Addr, max int, pkru mpk.PKRU) (string, *Fault) {
+	var buf []byte
+	for scanned := 0; scanned < max; {
+		a := vaddr + Addr(scanned)
+		frame, fault := as.Check(a, mpk.AccessRead, pkru)
+		if fault != nil {
+			return "", fault
+		}
+		off := int(a.Offset())
+		limit := PageSize - off
+		if rem := max - scanned; limit > rem {
+			limit = rem
+		}
+		chunk := frame.Data[off : off+limit]
+		if i := bytes.IndexByte(chunk, 0); i >= 0 {
+			return string(append(buf, chunk[:i]...)), nil
+		}
+		buf = append(buf, chunk...)
+		scanned += limit
+	}
+	return string(buf), nil
 }
 
 // NumPages returns the number of mapped pages.

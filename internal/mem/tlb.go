@@ -1,0 +1,117 @@
+package mem
+
+import "vessel/internal/mpk"
+
+// TLBSize is the number of direct-mapped entries in a software TLB. Must be
+// a power of two: entries are indexed by the low bits of the page number.
+const TLBSize = 64
+
+// tlbEntry caches one translation. tag is the page number + 1 so the zero
+// value is never a hit.
+type tlbEntry struct {
+	tag   uint64
+	frame *Frame
+	perm  Perm
+	pkey  mpk.PKey
+}
+
+// TLB is a small direct-mapped software translation cache from page number
+// to (frame, permission bits, protection key) — the per-core structure that
+// lets the simulator amortise page-table walks the way hardware does.
+//
+// Coherence is by generation: the TLB remembers which AddressSpace it was
+// filled from and at which Generation. Any translation-affecting mutation
+// (Map, Unmap, Protect, SetPKey, ShareRange) bumps the generation, so the
+// next access through the TLB flushes it wholesale — the simulated analogue
+// of a TLB shootdown. Rebinding to a different AddressSpace (an address-
+// space switch) likewise flushes.
+//
+// The TLB is semantically invisible: only the translation and the page's
+// static bits are cached. PKRU is still consulted on every access, after
+// translation — mirroring real MPK, where WRPKRU does not flush the
+// hardware TLB and protection switches leave cached translations valid.
+//
+// A TLB is owned by exactly one simulated core and, like the rest of the
+// simulation, is not safe for concurrent use.
+type TLB struct {
+	as   *AddressSpace
+	gen  uint64
+	ents [TLBSize]tlbEntry
+
+	// Hits, Misses, and Flushes count lookups for benchmarks and tests.
+	// They are host-side observability, never part of simulated results.
+	Hits, Misses, Flushes uint64
+}
+
+// Flush discards every cached translation.
+func (t *TLB) Flush() {
+	t.ents = [TLBSize]tlbEntry{}
+	t.Flushes++
+}
+
+// sync flushes and rebinds when the TLB is stale for as.
+func (t *TLB) sync(as *AddressSpace) {
+	if t.as != as || t.gen != as.gen {
+		t.Flush()
+		t.as, t.gen = as, as.gen
+	}
+}
+
+// CheckVia performs the same PTE∧PKRU dual check as Check, but resolves the
+// translation through the TLB and reports faults by filling *f (returning
+// nil) instead of allocating — keeping the non-faulting hot path free of
+// allocations. Only successful translations are cached; the permission and
+// PKRU checks run on every access against the cached page bits.
+func (as *AddressSpace) CheckVia(t *TLB, vaddr Addr, kind mpk.AccessKind, pkru mpk.PKRU, f *Fault) *Frame {
+	t.sync(as)
+	page := uint64(vaddr) / PageSize
+	e := &t.ents[page&(TLBSize-1)]
+	if e.tag != page+1 {
+		t.Misses++
+		pte, ok := as.pages[page]
+		if !ok {
+			*f = Fault{Addr: vaddr, Kind: FaultNotMapped, Op: kind}
+			return nil
+		}
+		e.tag, e.frame, e.perm, e.pkey = page+1, pte.Frame, pte.Perm, pte.PKey
+	} else {
+		t.Hits++
+	}
+	if !e.perm.Allows(kind) {
+		*f = Fault{Addr: vaddr, Kind: FaultPerm, Op: kind}
+		return nil
+	}
+	if !pkru.Check(e.pkey, kind) {
+		*f = Fault{Addr: vaddr, Kind: FaultPKU, Op: kind}
+		return nil
+	}
+	return e.frame
+}
+
+// ReadVia is Read through a TLB: a checked, page-local load of size bytes
+// (≤8) that fills *f and reports false on fault instead of allocating.
+func (as *AddressSpace) ReadVia(t *TLB, vaddr Addr, size int, pkru mpk.PKRU, f *Fault) (uint64, bool) {
+	if size <= 0 || size > maxAccessSize || vaddr.Offset()+uint64(size) > PageSize {
+		*f = Fault{Addr: vaddr, Kind: FaultNotMapped, Op: mpk.AccessRead}
+		return 0, false
+	}
+	frame := as.CheckVia(t, vaddr, mpk.AccessRead, pkru, f)
+	if frame == nil {
+		return 0, false
+	}
+	return readWord(frame, vaddr.Offset(), size), true
+}
+
+// WriteVia is Write through a TLB; see ReadVia.
+func (as *AddressSpace) WriteVia(t *TLB, vaddr Addr, size int, value uint64, pkru mpk.PKRU, f *Fault) bool {
+	if size <= 0 || size > maxAccessSize || vaddr.Offset()+uint64(size) > PageSize {
+		*f = Fault{Addr: vaddr, Kind: FaultNotMapped, Op: mpk.AccessWrite}
+		return false
+	}
+	frame := as.CheckVia(t, vaddr, mpk.AccessWrite, pkru, f)
+	if frame == nil {
+		return false
+	}
+	writeWord(frame, vaddr.Offset(), size, value)
+	return true
+}

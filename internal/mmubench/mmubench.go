@@ -1,0 +1,154 @@
+// Package mmubench holds the simulated-MMU fast-path benchmark bodies.
+//
+// Each body takes a *testing.B so the same code serves two masters: the
+// ordinary `go test -bench` wrappers in the repository root, and
+// cmd/mmubench, which runs them through testing.Benchmark to produce the
+// BENCH_mmu.json artifact CI archives. The Slow variants measure the same
+// operation with the fast path off (per-byte walks, direct page-table
+// Check), so a single process yields a machine-independent speedup ratio.
+package mmubench
+
+import (
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/mem"
+	"vessel/internal/mpk"
+)
+
+const (
+	textBase  = mem.Addr(0x1000)
+	dataBase  = mem.Addr(0x10000)
+	stackBase = mem.Addr(0x20000)
+)
+
+// env builds the standard one-core machine: an exec-only text page, four
+// RW data pages, and a stack page.
+func env(b *testing.B) (*cpu.Machine, *cpu.Core, *mem.AddressSpace) {
+	b.Helper()
+	m := cpu.NewMachine(1, cpu.Default())
+	as := mem.NewAddressSpace(m.Phys)
+	if err := as.MapRange(textBase, mem.PageSize, mem.PermXOnly, 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := as.MapRange(dataBase, 4*mem.PageSize, mem.PermRW, 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := as.MapRange(stackBase, mem.PageSize, mem.PermRW, 0); err != nil {
+		b.Fatal(err)
+	}
+	c := m.Core(0)
+	c.AS = as
+	c.PKRU = mpk.AllowAllValue
+	c.PC = textBase
+	c.Regs[cpu.RSP] = cpu.Word(stackBase) + cpu.Word(mem.PageSize)
+	return m, c, as
+}
+
+// stepProgram is the Step workload: an endless loop mixing ALU ops, loads,
+// stores, and stack traffic — the instruction mix of a busy uProcess inner
+// loop, with no faults and no halts.
+func stepProgram(b *testing.B, m *cpu.Machine, as *mem.AddressSpace) {
+	b.Helper()
+	a := cpu.NewAssembler()
+	a.Emit(cpu.MovImm{Dst: cpu.RCX, Imm: cpu.Word(dataBase)})
+	a.Emit(cpu.MovImm{Dst: cpu.RBX, Imm: 27})
+	a.Label("loop")
+	a.Emit(cpu.Store{Src: cpu.RBX, Base: cpu.RCX, Off: 0})
+	a.Emit(cpu.Load{Dst: cpu.RDX, Base: cpu.RCX, Off: 0})
+	a.Emit(cpu.AddImm{Dst: cpu.RBX, Imm: 3})
+	a.Emit(cpu.Push{Src: cpu.RBX})
+	a.Emit(cpu.Pop{Dst: cpu.RDX})
+	a.JmpTo("loop")
+	prog, err := a.Assemble(textBase)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.InstallCode(as, textBase, prog); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchCoreStep measures ns per simulated instruction on the fast path
+// (software TLB + decoded-fetch cache). The non-faulting Step must not
+// allocate: CI fails the run if allocs/op is nonzero.
+func BenchCoreStep(b *testing.B) {
+	m, c, as := env(b)
+	stepProgram(b, m, as)
+	c.Run(64) // warm the icache and TLB
+	b.ReportAllocs()
+	b.ResetTimer()
+	c.Run(b.N)
+	if c.Fault != nil {
+		b.Fatal(c.Fault)
+	}
+}
+
+// BenchCoreStepSlow is the same workload with the fast path disabled — the
+// pre-optimization per-access page-table walk.
+func BenchCoreStepSlow(b *testing.B) {
+	cpu.DisableFastPath = true
+	defer func() { cpu.DisableFastPath = false }()
+	BenchCoreStep(b)
+}
+
+// BenchASCheckHit measures a warm-TLB translation: the per-access cost every
+// load, store, and fetch pays on the fast path.
+func BenchASCheckHit(b *testing.B) {
+	_, _, as := env(b)
+	var tlb mem.TLB
+	var f mem.Fault
+	if as.CheckVia(&tlb, dataBase+8, mpk.AccessRead, mpk.AllowAllValue, &f) == nil {
+		b.Fatal(&f)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if as.CheckVia(&tlb, dataBase+8, mpk.AccessRead, mpk.AllowAllValue, &f) == nil {
+			b.Fatal(&f)
+		}
+	}
+}
+
+// BenchASCheckHitSlow measures the full page-table Check the TLB short-cuts.
+func BenchASCheckHitSlow(b *testing.B) {
+	_, _, as := env(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, fault := as.Check(dataBase+8, mpk.AccessRead, mpk.AllowAllValue); fault != nil {
+			b.Fatal(fault)
+		}
+	}
+}
+
+// BenchReadBytes4K measures a page-sized bulk copy out of uProcess memory
+// (the syscall-layer buffer path): one permission check per page touched.
+func BenchReadBytes4K(b *testing.B) {
+	_, _, as := env(b)
+	b.SetBytes(mem.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, fault := as.ReadBytes(dataBase, mem.PageSize, mpk.AllowAllValue); fault != nil {
+			b.Fatal(fault)
+		}
+	}
+}
+
+// BenchReadBytes4KSlow is the pre-optimization reference: one full Check per
+// byte, exactly what ReadBytes did before page-run batching.
+func BenchReadBytes4KSlow(b *testing.B) {
+	_, _, as := env(b)
+	b.SetBytes(mem.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := make([]byte, mem.PageSize)
+		for j := range out {
+			v, fault := as.Read(dataBase+mem.Addr(j), 1, mpk.AllowAllValue)
+			if fault != nil {
+				b.Fatal(fault)
+			}
+			out[j] = byte(v)
+		}
+	}
+}

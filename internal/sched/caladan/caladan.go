@@ -82,7 +82,7 @@ type core struct {
 	lastT sim.Time
 	// grantedAt lets the victim-selection prefer the longest holder.
 	grantedAt sim.Time
-	pollEnd   *sim.Event
+	pollEnd   sim.Event
 	bStart    sim.Time
 }
 
@@ -202,10 +202,8 @@ func (r *run) setAct(c *core, act sched.Activity) {
 func (r *run) onArrival(app *workload.App) {
 	for _, c := range r.cores {
 		if c.mode == modePollL && c.owner == app {
-			if c.pollEnd != nil {
-				r.eng.Cancel(c.pollEnd)
-				c.pollEnd = nil
-			}
+			r.eng.Cancel(c.pollEnd)
+			c.pollEnd = sim.Event{}
 			r.serveL(c, app)
 			return
 		}
@@ -241,7 +239,7 @@ func (r *run) startPolling(c *core, app *workload.App) {
 	c.mode = modePollL
 	r.setAct(c, sched.ActRuntime)
 	c.pollEnd = r.eng.After(r.cfg.Costs.CaladanStealWin, func() {
-		c.pollEnd = nil
+		c.pollEnd = sim.Event{}
 		r.parkCore(c)
 	})
 }
@@ -411,10 +409,8 @@ func (r *run) grantCore(app *workload.App) {
 	if victim == nil {
 		return
 	}
-	if victim.pollEnd != nil {
-		r.eng.Cancel(victim.pollEnd)
-		victim.pollEnd = nil
-	}
+	r.eng.Cancel(victim.pollEnd)
+	victim.pollEnd = sim.Event{}
 	if victim.mode == modeServeL {
 		// The in-flight request finishes on the new owner's dime in
 		// real Caladan (the preempted thread is rescheduled); model the

@@ -60,13 +60,13 @@ type core struct {
 	rq       *kernel.Runqueue
 	cur      *thread
 	curSince sim.Time
-	ev       *sim.Event
+	ev       sim.Event
 	act      sched.Activity
 	lastT    sim.Time
 	// pendingRx is the core's receive ring: requests whose softirq
 	// processing has not run yet; rxFlush is the pending softirq event.
 	pendingRx []*workload.Request
-	rxFlush   *sim.Event
+	rxFlush   sim.Event
 }
 
 type run struct {
@@ -187,7 +187,7 @@ func (r *run) onArrival(app *workload.App) {
 		return
 	}
 	home.pendingRx = append(home.pendingRx, req)
-	if home.rxFlush != nil {
+	if home.rxFlush.Pending() {
 		return // this core's softirq is already scheduled; batch behind it
 	}
 	var deferral sim.Duration
@@ -203,7 +203,7 @@ func (r *run) onArrival(app *workload.App) {
 // flushRx is the core's softirq bottom half: release every buffered
 // request to its app queue and wake workers.
 func (r *run) flushRx(c *core) {
-	c.rxFlush = nil
+	c.rxFlush = sim.Event{}
 	apps := make([]*workload.App, 0, 2)
 	for _, req := range c.pendingRx {
 		req.App.Requeue(req)
@@ -273,10 +273,8 @@ func (r *run) stopCurrent(c *core, blocked bool) {
 		return
 	}
 	now := r.eng.Now()
-	if c.ev != nil {
-		r.eng.Cancel(c.ev)
-		c.ev = nil
-	}
+	r.eng.Cancel(c.ev)
+	c.ev = sim.Event{}
 	ran := now.Sub(c.curSince)
 	c.rq.Account(ran)
 	if cur.kind == workload.BestEffort {
@@ -336,7 +334,7 @@ func (r *run) dispatch(c *core, th *thread) {
 		r.setAct(c, sched.ActApp)
 		slice := c.rq.Timeslice()
 		c.ev = r.eng.After(slice, func() {
-			c.ev = nil
+			c.ev = sim.Event{}
 			r.stopCurrent(c, false)
 			r.schedule(c)
 		})
@@ -363,12 +361,12 @@ func (r *run) dispatch(c *core, th *thread) {
 	slice := c.rq.Timeslice()
 	if dur <= slice {
 		c.ev = r.eng.After(dur, func() {
-			c.ev = nil
+			c.ev = sim.Event{}
 			r.completeRequest(c, th)
 		})
 	} else {
 		c.ev = r.eng.After(slice, func() {
-			c.ev = nil
+			c.ev = sim.Event{}
 			r.stopCurrent(c, false)
 			r.schedule(c)
 		})

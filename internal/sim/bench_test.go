@@ -40,7 +40,7 @@ func BenchmarkEngineSelfScheduling(b *testing.B) {
 func BenchmarkEngineCancel(b *testing.B) {
 	e := NewEngine()
 	fn := func() {}
-	evs := make([]*Event, 0, b.N)
+	evs := make([]Event, 0, b.N)
 	for i := 0; i < b.N; i++ {
 		evs = append(evs, e.At(Time(i), fn))
 	}

@@ -59,21 +59,51 @@ func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
 // Micros returns the duration as a floating-point number of microseconds.
 func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
 
-// Event is a scheduled callback. It is returned by the scheduling methods so
-// callers can cancel it before it fires.
-type Event struct {
+// event is the engine-internal representation of a scheduled callback.
+// Fired and cancelled events return to the engine's free list and are
+// reused by later At/After calls, so the per-event allocation disappears
+// from steady-state scheduling; gen counts reuses so stale handles can
+// detect that their event is gone.
+type event struct {
 	at     Time
 	seq    uint64
+	gen    uint32
 	index  int // heap index; -1 once fired or cancelled
 	fn     func()
 	cancel bool
 }
 
-// At reports when the event is (or was) scheduled to fire.
-func (e *Event) At() Time { return e.at }
+// Event is a by-value handle to a scheduled callback, returned by the
+// scheduling methods so callers can cancel the event before it fires or
+// query it. The zero Event is valid and refers to nothing. A handle stays
+// answerable after its event fires or is cancelled — until the engine
+// reuses the underlying storage for a new event, after which it reads as
+// expired (not pending, not cancelled). Retain handles to cancel or to
+// test pending-ness, not as long-term records.
+type Event struct {
+	e   *event
+	gen uint32
+}
+
+// At reports when the event is (or was) scheduled to fire. Zero for the
+// zero handle or once the handle has expired.
+func (h Event) At() Time {
+	if h.e == nil || h.e.gen != h.gen {
+		return 0
+	}
+	return h.e.at
+}
 
 // Cancelled reports whether Cancel was called before the event fired.
-func (e *Event) Cancelled() bool { return e.cancel }
+func (h Event) Cancelled() bool {
+	return h.e != nil && h.e.gen == h.gen && h.e.cancel
+}
+
+// Pending reports whether the event is still scheduled to fire: it has
+// neither fired nor been cancelled, and the handle has not expired.
+func (h Event) Pending() bool {
+	return h.e != nil && h.e.gen == h.gen && !h.e.cancel && h.e.index >= 0
+}
 
 // Engine is a discrete-event scheduler over virtual time.
 //
@@ -85,6 +115,10 @@ type Engine struct {
 	queue   eventHeap
 	stopped bool
 	fired   uint64
+	// free holds fired/cancelled events awaiting reuse, so steady-state
+	// scheduling allocates nothing. Reuse bumps the event's gen, expiring
+	// any handles still pointing at it.
+	free []*event
 	// hwPending is the deepest the event queue has ever been — a cheap
 	// health signal the observability layer surfaces per run.
 	hwPending int
@@ -107,17 +141,29 @@ func (e *Engine) Pending() int { return len(e.queue) }
 
 // At schedules fn to run at time t. Scheduling in the past (t < Now) panics:
 // it is always a logic error in a discrete-event model.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.gen++
+		ev.cancel = false
+	} else {
+		ev = &event{}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
 	heap.Push(&e.queue, ev)
 	if len(e.queue) > e.hwPending {
 		e.hwPending = len(e.queue)
 	}
-	return ev
+	return Event{e: ev, gen: ev.gen}
 }
 
 // HighWaterPending returns the maximum number of simultaneously scheduled
@@ -126,7 +172,7 @@ func (e *Engine) HighWaterPending() int { return e.hwPending }
 
 // After schedules fn to run d after the current time. A non-positive d means
 // "as soon as possible, after already-queued events at the current instant".
-func (e *Engine) After(d Duration, fn func()) *Event {
+func (e *Engine) After(d Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -134,17 +180,22 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 }
 
 // Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired (or was already cancelled) is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancel || ev.index < 0 {
-		if ev != nil {
-			ev.cancel = true
-		}
+// already fired, was already cancelled, or whose handle has expired is a
+// no-op; the handle then reads as Cancelled until its storage is reused.
+func (e *Engine) Cancel(h Event) {
+	ev := h.e
+	if ev == nil || ev.gen != h.gen {
+		return
+	}
+	if ev.cancel || ev.index < 0 {
+		ev.cancel = true
 		return
 	}
 	ev.cancel = true
 	heap.Remove(&e.queue, ev.index)
 	ev.index = -1
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // Step executes the next pending event, advancing the clock to its time.
@@ -153,14 +204,20 @@ func (e *Engine) Step() bool {
 	if e.stopped || len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := heap.Pop(&e.queue).(*event)
 	ev.index = -1
 	if ev.at < e.now {
 		panic("sim: event heap out of order")
 	}
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	fn := ev.fn
+	fn()
+	// Recycle only after the callback returns: the callback (and anything
+	// it calls) may still query handles to this event; once we are back,
+	// the event is history and its storage can serve the next At.
+	ev.fn = nil
+	e.free = append(e.free, ev)
 	return true
 }
 
@@ -196,7 +253,7 @@ func (e *Engine) Stop() { e.stopped = true }
 const MaxTime = Time(math.MaxInt64)
 
 // eventHeap is a min-heap on (at, seq).
-type eventHeap []*Event
+type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
@@ -211,7 +268,7 @@ func (h eventHeap) Swap(i, j int) {
 	h[j].index = j
 }
 func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
+	ev := x.(*event)
 	ev.index = len(*h)
 	*h = append(*h, ev)
 }

@@ -55,7 +55,7 @@ func TestEngineCancel(t *testing.T) {
 func TestEngineCancelMiddleOfHeap(t *testing.T) {
 	e := NewEngine()
 	var got []Time
-	evs := make([]*Event, 0, 20)
+	evs := make([]Event, 0, 20)
 	for i := 1; i <= 20; i++ {
 		tt := Time(i * 10)
 		evs = append(evs, e.At(tt, func() { got = append(got, tt) }))
@@ -72,6 +72,69 @@ func TestEngineCancelMiddleOfHeap(t *testing.T) {
 	}
 	if len(got) != 14 {
 		t.Fatalf("got %d events, want 14", len(got))
+	}
+}
+
+func TestEventHandleLifecycle(t *testing.T) {
+	e := NewEngine()
+	var zero Event
+	if zero.Pending() || zero.Cancelled() || zero.At() != 0 {
+		t.Fatal("zero handle must be inert")
+	}
+	e.Cancel(zero) // must be a no-op
+
+	ev := e.At(10, func() {})
+	if !ev.Pending() || ev.At() != 10 {
+		t.Fatalf("fresh event: pending=%v at=%v", ev.Pending(), ev.At())
+	}
+	e.RunAll(10)
+	if ev.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	// Cancel after fire stays a no-op and must not resurrect anything.
+	e.Cancel(ev)
+	fired := false
+	ev2 := e.At(20, func() { fired = true })
+	e.RunAll(10)
+	if !fired {
+		t.Fatal("event scheduled after a stale cancel did not fire")
+	}
+	// ev2's storage is recycled; ev (if it shared the slot) must have
+	// expired rather than alias the new event's state.
+	ev3 := e.At(30, func() {})
+	if ev.Pending() || ev2.Pending() && ev2.e == ev3.e && ev2.gen == ev3.gen {
+		t.Fatal("stale handle aliases a recycled event")
+	}
+	if !ev3.Pending() {
+		t.Fatal("ev3 should be pending")
+	}
+	e.Cancel(ev3)
+	if ev3.Pending() || !ev3.Cancelled() {
+		t.Fatal("cancel not observed through handle")
+	}
+}
+
+func TestEngineEventReuseNoAlloc(t *testing.T) {
+	// Steady-state self-scheduling must not allocate per event: the free
+	// list recycles storage once warmed up.
+	e := NewEngine()
+	burst := func() {
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 1000 {
+				e.After(10, tick)
+			}
+		}
+		e.After(0, tick)
+		e.RunAll(2000)
+	}
+	burst() // warm: populates the free list
+	// The measured pass fires 1000 events; only the closure setup itself
+	// may allocate (a handful), never one-per-event.
+	if allocs := testing.AllocsPerRun(1, burst); allocs > 8 {
+		t.Fatalf("1000 recycled events allocated %.0f times", allocs)
 	}
 }
 

@@ -120,6 +120,10 @@ type UITTEntry struct {
 	Receiver *Receiver
 	Vector   uint8
 	Valid    bool
+	// deliver is the notification body, built once at Register time so the
+	// SendUIPI hot path hands the engine a prebuilt func instead of
+	// allocating a fresh closure per send.
+	deliver func()
 }
 
 // Tamper is a fault-injection verdict on one SENDUIPI: the interposer can
@@ -165,7 +169,21 @@ func (s *Sender) Register(idx int, recv *Receiver, vector uint8) error {
 	if recv == nil {
 		return fmt.Errorf("uintr: nil receiver")
 	}
-	s.uitt[idx] = UITTEntry{Receiver: recv, Vector: vector, Valid: true}
+	entry := UITTEntry{Receiver: recv, Vector: vector, Valid: true}
+	r, vec := recv, vector
+	entry.deliver = func() {
+		// The receiver may have been descheduled between post and
+		// notification; re-check and defer if so.
+		if r.core == nil {
+			r.upid.PIR |= 1 << (vec & 63)
+			r.upid.ON = true
+			r.Deferred++
+			return
+		}
+		r.core.PostUserInterrupt(vec)
+		r.Delivered++
+	}
+	s.uitt[idx] = entry
 	return nil
 }
 
@@ -183,18 +201,15 @@ func (s *Sender) SendUIPI(idx int) (sim.Duration, error) {
 	if idx < 0 || idx >= len(s.uitt) || !s.uitt[idx].Valid {
 		return 0, fmt.Errorf("uintr: senduipi with invalid UITT index %d (#GP)", idx)
 	}
-	e := s.uitt[idx]
+	e := &s.uitt[idx]
 	r := e.Receiver
 	s.Sent++
-	observe := func(o Outcome) {
-		if s.OnSend != nil {
-			s.OnSend(idx, e.Vector, o)
-		}
-	}
 	if s.Interpose != nil {
 		if t := s.Interpose(idx, e.Vector); t.Drop {
 			s.Dropped++
-			observe(Dropped)
+			if s.OnSend != nil {
+				s.OnSend(idx, e.Vector, Dropped)
+			}
 			return s.costs.UintrSend, nil
 		}
 	}
@@ -202,7 +217,9 @@ func (s *Sender) SendUIPI(idx int) (sim.Duration, error) {
 		// Suppressed: post into PIR only; no notification.
 		r.upid.PIR |= 1 << (e.Vector & 63)
 		r.Deferred++
-		observe(Suppressed)
+		if s.OnSend != nil {
+			s.OnSend(idx, e.Vector, Suppressed)
+		}
 		return s.costs.UintrSend, nil
 	}
 	if r.core == nil {
@@ -210,26 +227,18 @@ func (s *Sender) SendUIPI(idx int) (sim.Duration, error) {
 		r.upid.PIR |= 1 << (e.Vector & 63)
 		r.upid.ON = true
 		r.Deferred++
-		observe(Deferred)
+		if s.OnSend != nil {
+			s.OnSend(idx, e.Vector, Deferred)
+		}
 		return s.costs.UintrSend, nil
 	}
-	observe(Delivered)
-	deliver := func() {
-		// The receiver may have been descheduled between post and
-		// notification; re-check and defer if so.
-		if r.core == nil {
-			r.upid.PIR |= 1 << (e.Vector & 63)
-			r.upid.ON = true
-			r.Deferred++
-			return
-		}
-		r.core.PostUserInterrupt(e.Vector)
-		r.Delivered++
+	if s.OnSend != nil {
+		s.OnSend(idx, e.Vector, Delivered)
 	}
 	if s.eng != nil {
-		s.eng.After(s.costs.UintrDeliver, deliver)
+		s.eng.After(s.costs.UintrDeliver, e.deliver)
 	} else {
-		deliver()
+		e.deliver()
 	}
 	return s.costs.UintrSend, nil
 }

@@ -190,18 +190,7 @@ func (s *SyscallTable) Probe(u *UProc, v VFD) bool {
 // faulted. Reading with the privileged view would make the runtime a
 // confused deputy, leaking bytes the caller cannot reach into a file name.
 func (d *Domain) readCString(addr mem.Addr, pkru mpk.PKRU) (string, *mem.Fault) {
-	buf := make([]byte, 0, 64)
-	for i := 0; i < 64; i++ {
-		b, f := d.S.AS.Read(addr+mem.Addr(i), 1, pkru)
-		if f != nil {
-			return "", f
-		}
-		if b == 0 {
-			break
-		}
-		buf = append(buf, byte(b))
-	}
-	return string(buf), nil
+	return d.S.AS.ReadCString(addr, 64, pkru)
 }
 
 // sysImpl is the FnSyscall runtime function: the ABI puts the operation in

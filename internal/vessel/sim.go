@@ -42,7 +42,7 @@ type coreState struct {
 	busy     bool // an event will fire for this core
 	// In-flight request state, for §4.4 priority preemption.
 	curReq    *workload.Request
-	reqEv     *sim.Event
+	reqEv     sim.Event
 	reqFrom   sim.Time
 	reqInflat float64
 
@@ -376,7 +376,7 @@ func (r *vesselRun) startRequest(c *coreState, app *workload.App, req *workload.
 	r.setAct(c, sched.ActApp)
 	dur := sim.Duration(float64(req.Remaining)*c.reqInflat) + r.bw.StallNoise(r.rng)
 	c.reqEv = r.eng.After(dur, func() {
-		c.reqEv = nil
+		c.reqEv = sim.Event{}
 		c.curReq = nil
 		req.Remaining = 0
 		req.Done = r.eng.Now()
@@ -393,12 +393,12 @@ func (r *vesselRun) startRequest(c *coreState, app *workload.App, req *workload.
 // head of its queue and the core re-dispatches through the gate.
 func (r *vesselRun) preemptL(c *coreState) {
 	req := c.curReq
-	if req == nil || c.reqEv == nil {
+	if req == nil || !c.reqEv.Pending() {
 		return
 	}
 	now := r.eng.Now()
 	r.eng.Cancel(c.reqEv)
-	c.reqEv = nil
+	c.reqEv = sim.Event{}
 	c.curReq = nil
 	served := sim.Duration(float64(now.Sub(c.reqFrom)) / c.reqInflat)
 	if served > req.Remaining {
