@@ -12,6 +12,7 @@ import (
 	"vessel/internal/sched/arachne"
 	"vessel/internal/sched/caladan"
 	"vessel/internal/sched/cfs"
+	"vessel/internal/selfheal"
 	"vessel/internal/sim"
 	"vessel/internal/trace"
 	"vessel/internal/uproc"
@@ -243,4 +244,64 @@ const (
 	FaultDropUintr    = faultinject.DropUintr
 	FaultDelayUintr   = faultinject.DelayUintr
 	FaultWedgeQueue   = faultinject.WedgeQueue
+	FaultCoreStall    = faultinject.CoreStall
+	FaultDomainCrash  = faultinject.DomainCrash
+	FaultPolicyPanic  = faultinject.PolicyPanic
+	FaultUintrStorm   = faultinject.UintrStorm
+	FaultPkeyLeak     = faultinject.PkeyLeak
 )
+
+// Scheduling-policy seam and self-healing types (see DESIGN.md
+// "Self-healing and failsafe policies").
+type (
+	// Policy decides preemption per core per round; plug one into
+	// ChaosConfig.Policy or CoreScheduler.Policy.
+	Policy = ivessel.Policy
+	// PolicyView is what a Policy sees for one core each round.
+	PolicyView = ivessel.PolicyView
+	// PolicyDecision is a Policy's verdict, including its own decision cost.
+	PolicyDecision = ivessel.PolicyDecision
+	// RoundRobinPolicy is the minimal always-rotate policy — the failsafe
+	// fallback and the chaos-run default.
+	RoundRobinPolicy = ivessel.RoundRobinPolicy
+	// FairSharePolicy preempts only when siblings are waiting — the
+	// core-scheduler default.
+	FairSharePolicy = ivessel.FairSharePolicy
+	// DomainManager is the per-domain manager a SelfHealCluster hands to
+	// worker build functions (programs are assembled against a specific
+	// domain's call gates).
+	DomainManager = ivessel.Manager
+	// FailsafePolicy wraps a Policy with panic recovery and a per-decision
+	// cycle budget, swapping atomically to round-robin on the first
+	// violation.
+	FailsafePolicy = selfheal.Failsafe
+	// FailureDetector is the phi-accrual failure detector in virtual time.
+	FailureDetector = selfheal.Detector
+	// FailureDetectorConfig tunes the detector's threshold and gap floor.
+	FailureDetectorConfig = selfheal.DetectorConfig
+	// SelfHealConfig parameterises a self-healing cluster.
+	SelfHealConfig = selfheal.Config
+	// SelfHealCluster supervises domains end to end: failure detection,
+	// core fencing, domain restart with state reconciliation, failsafe
+	// policy fallback.
+	SelfHealCluster = selfheal.Cluster
+	// SelfHealReport summarises a self-healing run; its Canonical() bytes
+	// are the determinism witness the chaos soak gates on.
+	SelfHealReport = selfheal.Report
+)
+
+// NewFailureDetector builds a phi-accrual failure detector.
+func NewFailureDetector(cfg FailureDetectorConfig) *FailureDetector {
+	return selfheal.NewDetector(cfg)
+}
+
+// NewFailsafePolicy wraps primary (nil selects round-robin) with panic
+// recovery and the given per-decision cycle budget (0 disables).
+func NewFailsafePolicy(primary Policy, budgetCycles int64) *FailsafePolicy {
+	return selfheal.NewFailsafe(primary, budgetCycles)
+}
+
+// NewSelfHealCluster builds a supervised multi-domain cluster.
+func NewSelfHealCluster(cfg SelfHealConfig) (*SelfHealCluster, error) {
+	return selfheal.New(cfg)
+}

@@ -85,6 +85,12 @@ func (c *Cluster) Launch(name string, build func(*Manager) (*Program, error), co
 		if c.domainFree(i) <= 0 {
 			continue
 		}
+		if m.CoreFenced(core) {
+			// The target core was withdrawn by the self-healing layer in
+			// this domain; another domain may still be healthy there.
+			lastErr = fmt.Errorf("vessel: domain %d: core %d is fenced", i, core)
+			continue
+		}
 		prog, err := build(m)
 		if err != nil {
 			// A build error is the caller's bug, not a capacity signal:

@@ -152,3 +152,42 @@ func TestClusterDestroyWithPendingReap(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestClusterLaunchSkipsFencedCores: a domain whose target core is fenced
+// is passed over; placement spills to a domain still healthy on that core.
+func TestClusterLaunchSkipsFencedCores(t *testing.T) {
+	c, err := NewCluster(2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Manager(0).FenceCore(0); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Manager(0).CoreFenced(0) || c.Manager(0).FencedCores() != 1 {
+		t.Fatal("fence not recorded")
+	}
+	u, err := c.Launch("app", buildParkLoop, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u == nil {
+		t.Fatal("no uProcess")
+	}
+	if d, _ := c.DomainOf("app"); d != 1 {
+		t.Fatalf("placed in domain %d, want 1 (domain 0's core 0 is fenced)", d)
+	}
+	// Core 1 of domain 0 is still healthy and accepts placements.
+	if _, err := c.Launch("app2", buildParkLoop, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := c.DomainOf("app2"); d != 0 {
+		t.Fatalf("app2 in domain %d, want 0", d)
+	}
+	// Fence core 0 everywhere: launches targeting it now fail.
+	if err := c.Manager(1).FenceCore(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Launch("app3", buildParkLoop, 0); err == nil {
+		t.Fatal("launch on a cluster-wide fenced core succeeded")
+	}
+}

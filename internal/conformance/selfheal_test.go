@@ -1,0 +1,127 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"vessel/internal/selfheal"
+	"vessel/internal/sim"
+	"vessel/internal/stats"
+)
+
+func healReport() *selfheal.Report {
+	return &selfheal.Report{
+		Rounds:         100,
+		Fences:         1,
+		DomainRestarts: 1,
+		PolicySwaps:    1,
+		PkeysHealed:    2,
+		MTTR:           stats.Summary{Count: 2, Max: int64(400 * sim.Microsecond)},
+	}
+}
+
+func healConfig() selfheal.Config {
+	return selfheal.Config{
+		DetectBudget:  500 * sim.Microsecond,
+		RestartBudget: 500 * sim.Microsecond,
+	}
+}
+
+func oracles(vs []Violation) []string {
+	var out []string
+	for _, v := range vs {
+		out = append(out, v.Oracle)
+	}
+	return out
+}
+
+func TestCheckSelfHealCleanRunPasses(t *testing.T) {
+	want := SelfHealExpect{MinFences: 1, MinRestarts: 1, MinPolicySwaps: 1, MinPkeysHealed: 2}
+	if vs := CheckSelfHeal("chaos", healConfig(), healReport(), want); len(vs) != 0 {
+		t.Fatalf("clean run flagged: %v", vs)
+	}
+}
+
+func TestCheckSelfHealRelaysReportViolations(t *testing.T) {
+	rep := healReport()
+	rep.Violations = []string{"d0: leaked pkey 5", "d1: worker w0 lost"}
+	vs := CheckSelfHeal("chaos", healConfig(), rep, SelfHealExpect{})
+	n := 0
+	for _, v := range vs {
+		if v.Oracle == "recovery-invariant" {
+			n++
+			if v.System != "chaos" {
+				t.Fatalf("system = %q", v.System)
+			}
+		}
+	}
+	if n != 2 {
+		t.Fatalf("relayed %d of 2 violations: %v", n, vs)
+	}
+	if !strings.Contains(vs[0].String(), "leaked pkey 5") {
+		t.Fatalf("detail lost: %v", vs[0])
+	}
+}
+
+func TestCheckSelfHealMTTRBudget(t *testing.T) {
+	rep := healReport()
+	rep.MTTR.Max = int64(2 * sim.Millisecond)
+	vs := CheckSelfHeal("chaos", healConfig(), rep, SelfHealExpect{})
+	found := false
+	for _, v := range vs {
+		if v.Oracle == "mttr-budget" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("2ms MTTR passed a 1ms budget: %v", vs)
+	}
+}
+
+func TestCheckSelfHealMTTRAccounting(t *testing.T) {
+	rep := healReport()
+	rep.MTTR.Count = 0 // recoveries claimed, no samples
+	vs := CheckSelfHeal("chaos", healConfig(), rep, SelfHealExpect{})
+	if len(vs) != 1 || vs[0].Oracle != "mttr-accounting" {
+		t.Fatalf("missing samples not flagged: %v", vs)
+	}
+
+	rep = healReport()
+	rep.MTTR.Count = 9 // more samples than recoveries
+	vs = CheckSelfHeal("chaos", healConfig(), rep, SelfHealExpect{})
+	if len(vs) != 1 || vs[0].Oracle != "mttr-accounting" {
+		t.Fatalf("excess samples not flagged: %v", vs)
+	}
+}
+
+func TestCheckSelfHealCoverageAndLiveness(t *testing.T) {
+	rep := healReport()
+	rep.PolicySwaps = 0
+	rep.DomainsDead = 1
+	want := SelfHealExpect{MinFences: 1, MinRestarts: 1, MinPolicySwaps: 1, MinPkeysHealed: 2}
+	got := oracles(CheckSelfHeal("chaos", healConfig(), rep, want))
+	if len(got) != 2 || got[0] != "coverage" || got[1] != "liveness" {
+		t.Fatalf("oracles = %v", got)
+	}
+
+	// Dead domains tolerated when declared.
+	want.AllowDeadDomains = true
+	want.MinPolicySwaps = 0
+	if vs := CheckSelfHeal("chaos", healConfig(), rep, want); len(vs) != 0 {
+		t.Fatalf("declared expectations still flagged: %v", vs)
+	}
+}
+
+func TestCheckSelfHealDefaultBudget(t *testing.T) {
+	// A zero-valued config gets the cluster's default 1ms combined budget.
+	rep := healReport()
+	rep.MTTR.Max = int64(900 * sim.Microsecond)
+	if vs := CheckSelfHeal("chaos", selfheal.Config{}, rep, SelfHealExpect{}); len(vs) != 0 {
+		t.Fatalf("900µs flagged under default budget: %v", vs)
+	}
+	rep.MTTR.Max = int64(1100 * sim.Microsecond)
+	vs := CheckSelfHeal("chaos", selfheal.Config{}, rep, SelfHealExpect{})
+	if len(vs) != 1 || vs[0].Oracle != "mttr-budget" {
+		t.Fatalf("1.1ms not flagged under default budget: %v", vs)
+	}
+}

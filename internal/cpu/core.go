@@ -63,8 +63,14 @@ type Core struct {
 
 	Cycles int64
 	Halted bool
-	Fault  *mem.Fault
-	Hooks  Hooks
+	// Stalled wedges the core: Step refuses to execute and the cycle
+	// counter freezes, but no fault is recorded — the model of a core that
+	// stops retiring instructions (a hardware wedge, a lost clock) rather
+	// than one that crashed. Failure detectors see it as a heartbeat that
+	// stops without an error state. Set by the fault injector's CoreStall.
+	Stalled bool
+	Fault   *mem.Fault
+	Hooks   Hooks
 
 	machine *Machine
 	nextPC  mem.Addr
@@ -230,7 +236,7 @@ func (c *Core) Inject(f *mem.Fault) bool {
 // dispatched has no address space yet and simply cannot run — stepping it
 // is a no-op, not a fault.
 func (c *Core) Step() bool {
-	if c.Halted || c.AS == nil {
+	if c.Halted || c.Stalled || c.AS == nil {
 		return false
 	}
 	// Recognise pending user interrupts at the instruction boundary,

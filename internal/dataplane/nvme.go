@@ -54,6 +54,9 @@ type NVMe struct {
 	qdMax    int
 	inflight int
 	busyTill sim.Time
+	// pending tracks scheduled completion events so a domain teardown can
+	// cancel them instead of letting completions land in a dead consumer.
+	pending *sim.EventGroup
 
 	Submitted uint64
 	Completed uint64
@@ -76,6 +79,7 @@ func NewNVMe(eng *sim.Engine, queueDepth, cqCapacity int) (*NVMe, error) {
 	}
 	return &NVMe{
 		eng:      eng,
+		pending:  sim.NewEventGroup(eng),
 		CQ:       cq,
 		ReadLat:  10 * sim.Microsecond,
 		WriteLat: 20 * sim.Microsecond,
@@ -121,11 +125,21 @@ func (d *NVMe) Submit(c Cmd) error {
 	done := d.busyTill.Add(media)
 	tag := c.Tag
 	sub := c.Submitted
-	d.eng.At(done, func() {
+	d.pending.Add(d.eng.At(done, func() {
 		d.inflight--
 		d.Completed++
 		d.latSum += d.eng.Now().Sub(sub)
 		d.CQ.Push(Packet{Arrive: d.eng.Now(), Payload: tag})
-	})
+	}))
 	return nil
+}
+
+// CancelInflight cancels every scheduled-but-unfired completion and zeroes
+// the in-flight count, returning how many were cancelled. Call it when the
+// consuming domain is torn down: a completion firing into a dead domain's
+// queue would otherwise greet whoever inherits the engine next.
+func (d *NVMe) CancelInflight() int {
+	n := d.pending.CancelAll()
+	d.inflight -= n
+	return n
 }

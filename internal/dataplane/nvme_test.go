@@ -113,3 +113,50 @@ func TestNVMePollerIntegration(t *testing.T) {
 		t.Fatal("poller never parked after the stream ran dry")
 	}
 }
+
+// TestNVMeCancelInflight is the stale-event regression for domain teardown:
+// in-flight completions must be cancellable so they cannot post into a CQ
+// polled by the domain's next incarnation.
+func TestNVMeCancelInflight(t *testing.T) {
+	eng := sim.NewEngine()
+	d, err := NewNVMe(eng, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := d.Submit(Cmd{Op: OpRead, Tag: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.QueueDepth() != 3 {
+		t.Fatalf("depth = %d", d.QueueDepth())
+	}
+	if n := d.CancelInflight(); n != 3 {
+		t.Fatalf("cancelled %d, want 3", n)
+	}
+	if d.QueueDepth() != 0 {
+		t.Fatalf("depth after cancel = %d", d.QueueDepth())
+	}
+	// Drain the engine: no cancelled completion may land.
+	eng.RunAll(100)
+	if d.Completed != 0 {
+		t.Fatalf("completed = %d after cancel", d.Completed)
+	}
+	if got := d.CQ.Poll(8); len(got) != 0 {
+		t.Fatalf("cancelled completions in CQ: %+v", got)
+	}
+	// The device remains usable: queue-depth credit was returned.
+	for i := 0; i < 8; i++ {
+		if err := d.Submit(Cmd{Op: OpRead, Tag: 100 + uint64(i)}); err != nil {
+			t.Fatalf("submit %d after cancel: %v", i, err)
+		}
+	}
+	eng.RunAll(100)
+	if d.Completed != 8 {
+		t.Fatalf("completed = %d, want 8", d.Completed)
+	}
+	// Cancel with nothing in flight is a no-op.
+	if n := d.CancelInflight(); n != 0 {
+		t.Fatalf("idle cancel = %d", n)
+	}
+}

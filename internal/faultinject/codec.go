@@ -1,0 +1,143 @@
+package faultinject
+
+// Plan codec: a JSON wire format for injection schedules, so chaos plans
+// can be declared in files and harness specs instead of Go literals. The
+// decoder validates everything it accepts — unknown kinds, unknown fields,
+// negative times and counts are errors, never silently clamped — because a
+// plan that decodes is a plan the injector will execute verbatim, and the
+// determinism story depends on the schedule being exactly what was
+// declared. Encode∘Decode is the identity on valid plans (the fuzz target
+// holds this).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"vessel/internal/sim"
+)
+
+// faultJSON is the wire form of one Fault. Times are integer nanoseconds
+// of virtual time.
+type faultJSON struct {
+	Kind    string `json:"kind"`
+	AtNs    int64  `json:"at_ns,omitempty"`
+	Target  string `json:"target,omitempty"`
+	Core    int    `json:"core,omitempty"`
+	DelayNs int64  `json:"delay_ns,omitempty"`
+}
+
+// planJSON is the wire form of a Plan.
+type planJSON struct {
+	Seed          uint64      `json:"seed,omitempty"`
+	Faults        []faultJSON `json:"faults,omitempty"`
+	Random        int         `json:"random,omitempty"`
+	RandomKinds   []string    `json:"random_kinds,omitempty"`
+	RandomTargets []string    `json:"random_targets,omitempty"`
+	RandomCores   int         `json:"random_cores,omitempty"`
+	RandomWindow  int64       `json:"random_window_ns,omitempty"`
+}
+
+// maxRandomFaults bounds decoded random-fault counts so a hostile or
+// corrupted plan cannot make Expand allocate without limit.
+const maxRandomFaults = 1 << 16
+
+// EncodePlan renders a plan in the JSON wire format.
+func EncodePlan(p Plan) ([]byte, error) {
+	out := planJSON{
+		Seed:          p.Seed,
+		Random:        p.Random,
+		RandomTargets: p.RandomTargets,
+		RandomCores:   p.RandomCores,
+		RandomWindow:  int64(p.RandomWindow),
+	}
+	for _, f := range p.Faults {
+		if f.Kind >= numKinds {
+			return nil, fmt.Errorf("faultinject: cannot encode unknown kind %d", uint8(f.Kind))
+		}
+		out.Faults = append(out.Faults, faultJSON{
+			Kind:    f.Kind.String(),
+			AtNs:    int64(f.At),
+			Target:  f.Target,
+			Core:    f.Core,
+			DelayNs: int64(f.Delay),
+		})
+	}
+	for _, k := range p.RandomKinds {
+		if k >= numKinds {
+			return nil, fmt.Errorf("faultinject: cannot encode unknown random kind %d", uint8(k))
+		}
+		out.RandomKinds = append(out.RandomKinds, k.String())
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// DecodePlan parses and validates the JSON wire format.
+func DecodePlan(data []byte) (Plan, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var in planJSON
+	if err := dec.Decode(&in); err != nil {
+		return Plan{}, fmt.Errorf("faultinject: decoding plan: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err == nil {
+		return Plan{}, fmt.Errorf("faultinject: trailing data after plan")
+	}
+	p := Plan{
+		Seed:         in.Seed,
+		Random:       in.Random,
+		RandomCores:  in.RandomCores,
+		RandomWindow: sim.Duration(in.RandomWindow),
+	}
+	// Normalise empty to nil so decode∘encode∘decode is structurally
+	// idempotent (omitempty drops empty lists on re-encode).
+	if len(in.RandomTargets) > 0 {
+		p.RandomTargets = in.RandomTargets
+	}
+	if in.Random < 0 {
+		return Plan{}, fmt.Errorf("faultinject: random count %d is negative", in.Random)
+	}
+	if in.Random > maxRandomFaults {
+		return Plan{}, fmt.Errorf("faultinject: random count %d exceeds limit %d", in.Random, maxRandomFaults)
+	}
+	if in.RandomCores < 0 {
+		return Plan{}, fmt.Errorf("faultinject: random core count %d is negative", in.RandomCores)
+	}
+	if in.RandomWindow < 0 {
+		return Plan{}, fmt.Errorf("faultinject: random window %dns is negative", in.RandomWindow)
+	}
+	if in.Random > 0 && len(in.RandomKinds) == 0 {
+		return Plan{}, fmt.Errorf("faultinject: random=%d with no random_kinds", in.Random)
+	}
+	for i, f := range in.Faults {
+		kind, err := ParseKind(f.Kind)
+		if err != nil {
+			return Plan{}, fmt.Errorf("faultinject: fault %d: %w", i, err)
+		}
+		if f.AtNs < 0 {
+			return Plan{}, fmt.Errorf("faultinject: fault %d: at_ns %d is negative", i, f.AtNs)
+		}
+		if f.DelayNs < 0 {
+			return Plan{}, fmt.Errorf("faultinject: fault %d: delay_ns %d is negative", i, f.DelayNs)
+		}
+		if f.Core < 0 {
+			return Plan{}, fmt.Errorf("faultinject: fault %d: core %d is negative", i, f.Core)
+		}
+		p.Faults = append(p.Faults, Fault{
+			Kind:   kind,
+			At:     sim.Time(f.AtNs),
+			Target: f.Target,
+			Core:   f.Core,
+			Delay:  sim.Duration(f.DelayNs),
+		})
+	}
+	for i, s := range in.RandomKinds {
+		kind, err := ParseKind(s)
+		if err != nil {
+			return Plan{}, fmt.Errorf("faultinject: random kind %d: %w", i, err)
+		}
+		p.RandomKinds = append(p.RandomKinds, kind)
+	}
+	return p, nil
+}

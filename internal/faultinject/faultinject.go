@@ -56,6 +56,28 @@ const (
 	// WedgeQueue wedges the named dataplane queue (polls come back empty)
 	// for Delay of virtual time.
 	WedgeQueue
+	// CoreStall wedges the core itself: it stops retiring instructions and
+	// its cycle counter freezes, with no fault recorded — the failure the
+	// phi-accrual detector must catch from the missing heartbeat alone.
+	// Recovery is core fencing, not containment.
+	CoreStall
+	// DomainCrash fail-stops every core of the domain at once — the
+	// trusted runtime dying wholesale. Recovery is a supervised domain
+	// restart with full state reconciliation.
+	DomainCrash
+	// PolicyPanic attacks the attached scheduler policy (AttachPolicy):
+	// with zero Delay the policy's next decision panics; with a positive
+	// Delay the next decision is charged that many extra cycles, blowing
+	// the per-decision budget. Either way the failsafe wrapper must swap
+	// in the round-robin fallback.
+	PolicyPanic
+	// UintrStorm drops every scheduler Uintr for Delay of virtual time —
+	// a loss storm on the upcall channel, not just one dropped send.
+	UintrStorm
+	// PkeyLeak allocates a protection key that no region owns, modelling
+	// a lost pkey_free — the libmpk leak class. Reconciliation must find
+	// and reclaim it.
+	PkeyLeak
 	numKinds
 )
 
@@ -75,9 +97,29 @@ func (k Kind) String() string {
 		return "delayuintr"
 	case WedgeQueue:
 		return "wedgequeue"
+	case CoreStall:
+		return "corestall"
+	case DomainCrash:
+		return "domaincrash"
+	case PolicyPanic:
+		return "policypanic"
+	case UintrStorm:
+		return "uintrstorm"
+	case PkeyLeak:
+		return "pkeyleak"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
+}
+
+// ParseKind is the inverse of String, used by the plan decoder.
+func ParseKind(s string) (Kind, error) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown fault kind %q", s)
 }
 
 // Fault is one planned injection.
@@ -178,6 +220,10 @@ type Injector struct {
 	drop      map[int]int
 	delay     map[int]sim.Duration
 	resending bool
+	// stormUntil: while the clock is before it, every send is dropped
+	// (UintrStorm). policy is the attached scheduler-policy attack surface.
+	stormUntil sim.Time
+	policy     PolicyTarget
 
 	// Counters tallies injections by kind and outcome, in deterministic
 	// (insertion) order.
@@ -207,6 +253,21 @@ func New(d *uproc.Domain, plan Plan) *Injector {
 // RegisterQueue makes a dataplane queue addressable by WedgeQueue faults.
 func (inj *Injector) RegisterQueue(q *dataplane.Queue) { inj.queues[q.Name] = q }
 
+// PolicyTarget is the scheduler-policy attack surface PolicyPanic faults
+// drive. The failsafe policy wrapper (internal/selfheal) implements it:
+// InjectPanic makes the wrapped policy's next decision panic, InjectBurn
+// charges the next decision the given extra cycles so it blows the
+// per-decision budget.
+type PolicyTarget interface {
+	InjectPanic()
+	InjectBurn(cycles int64)
+}
+
+// AttachPolicy makes the scheduler policy addressable by PolicyPanic
+// faults. Without one attached, PolicyPanic injections are skipped (and
+// counted as such).
+func (inj *Injector) AttachPolicy(p PolicyTarget) { inj.policy = p }
+
 // Pending returns the number of armed faults still waiting for their
 // target (plus schedule entries not yet due).
 func (inj *Injector) Pending() int { return len(inj.pending) + (len(inj.schedule) - inj.next) }
@@ -226,6 +287,13 @@ func (inj *Injector) note(name, detail string) {
 func (inj *Injector) interpose(idx int, vector uint8) uintr.Tamper {
 	if inj.resending {
 		return uintr.Tamper{}
+	}
+	if inj.d.Eng.Now() < inj.stormUntil {
+		// Loss storm: every send on every core is discarded, silently from
+		// the sender's point of view — only the counter records it, since
+		// per-drop events would dominate the log during a long storm.
+		inj.Counters.Inc("inject.uintr.storm-drop")
+		return uintr.Tamper{Drop: true}
 	}
 	if n := inj.drop[idx]; n > 0 {
 		inj.drop[idx] = n - 1
@@ -316,6 +384,58 @@ func (inj *Injector) fire(f Fault, now sim.Time) bool {
 		q.SetWedged(true)
 		inj.unwedge = append(inj.unwedge, timedUnwedge{at: now.Add(dl), name: f.Target, q: q})
 		inj.note("inject.wedge", fmt.Sprintf("queue=%s delay=%v", f.Target, dl))
+		return true
+	case CoreStall:
+		if f.Core < 0 || f.Core >= inj.d.Machine.NumCores() {
+			inj.note("inject.skip", fmt.Sprintf("corestall core=%d out of range", f.Core))
+			return true
+		}
+		inj.d.Machine.Core(f.Core).Stalled = true
+		inj.note("inject.corestall", fmt.Sprintf("core=%d", f.Core))
+		return true
+	case DomainCrash:
+		// The trusted runtime dies wholesale: raise a privileged-mode fault
+		// on every core, so each takes the uncontained fail-stop path and
+		// the whole domain goes dark at one instant.
+		priv := inj.d.S.RuntimePKRU()
+		for i := 0; i < inj.d.Machine.NumCores(); i++ {
+			c := inj.d.Machine.Core(i)
+			if c.Fault != nil {
+				continue // already dead
+			}
+			c.PKRU = priv
+			c.Inject(&mem.Fault{Addr: smas.RuntimeBase, Kind: mem.FaultPKU, Op: mpk.AccessWrite})
+		}
+		inj.note("inject.domaincrash", fmt.Sprintf("cores=%d", inj.d.Machine.NumCores()))
+		return true
+	case PolicyPanic:
+		if inj.policy == nil {
+			inj.note("inject.skip", "policypanic: no policy attached")
+			return true
+		}
+		if f.Delay > 0 {
+			inj.policy.InjectBurn(int64(f.Delay))
+			inj.note("inject.policyburn", fmt.Sprintf("cycles=%d", int64(f.Delay)))
+		} else {
+			inj.policy.InjectPanic()
+			inj.note("inject.policypanic", "")
+		}
+		return true
+	case UintrStorm:
+		dl := f.Delay
+		if dl <= 0 {
+			dl = 20 * sim.Microsecond
+		}
+		inj.stormUntil = now.Add(dl)
+		inj.note("inject.uintr.storm", fmt.Sprintf("until=%d", int64(inj.stormUntil)))
+		return true
+	case PkeyLeak:
+		k, err := inj.d.S.Keys.Alloc()
+		if err != nil {
+			inj.note("inject.skip", "pkeyleak: no key free")
+			return true
+		}
+		inj.note("inject.pkeyleak", fmt.Sprintf("key=%d", k))
 		return true
 	case WildWrite, GateCrash, RuntimeCrash:
 		return inj.fireCrash(f)

@@ -1,0 +1,173 @@
+package faultinject
+
+// Tests for the self-healing fault classes: the failures themselves (the
+// recovery side lives in internal/selfheal). Each asserts the injected
+// state is exactly what the detectors and reconcilers key on.
+
+import (
+	"testing"
+
+	"vessel/internal/sim"
+	"vessel/internal/uproc"
+)
+
+func TestCoreStallFreezesWithoutFault(t *testing.T) {
+	d := newDomain(t, 2)
+	a, err := d.CreateUProc("a", parkLoop(d, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(d, Plan{Seed: 1, Faults: []Fault{{Kind: CoreStall, Core: 0, At: 0}}})
+	d.AttachThread(0, a.Threads()[0])
+	if err := d.StartCore(0); err != nil {
+		t.Fatal(err)
+	}
+	inj.Step(0)
+	core := d.Machine.Core(0)
+	if !core.Stalled {
+		t.Fatal("core not stalled")
+	}
+	before := core.Cycles
+	if ran := core.Run(1000); ran != 0 {
+		t.Fatalf("stalled core retired %d instructions", ran)
+	}
+	if core.Cycles != before {
+		t.Fatal("stalled core's cycle counter advanced")
+	}
+	// The distinguishing mark of a stall: no fault, no halt. Only the
+	// missing heartbeat gives it away.
+	if core.Fault != nil || core.Halted {
+		t.Fatalf("stall recorded an error state: halted=%v fault=%v", core.Halted, core.Fault)
+	}
+	if inj.Counters.Get("inject.corestall") != 1 {
+		t.Fatalf("counters:\n%s", inj.Counters.String())
+	}
+	// Out-of-range cores are skipped, not panicked on.
+	inj2 := New(d, Plan{Seed: 1, Faults: []Fault{{Kind: CoreStall, Core: 99, At: 0}}})
+	inj2.Step(0)
+	if inj2.Counters.Get("inject.skip") != 1 {
+		t.Fatal("out-of-range corestall not skipped")
+	}
+}
+
+func TestDomainCrashFailStopsEveryCore(t *testing.T) {
+	d := newDomain(t, 2)
+	for _, name := range []string{"a", "b"} {
+		u, err := d.CreateUProc(name, parkLoop(d, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		core := 0
+		if name == "b" {
+			core = 1
+		}
+		d.AttachThread(core, u.Threads()[0])
+		if err := d.StartCore(core); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj := New(d, Plan{Seed: 1, Faults: []Fault{{Kind: DomainCrash, At: 0}}})
+	inj.Step(0)
+	for i := 0; i < 2; i++ {
+		c := d.Machine.Core(i)
+		if !c.Halted || c.Fault == nil {
+			t.Fatalf("core %d survived the domain crash: halted=%v fault=%v", i, c.Halted, c.Fault)
+		}
+		if ok, err := d.Wake(i); err != nil || ok {
+			t.Fatalf("Wake on crashed core %d = (%v, %v)", i, ok, err)
+		}
+	}
+	if inj.Counters.Get("inject.domaincrash") != 1 {
+		t.Fatalf("counters:\n%s", inj.Counters.String())
+	}
+}
+
+// recordingPolicy is a PolicyTarget stub recording what was injected.
+type recordingPolicy struct {
+	panics int
+	burned int64
+}
+
+func (p *recordingPolicy) InjectPanic()            { p.panics++ }
+func (p *recordingPolicy) InjectBurn(cycles int64) { p.burned += cycles }
+
+func TestPolicyPanicTargetsAttachedPolicy(t *testing.T) {
+	d := newDomain(t, 1)
+	inj := New(d, Plan{Seed: 1, Faults: []Fault{
+		{Kind: PolicyPanic, At: 0},
+		{Kind: PolicyPanic, At: 0, Delay: 500},
+	}})
+	pol := &recordingPolicy{}
+	inj.AttachPolicy(pol)
+	inj.Step(0)
+	if pol.panics != 1 {
+		t.Fatalf("panics = %d, want 1", pol.panics)
+	}
+	if pol.burned != 500 {
+		t.Fatalf("burned = %d, want 500", pol.burned)
+	}
+	// Without a policy attached the fault is skipped, not stuck pending.
+	inj2 := New(d, Plan{Seed: 1, Faults: []Fault{{Kind: PolicyPanic, At: 0}}})
+	inj2.Step(0)
+	if inj2.Pending() != 0 || inj2.Counters.Get("inject.skip") != 1 {
+		t.Fatal("unattached policypanic not skipped")
+	}
+}
+
+func TestUintrStormDropsEverySendInWindow(t *testing.T) {
+	d := newDomain(t, 1)
+	a, err := d.CreateUProc("a", parkLoop(d, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(d, Plan{Seed: 1, Faults: []Fault{{Kind: UintrStorm, At: 0, Delay: 5 * sim.Microsecond}}})
+	d.AttachThread(0, a.Threads()[0])
+	if err := d.StartCore(0); err != nil {
+		t.Fatal(err)
+	}
+	inj.Step(0)
+	core := d.Machine.Core(0)
+	for i := 0; i < 3; i++ {
+		if err := d.Preempt(0, uproc.SchedCommand{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if core.PendingVectors != 0 {
+		t.Fatal("storm let a Uintr through")
+	}
+	if d.Sched.Dropped != 3 {
+		t.Fatalf("dropped = %d, want 3 (storm drops every send, not one)", d.Sched.Dropped)
+	}
+	if inj.Counters.Get("inject.uintr.storm-drop") != 3 {
+		t.Fatalf("counters:\n%s", inj.Counters.String())
+	}
+	// Past the window the channel heals.
+	d.Eng.Run(sim.Time(6 * sim.Microsecond))
+	if err := d.Preempt(0, uproc.SchedCommand{}); err != nil {
+		t.Fatal(err)
+	}
+	if core.PendingVectors == 0 {
+		t.Fatal("channel still dead after the storm window")
+	}
+}
+
+func TestPkeyLeakAllocatesOrphanKey(t *testing.T) {
+	d := newDomain(t, 1)
+	if _, err := d.CreateUProc("a", parkLoop(d, "a")); err != nil {
+		t.Fatal(err)
+	}
+	avail := d.S.Keys.Available()
+	regions := len(d.S.RegionKeys())
+	inj := New(d, Plan{Seed: 1, Faults: []Fault{{Kind: PkeyLeak, At: 0}}})
+	inj.Step(0)
+	if got := d.S.Keys.Available(); got != avail-1 {
+		t.Fatalf("available keys %d, want %d", got, avail-1)
+	}
+	// The leak's signature: a key in use that no region accounts for.
+	if got := len(d.S.RegionKeys()); got != regions {
+		t.Fatalf("region count changed: %d -> %d", regions, got)
+	}
+	if inj.Counters.Get("inject.pkeyleak") != 1 {
+		t.Fatalf("counters:\n%s", inj.Counters.String())
+	}
+}

@@ -47,6 +47,11 @@ const (
 	CatUintr
 	CatWatchdog
 	CatRestart
+	// Self-healing overlays: core fencing, supervised domain recovery,
+	// and failsafe policy takeovers.
+	CatFence
+	CatRecover
+	CatFailsafe
 	NumCategories
 )
 
@@ -76,6 +81,12 @@ func (c Category) String() string {
 		return "watchdog"
 	case CatRestart:
 		return "restart"
+	case CatFence:
+		return "fence"
+	case CatRecover:
+		return "recover"
+	case CatFailsafe:
+		return "failsafe"
 	default:
 		return fmt.Sprintf("Category(%d)", uint8(c))
 	}

@@ -1,0 +1,62 @@
+package sched
+
+// Failsafe at the model-level scheduler boundary: the same policy-fallback
+// idea internal/selfheal applies to per-quantum decisions, applied to whole
+// scheduler runs. A comparison scheduler that panics mid-run (a policy bug,
+// a bad parameterisation) is caught and the configured fallback re-runs the
+// workload, so a sweep over many schedulers and configs reports a fallback
+// result instead of taking the whole harness down.
+
+import "fmt"
+
+// Failsafe wraps a primary scheduler with a fallback that re-runs the
+// config if the primary panics. The wrapper is transparent when the
+// primary behaves: same result, same error.
+type Failsafe struct {
+	Primary  Scheduler
+	Fallback Scheduler
+	// Swapped and Reason record a takeover after the fact.
+	Swapped bool
+	Reason  string
+}
+
+// NewFailsafe wraps primary with fallback.
+func NewFailsafe(primary, fallback Scheduler) *Failsafe {
+	return &Failsafe{Primary: primary, Fallback: fallback}
+}
+
+// Name implements Scheduler.
+func (f *Failsafe) Name() string {
+	if f.Swapped {
+		return fmt.Sprintf("failsafe[%s]", f.Fallback.Name())
+	}
+	return fmt.Sprintf("failsafe(%s)", f.Primary.Name())
+}
+
+// Run implements Scheduler: the primary runs under panic recovery; on a
+// panic the fallback re-runs the identical config and the takeover is
+// recorded. Errors are not failover triggers — an error is a scheduler
+// explicitly declining a config, and masking it with a different
+// scheduler's numbers would corrupt a comparison sweep.
+func (f *Failsafe) Run(cfg Config) (Result, error) {
+	res, err, panicked := f.tryPrimary(cfg)
+	if !panicked {
+		return res, err
+	}
+	f.Swapped = true
+	if f.Fallback == nil {
+		return Result{}, fmt.Errorf("sched: primary %s panicked (%s) with no fallback", f.Primary.Name(), f.Reason)
+	}
+	return f.Fallback.Run(cfg)
+}
+
+func (f *Failsafe) tryPrimary(cfg Config) (res Result, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			f.Reason = fmt.Sprint(r)
+		}
+	}()
+	res, err = f.Primary.Run(cfg)
+	return res, err, false
+}

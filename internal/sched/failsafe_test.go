@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"vessel/internal/workload"
+)
+
+type panicScheduler struct{ calls int }
+
+func (p *panicScheduler) Name() string { return "boom" }
+func (p *panicScheduler) Run(cfg Config) (Result, error) {
+	p.calls++
+	panic("scheduler bug")
+}
+
+type errScheduler struct{}
+
+func (errScheduler) Name() string { return "err" }
+func (errScheduler) Run(cfg Config) (Result, error) {
+	return Result{}, errors.New("declined")
+}
+
+func TestFailsafeTransparentWhenPrimaryHealthy(t *testing.T) {
+	f := NewFailsafe(fakeScheduler{}, fakeScheduler{})
+	cfg := Config{Cores: 2, Duration: 5, Apps: []*workload.App{workload.Linpack()}}
+	res, err := f.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduler != "fake" || res.Cores != 2 || res.Measured != 5 {
+		t.Fatalf("primary result not passed through: %+v", res)
+	}
+	if f.Swapped {
+		t.Fatal("healthy primary marked swapped")
+	}
+	if f.Name() != "failsafe(fake)" {
+		t.Fatalf("name = %q", f.Name())
+	}
+}
+
+func TestFailsafePanicFallsBack(t *testing.T) {
+	prim := &panicScheduler{}
+	f := NewFailsafe(prim, fakeScheduler{})
+	cfg := Config{Cores: 3, Duration: 7, Apps: []*workload.App{workload.Linpack()}}
+	res, err := f.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduler != "fake" || res.Cores != 3 {
+		t.Fatalf("fallback did not re-run the config: %+v", res)
+	}
+	if !f.Swapped {
+		t.Fatal("swap not recorded")
+	}
+	if !strings.Contains(f.Reason, "scheduler bug") {
+		t.Fatalf("reason = %q", f.Reason)
+	}
+	if prim.calls != 1 {
+		t.Fatalf("primary ran %d times", prim.calls)
+	}
+	if f.Name() != "failsafe[fake]" {
+		t.Fatalf("name after swap = %q", f.Name())
+	}
+}
+
+func TestFailsafePanicWithoutFallbackErrors(t *testing.T) {
+	f := NewFailsafe(&panicScheduler{}, nil)
+	_, err := f.Run(Config{Cores: 1, Duration: 1})
+	if err == nil {
+		t.Fatal("expected error with no fallback")
+	}
+	if !strings.Contains(err.Error(), "scheduler bug") {
+		t.Fatalf("error lacks panic reason: %v", err)
+	}
+	if !f.Swapped {
+		t.Fatal("swap not recorded")
+	}
+}
+
+func TestFailsafeDoesNotMaskErrors(t *testing.T) {
+	f := NewFailsafe(errScheduler{}, fakeScheduler{})
+	_, err := f.Run(Config{Cores: 1, Duration: 1})
+	if err == nil || err.Error() != "declined" {
+		t.Fatalf("primary error not passed through: %v", err)
+	}
+	if f.Swapped {
+		t.Fatal("error treated as failover trigger")
+	}
+}

@@ -1,0 +1,70 @@
+package sim
+
+// EventGroup collects the handles a subsystem schedules so the whole set
+// can be cancelled at teardown — the mechanism behind "kill a domain and
+// its pending events die with it". Without this, restarting a component
+// that shares an engine leaves stale callbacks queued, and they fire into
+// the resurrected instance (the stale-handle hazard the generation-checked
+// Event handles exist to detect).
+//
+// The group holds by-value handles, so membership costs no allocation
+// beyond the slice; fired or cancelled events read as non-pending and are
+// compacted away lazily.
+type EventGroup struct {
+	eng *Engine
+	evs []Event
+}
+
+// NewEventGroup returns an empty group bound to eng.
+func NewEventGroup(eng *Engine) *EventGroup { return &EventGroup{eng: eng} }
+
+// Add tracks one scheduled event. Handles of already-fired events are
+// accepted and simply compact away.
+func (g *EventGroup) Add(ev Event) {
+	if g == nil {
+		return
+	}
+	// Compact opportunistically so a long-lived group that schedules many
+	// short-lived events stays small.
+	if len(g.evs) >= 32 {
+		g.compact()
+	}
+	g.evs = append(g.evs, ev)
+}
+
+// compact drops handles that are no longer pending.
+func (g *EventGroup) compact() {
+	kept := g.evs[:0]
+	for _, ev := range g.evs {
+		if ev.Pending() {
+			kept = append(kept, ev)
+		}
+	}
+	g.evs = kept
+}
+
+// Pending returns how many tracked events are still scheduled to fire.
+func (g *EventGroup) Pending() int {
+	if g == nil {
+		return 0
+	}
+	g.compact()
+	return len(g.evs)
+}
+
+// CancelAll cancels every still-pending tracked event and empties the
+// group, returning how many were actually cancelled.
+func (g *EventGroup) CancelAll() int {
+	if g == nil || g.eng == nil {
+		return 0
+	}
+	n := 0
+	for _, ev := range g.evs {
+		if ev.Pending() {
+			g.eng.Cancel(ev)
+			n++
+		}
+	}
+	g.evs = g.evs[:0]
+	return n
+}

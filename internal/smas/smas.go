@@ -89,6 +89,10 @@ type SMAS struct {
 	cores      int
 	textCursor mem.Addr
 	dataCursor mem.Addr
+	// regions indexes live uProcess regions by their protection key — the
+	// authoritative owner set reconciliation audits compare the allocator
+	// against: a key in use with no live region is a leak.
+	regions map[mpk.PKey]*Region
 }
 
 // New creates and maps a domain's SMAS on the given machine for the given
@@ -104,6 +108,7 @@ func New(m *cpu.Machine, cores int) (*SMAS, error) {
 		cores:      cores,
 		textCursor: TextBase,
 		dataCursor: UProcBase,
+		regions:    make(map[mpk.PKey]*Region),
 	}
 	// Reserve the fixed-role keys so region allocation never hands them
 	// out: allocate everything, then release the 13 uProcess keys.
@@ -188,19 +193,35 @@ func (s *SMAS) AllocRegion(size uint64) (*Region, error) {
 		return nil, err
 	}
 	s.dataCursor += mem.Addr(pages*mem.PageSize) + mem.PageSize // guard gap
-	return &Region{
+	r := &Region{
 		Base:     base,
 		Size:     pages * mem.PageSize,
 		Key:      key,
 		StackTop: base + mem.Addr(pages*mem.PageSize),
-	}, nil
+	}
+	s.regions[key] = r
+	return r, nil
 }
 
 // FreeRegion unmaps a region and releases its key, as uProcess destruction
 // does (§5.1).
 func (s *SMAS) FreeRegion(r *Region) error {
 	s.AS.Unmap(r.Base, r.Size)
+	delete(s.regions, r.Key)
 	return s.Keys.Free(r.Key)
+}
+
+// RegionKeys returns the protection keys backing live uProcess regions, in
+// ascending key order — the owner set self-healing reconciliation compares
+// against the allocator's in-use set to find leaked keys.
+func (s *SMAS) RegionKeys() []mpk.PKey {
+	var out []mpk.PKey
+	for k := mpk.PKey(1); k < RuntimeKey; k++ {
+		if _, ok := s.regions[k]; ok {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // NextTextBase returns the address the next InstallText call will use —

@@ -26,20 +26,28 @@ func (e Event) String() string {
 	return fmt.Sprintf("%d %s %s", int64(e.T), e.Name, e.Detail)
 }
 
-// EventLog is a bounded append-only event buffer. When full it drops new
-// events (keeping the prefix intact, so the determinism fingerprint stays
-// comparable) and counts the drops. The log is safe for concurrent use;
-// note that concurrent recording makes the *order* of entries depend on
-// goroutine interleaving, so determinism fingerprints should only be taken
-// from single-threaded (simulation-driven) logs.
+// EventLog is a bounded event buffer with two full-log disciplines. The
+// default (NewEventLog) is append-only: when full it drops new events
+// (keeping the prefix intact, so the determinism fingerprint stays
+// comparable) and counts the drops. Ring mode (NewRingEventLog) instead
+// overwrites the oldest entry and counts overwrites — constant memory for
+// arbitrarily long chaos soaks, at the cost of losing the prefix. The log
+// is safe for concurrent use; note that concurrent recording makes the
+// *order* of entries depend on goroutine interleaving, so determinism
+// fingerprints should only be taken from single-threaded
+// (simulation-driven) logs.
 type EventLog struct {
 	mu      sync.Mutex
 	max     int
+	ring    bool
+	start   int // ring mode: index of the logically first event
 	events  []Event
-	dropped uint64
+	dropped     uint64
+	overwritten uint64
 }
 
-// NewEventLog returns a log keeping at most max events.
+// NewEventLog returns a log keeping at most max events, dropping new ones
+// once full.
 func NewEventLog(max int) *EventLog {
 	if max <= 0 {
 		max = 1 << 16
@@ -47,15 +55,39 @@ func NewEventLog(max int) *EventLog {
 	return &EventLog{max: max}
 }
 
-// Record appends one event, unless the log is full.
+// NewRingEventLog returns a log keeping the most recent max events,
+// overwriting the oldest once full — the bounded-memory discipline long
+// soak runs use.
+func NewRingEventLog(max int) *EventLog {
+	l := NewEventLog(max)
+	l.ring = true
+	return l
+}
+
+// Record appends one event. A full append-mode log drops it; a full ring
+// overwrites its oldest entry.
 func (l *EventLog) Record(t sim.Time, name, detail string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if len(l.events) >= l.max {
-		l.dropped++
+		if !l.ring {
+			l.dropped++
+			return
+		}
+		l.events[l.start] = Event{T: t, Name: name, Detail: detail}
+		l.start = (l.start + 1) % len(l.events)
+		l.overwritten++
 		return
 	}
 	l.events = append(l.events, Event{T: t, Name: name, Detail: detail})
+}
+
+// at returns the i-th event in logical (oldest-first) order. Callers hold mu.
+func (l *EventLog) at(i int) Event {
+	if l.start == 0 {
+		return l.events[i]
+	}
+	return l.events[(l.start+i)%len(l.events)]
 }
 
 // Dropped returns how many events were rejected because the log was full.
@@ -65,12 +97,21 @@ func (l *EventLog) Dropped() uint64 {
 	return l.dropped
 }
 
+// Overwritten returns how many events a ring-mode log displaced.
+func (l *EventLog) Overwritten() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.overwritten
+}
+
 // Events returns a copy of the recorded events in order.
 func (l *EventLog) Events() []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := make([]Event, len(l.events))
-	copy(out, l.events)
+	for i := range out {
+		out[i] = l.at(i)
+	}
 	return out
 }
 
@@ -100,8 +141,8 @@ func (l *EventLog) String() string {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var b strings.Builder
-	for _, e := range l.events {
-		b.WriteString(e.String())
+	for i := range l.events {
+		b.WriteString(l.at(i).String())
 		b.WriteByte('\n')
 	}
 	return b.String()
@@ -119,6 +160,8 @@ func (l *EventLog) Tail(n int) []Event {
 		n = len(l.events)
 	}
 	out := make([]Event, n)
-	copy(out, l.events[len(l.events)-n:])
+	for i := range out {
+		out[i] = l.at(len(l.events) - n + i)
+	}
 	return out
 }

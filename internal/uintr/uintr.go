@@ -139,7 +139,11 @@ type Sender struct {
 	uitt  []UITTEntry
 	eng   *sim.Engine // optional: when set, delivery is charged as an event
 	costs *cpu.CostModel
-	Sent  uint64
+	// inflight tracks engine-scheduled deliveries that have not yet fired,
+	// so a domain teardown can cancel them instead of letting stale
+	// notifications land in a resurrected receiver.
+	inflight *sim.EventGroup
+	Sent     uint64
 	// Interpose, when non-nil, sees every send before it is posted and may
 	// tamper with it — the fault-injection harness models dropped and
 	// delayed Uintrs here, between SENDUIPI and the UPID.
@@ -157,8 +161,22 @@ func NewSender(capacity int, costs *cpu.CostModel, eng *sim.Engine) *Sender {
 	if costs == nil {
 		costs = cpu.Default()
 	}
-	return &Sender{uitt: make([]UITTEntry, capacity), costs: costs, eng: eng}
+	s := &Sender{uitt: make([]UITTEntry, capacity), costs: costs, eng: eng}
+	if eng != nil {
+		s.inflight = sim.NewEventGroup(eng)
+	}
+	return s
 }
+
+// CancelInflight cancels every scheduled-but-undelivered notification,
+// returning how many were cancelled. A layer-1 sender (nil engine)
+// delivers synchronously and has nothing in flight. Call this when the
+// receiving domain is torn down, so deferred deliveries cannot fire into
+// whatever reuses the engine next.
+func (s *Sender) CancelInflight() int { return s.inflight.CancelAll() }
+
+// Inflight returns how many scheduled deliveries have not yet fired.
+func (s *Sender) Inflight() int { return s.inflight.Pending() }
 
 // Register installs a route to recv with the given vector at index idx,
 // mirroring the kernel's UITT management syscalls.
@@ -236,7 +254,7 @@ func (s *Sender) SendUIPI(idx int) (sim.Duration, error) {
 		s.OnSend(idx, e.Vector, Delivered)
 	}
 	if s.eng != nil {
-		s.eng.After(s.costs.UintrDeliver, e.deliver)
+		s.inflight.Add(s.eng.After(s.costs.UintrDeliver, e.deliver))
 	} else {
 		e.deliver()
 	}

@@ -273,3 +273,58 @@ func TestSendUIPIInstructionHook(t *testing.T) {
 		t.Fatal("instruction-issued interrupt not delivered")
 	}
 }
+
+// TestCancelInflightDropsScheduledDelivery is the stale-event regression for
+// domain teardown: an engine-scheduled notification must be cancellable so
+// it cannot land in a receiver owned by a later incarnation of the domain.
+func TestCancelInflightDropsScheduledDelivery(t *testing.T) {
+	e := newEnv(t)
+	eng := sim.NewEngine()
+	cm := cpu.Default()
+	r := NewReceiver(1, e.handlerAddr())
+	r.Attach(e.core)
+	s := NewSender(4, cm, eng)
+	if err := s.Register(0, r, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SendUIPI(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Inflight() != 1 {
+		t.Fatalf("inflight = %d", s.Inflight())
+	}
+	if n := s.CancelInflight(); n != 1 {
+		t.Fatalf("cancelled %d, want 1", n)
+	}
+	if s.Inflight() != 0 {
+		t.Fatalf("inflight after cancel = %d", s.Inflight())
+	}
+	// Drain the engine: the cancelled delivery must never land.
+	eng.RunAll(100)
+	if e.core.PendingVectors != 0 {
+		t.Fatal("cancelled delivery still posted a vector")
+	}
+	if r.Delivered != 0 {
+		t.Fatalf("delivered = %d", r.Delivered)
+	}
+	// The sender is still usable after a teardown-style cancel.
+	if _, err := s.SendUIPI(0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(eng.Now().Add(cm.UintrDeliver))
+	if e.core.PendingVectors == 0 {
+		t.Fatal("post-cancel send not delivered")
+	}
+}
+
+// TestCancelInflightLayer1NilSafe: a layer-1 sender (no engine) delivers
+// synchronously — nothing is ever in flight and cancel is a no-op.
+func TestCancelInflightLayer1NilSafe(t *testing.T) {
+	s := NewSender(1, cpu.Default(), nil)
+	if s.Inflight() != 0 {
+		t.Fatalf("inflight = %d", s.Inflight())
+	}
+	if n := s.CancelInflight(); n != 0 {
+		t.Fatalf("cancelled %d on nil-engine sender", n)
+	}
+}

@@ -1,0 +1,70 @@
+package uproc
+
+// Core fencing: the mechanism half of self-healing recovery. When a
+// failure detector decides a core is gone — stalled without a fault, or
+// fail-stopped by an uncontained crash — the core is fenced: withdrawn
+// from placement, its queued threads migrated to survivors, and whatever
+// thread was wedged on it written off. Fencing is one-way by design; a
+// core that looked dead long enough to fence cannot be trusted to come
+// back mid-run (the same reasoning that keeps Wake away from fail-stopped
+// cores).
+
+import "fmt"
+
+// Fenced reports whether a core has been withdrawn from placement.
+func (d *Domain) Fenced(core int) bool {
+	return core >= 0 && core < len(d.fenced) && d.fenced[core]
+}
+
+// FenceCore withdraws a core from placement and drains its work onto the
+// target cores: pending scheduler commands are applied, queued threads are
+// re-homed round-robin across targets, and a thread still marked current is
+// killed with its whole uProcess — its context lives in registers the dead
+// core will never save, so it cannot be migrated, only written off. This
+// mirrors the stale-PKRU reasoning in ReclaimRegion: the fenced core may
+// still hold the uProcess's PKRU, but since it never executes again the key
+// cannot be abused, exactly as on a fail-stopped core.
+//
+// With no targets the runqueue is left in place (the domain is dead and
+// headed for a restart, which reconciles everything); moved reports threads
+// re-homed, killed reports uProcesses written off.
+func (d *Domain) FenceCore(core int, targets []int) (moved, killed int, err error) {
+	if core < 0 || core >= len(d.cores) {
+		return 0, 0, fmt.Errorf("uproc: fence core %d out of range", core)
+	}
+	for _, t := range targets {
+		if t < 0 || t >= len(d.cores) {
+			return 0, 0, fmt.Errorf("uproc: fence target %d out of range", t)
+		}
+		if t == core || d.fenced[t] {
+			return 0, 0, fmt.Errorf("uproc: fence target %d is the fenced core or fenced itself", t)
+		}
+	}
+	if d.fenced[core] {
+		return 0, 0, nil
+	}
+	d.fenced[core] = true
+	cs := d.cores[core]
+	d.drainCommands(cs)
+	if cur := cs.current; cur != nil && cur.U.State != UProcTerminated {
+		cur.State = ThreadDead
+		d.event("fence.kill", fmt.Sprintf("core=%d uproc=%s thread=%d", core, cur.U.Name, cur.ID))
+		d.killUProc(cur.U, core)
+		killed++
+	}
+	cs.current = nil
+	if len(targets) > 0 {
+		for _, t := range cs.runq {
+			if t.U.State == UProcTerminated || t.State == ThreadDead {
+				t.State = ThreadDead
+				continue
+			}
+			dst := targets[moved%len(targets)]
+			d.cores[dst].runq = append(d.cores[dst].runq, t)
+			moved++
+		}
+		cs.runq = nil
+	}
+	d.event("fence.core", fmt.Sprintf("core=%d moved=%d killed=%d", core, moved, killed))
+	return moved, killed, nil
+}

@@ -189,6 +189,10 @@ type Domain struct {
 	uprocs     []*UProc
 	nextThread int
 	privPKRU   mpk.PKRU
+	// fenced marks cores withdrawn from placement by the self-healing
+	// layer: a fenced core is never woken and never receives new threads.
+	// See fence.go.
+	fenced []bool
 }
 
 // event records into the containment event log, when one is attached.
@@ -212,6 +216,7 @@ func NewDomain(eng *sim.Engine, m *cpu.Machine) (*Domain, error) {
 		Eng:      eng,
 		cores:    make([]*coreState, m.NumCores()),
 		privPKRU: s.RuntimePKRU(),
+		fenced:   make([]bool, m.NumCores()),
 	}
 	for i := range d.cores {
 		d.cores[i] = &coreState{}
@@ -431,6 +436,11 @@ func (d *Domain) Wake(coreID int) (bool, error) {
 	if c.Fault != nil {
 		// A fail-stopped core (uncontained fault) stays down; waking it
 		// would resume execution over corrupted runtime state.
+		return false, nil
+	}
+	if d.fenced[coreID] {
+		// A fenced core has been withdrawn from placement by the
+		// self-healing layer; its work was drained elsewhere.
 		return false, nil
 	}
 	if cs.current != nil && !c.Halted {

@@ -60,8 +60,12 @@ type supervised struct {
 	lastStart sim.Time
 	restarts  int
 	pending   bool // a relaunch event is scheduled
-	gaveUp    bool
-	err       error
+	// relaunch is the handle of the scheduled relaunch, so a domain
+	// teardown can cancel it (CancelPending) before the event fires into
+	// a manager that no longer exists.
+	relaunch sim.Event
+	gaveUp   bool
+	err      error
 }
 
 // event records into the manager's containment log, when attached.
@@ -176,7 +180,7 @@ func (mg *Manager) pollSupervised() error {
 		mg.event("restart.schedule", fmt.Sprintf("uproc=%s backoff=%v", s.name, backoff))
 		sup := s
 		scheduledAt := now
-		mg.eng.After(backoff, func() {
+		s.relaunch = mg.eng.After(backoff, func() {
 			sup.pending = false
 			sup.restarts++
 			sup.lastStart = mg.eng.Now()
@@ -212,6 +216,10 @@ type ChaosConfig struct {
 	// Quantum is the preemption (and injection/restart polling) interval
 	// in instructions.
 	Quantum int
+	// Policy decides preemption per core per quantum; nil defaults to
+	// RoundRobinPolicy, the historical behaviour. Wrap it in a
+	// selfheal.Failsafe to survive policy panics and budget blowouts.
+	Policy Policy
 }
 
 // ChaosReport summarises a chaos run.
@@ -240,6 +248,10 @@ func (mg *Manager) RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 	if cfg.Steps < cfg.Quantum {
 		cfg.Steps = cfg.Quantum
 	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = RoundRobinPolicy{}
+	}
 	fatal := make(map[int]bool)
 	markFatal := func(core int) {
 		if !fatal[core] {
@@ -253,7 +265,7 @@ func (mg *Manager) RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 		rep.Rounds++
 		progressed := false
 		for core := 0; core < mg.m.NumCores(); core++ {
-			if fatal[core] {
+			if fatal[core] || mg.Domain.Fenced(core) {
 				continue
 			}
 			c := mg.m.Core(core)
@@ -278,7 +290,17 @@ func (mg *Manager) RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 				markFatal(core)
 				continue
 			}
-			if ran == cfg.Quantum {
+			dec := pol.Decide(PolicyView{
+				Core:     core,
+				RanFull:  ran == cfg.Quantum,
+				QueueLen: len(mg.Domain.Runqueue(core)),
+				Idle:     ran == 0,
+			})
+			// The decision's modeled cost lands on the decided core — the
+			// scheduler's overhead is part of the tenant's timeline, which
+			// keeps a costed policy deterministic in virtual time.
+			c.Cycles += dec.CostCycles
+			if dec.Preempt {
 				if err := mg.Domain.Preempt(core, uproc.SchedCommand{}); err != nil {
 					return rep, err
 				}

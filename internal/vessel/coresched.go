@@ -46,6 +46,9 @@ type CoreScheduler struct {
 	Quantum sim.Duration
 	// ScanEvery is the scan period (default 5µs).
 	ScanEvery sim.Duration
+	// Policy decides preemption per scan; nil defaults to FairSharePolicy,
+	// the historical behaviour (preempt only when siblings wait).
+	Policy Policy
 
 	beQ     []*uproc.Thread
 	lastCur []*uproc.Thread
@@ -101,7 +104,14 @@ func (s *CoreScheduler) Stop() { s.running = false }
 // and preempt threads that exhausted their quantum while others wait.
 func (s *CoreScheduler) scanOnce() {
 	d := s.mg.Domain
+	pol := s.Policy
+	if pol == nil {
+		pol = FairSharePolicy{}
+	}
 	for i := 0; i < s.mg.m.NumCores(); i++ {
+		if d.Fenced(i) {
+			continue
+		}
 		core := s.mg.m.Core(i)
 		cur := d.Current(i)
 		// Idle core: hand it a best-effort thread.
@@ -125,7 +135,13 @@ func (s *CoreScheduler) scanOnce() {
 			continue
 		}
 		s.ranFor[i] += s.ScanEvery
-		if s.Quantum > 0 && s.ranFor[i] >= s.Quantum && len(d.Runqueue(i)) > 0 {
+		dec := pol.Decide(PolicyView{
+			Core:     i,
+			RanFull:  s.Quantum > 0 && s.ranFor[i] >= s.Quantum,
+			QueueLen: len(d.Runqueue(i)),
+		})
+		core.Cycles += dec.CostCycles
+		if dec.Preempt {
 			if err := d.Preempt(i, uproc.SchedCommand{}); err == nil {
 				s.Preemptions++
 			}

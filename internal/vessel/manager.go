@@ -38,16 +38,7 @@ type Manager struct {
 // NewManager boots a scheduling domain on a fresh simulated machine with
 // the given number of cores.
 func NewManager(cores int, costs *cpu.CostModel) (*Manager, error) {
-	if costs == nil {
-		costs = cpu.Default()
-	}
-	eng := sim.NewEngine()
-	m := cpu.NewMachine(cores, costs)
-	d, err := uproc.NewDomain(eng, m)
-	if err != nil {
-		return nil, err
-	}
-	return &Manager{Domain: d, eng: eng, m: m, named: make(map[string]*uproc.UProc)}, nil
+	return NewManagerOn(sim.NewEngine(), cores, costs)
 }
 
 // AttachObs installs the observability layer across the manager's domain
@@ -64,6 +55,9 @@ func (mg *Manager) Launch(name string, p *smas.Program, core int) (*uproc.UProc,
 	}
 	if core < 0 || core >= mg.m.NumCores() {
 		return nil, fmt.Errorf("vessel: core %d out of range", core)
+	}
+	if mg.Domain.Fenced(core) {
+		return nil, fmt.Errorf("vessel: core %d is fenced", core)
 	}
 	u, err := mg.Domain.CreateUProc(name, p)
 	if err != nil {

@@ -37,6 +37,11 @@ func NewManager(cores int, costs *CostModel) (*Manager, error) {
 	return &Manager{inner: inner}, nil
 }
 
+// WrapManager adapts a domain manager — as handed to SelfHealCluster
+// worker build functions — to the public Manager surface, so workers can
+// be assembled with NewProgram instead of the raw instruction set.
+func WrapManager(mg *DomainManager) *Manager { return &Manager{inner: mg} }
+
 // Launch loads a program as a uProcess and queues its main thread on core.
 func (m *Manager) Launch(name string, p *Program, core int) (*UProc, error) {
 	return m.inner.Launch(name, p, core)
@@ -114,6 +119,25 @@ func (m *Manager) Supervise(name string, build func() *Program, core int, policy
 // RunChaos runs all cores under time slicing with fault injection, the
 // watchdog, and supervised restarts, and reports what happened.
 func (m *Manager) RunChaos(cfg ChaosConfig) (ChaosReport, error) { return m.inner.RunChaos(cfg) }
+
+// FenceCore withdraws a core from placement: its queued threads are
+// re-homed round-robin across the remaining healthy cores, a thread wedged
+// on it is written off with its uProcess, and supervised workloads pinned
+// there are re-pinned to a survivor. Fencing is one-way and idempotent;
+// Launch, Wake, and the chaos scheduler all refuse a fenced core.
+func (m *Manager) FenceCore(core int) error { return m.inner.FenceCore(core) }
+
+// CoreFenced reports whether a core has been withdrawn from placement.
+func (m *Manager) CoreFenced(core int) bool { return m.inner.CoreFenced(core) }
+
+// FencedCores returns how many cores are currently fenced.
+func (m *Manager) FencedCores() int { return m.inner.FencedCores() }
+
+// CancelPending cancels every event this manager still has scheduled on
+// its engine — supervised relaunch backoffs and in-flight Uintr
+// deliveries — and reports how many were cancelled. Call it before tearing
+// the domain down, so stale events cannot fire into its successor.
+func (m *Manager) CancelPending() int { return m.inner.CancelPending() }
 
 // Thread is a uProcess thread.
 type Thread = uproc.Thread
