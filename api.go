@@ -249,6 +249,7 @@ const (
 	FaultPolicyPanic  = faultinject.PolicyPanic
 	FaultUintrStorm   = faultinject.UintrStorm
 	FaultPkeyLeak     = faultinject.PkeyLeak
+	FaultPkeyThrash   = faultinject.PkeyThrash
 )
 
 // Scheduling-policy seam and self-healing types (see DESIGN.md

@@ -15,6 +15,10 @@ type Cluster struct {
 	// placement remembers which domain hosts each name.
 	placement map[string]int
 	perDomain []int
+	// maxPerDomain is the cluster-side per-domain launch budget:
+	// MaxUProcsPerDomain for hardware-keyed domains, higher (or
+	// effectively unbounded) when the domains virtualize their keys.
+	maxPerDomain int
 }
 
 // MaxUProcsPerDomain mirrors the architectural key budget.
@@ -25,9 +29,40 @@ func NewCluster(domains, coresPerDomain int, costs *CostModel) (*Cluster, error)
 	if domains <= 0 {
 		return nil, fmt.Errorf("vessel: cluster needs at least one domain")
 	}
-	c := &Cluster{placement: make(map[string]int), perDomain: make([]int, domains)}
+	c := &Cluster{
+		placement:    make(map[string]int),
+		perDomain:    make([]int, domains),
+		maxPerDomain: MaxUProcsPerDomain,
+	}
 	for i := 0; i < domains; i++ {
 		m, err := NewManager(coresPerDomain, costs)
+		if err != nil {
+			return nil, err
+		}
+		c.managers = append(c.managers, m)
+	}
+	return c, nil
+}
+
+// NewDenseCluster boots n scheduling domains with virtualized protection
+// keys: each domain multiplexes unbounded virtual keys onto the hardware
+// slots (DESIGN.md §14), so per-domain capacity is maxPerDomain rather
+// than the architectural 13. maxPerDomain ≤ 0 means no cluster-side cap —
+// the domain's own (enormous) virtual headroom governs.
+func NewDenseCluster(domains, coresPerDomain int, costs *CostModel, maxPerDomain int) (*Cluster, error) {
+	if domains <= 0 {
+		return nil, fmt.Errorf("vessel: cluster needs at least one domain")
+	}
+	if maxPerDomain <= 0 {
+		maxPerDomain = int(^uint(0) >> 1) // effectively uncapped
+	}
+	c := &Cluster{
+		placement:    make(map[string]int),
+		perDomain:    make([]int, domains),
+		maxPerDomain: maxPerDomain,
+	}
+	for i := 0; i < domains; i++ {
+		m, err := NewManagerVirtual(coresPerDomain, costs)
 		if err != nil {
 			return nil, err
 		}
@@ -57,7 +92,7 @@ func (c *Cluster) Capacity() int {
 // domainFree is domain i's placeable headroom: the cluster's own count
 // clamped by the domain's free protection keys.
 func (c *Cluster) domainFree(i int) int {
-	free := MaxUProcsPerDomain - c.perDomain[i]
+	free := c.maxPerDomain - c.perDomain[i]
 	if avail := c.managers[i].KeysAvailable(); avail < free {
 		free = avail
 	}
@@ -114,7 +149,7 @@ func (c *Cluster) Launch(name string, build func(*Manager) (*Program, error), co
 		return nil, fmt.Errorf("vessel: no domain accepted uProcess %q: %w", name, lastErr)
 	}
 	return nil, fmt.Errorf("vessel: cluster full (%d domains × %d uProcesses)",
-		len(c.managers), MaxUProcsPerDomain)
+		len(c.managers), c.maxPerDomain)
 }
 
 // Destroy removes a uProcess and frees its key slot. Termination is lazy

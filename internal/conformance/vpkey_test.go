@@ -1,0 +1,178 @@
+package conformance
+
+import (
+	"fmt"
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/mem"
+	"vessel/internal/smas"
+	"vessel/internal/vessel"
+	"vessel/internal/vpkey"
+)
+
+// vpkeyWorker is a park-loop worker with a configurable compute burst —
+// every gate call pushes through the worker's own stack, so a key whose
+// refill went missing would fault on the very first crossing.
+func vpkeyWorker(mg *vessel.Manager, name string, work int64) *smas.Program {
+	a := cpu.NewAssembler()
+	a.Label("loop")
+	a.Emit(cpu.Work{N: work})
+	a.Emit(cpu.Call{Target: mg.Domain.GatePark.Entry})
+	a.JmpTo("loop")
+	return &smas.Program{Name: name, Asm: a, PIE: true, DataSize: mem.PageSize, StackSize: 2 * mem.PageSize}
+}
+
+// runDense launches n park-loop workers on a manager's two cores and
+// drives both cores timesliced, then destroys every third worker and
+// reaps. It is the standard battery body for the lifecycle oracle tests.
+func runDense(t *testing.T, mg *vessel.Manager, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("w%03d", i)
+		if _, err := mg.Launch(name, vpkeyWorker(mg, name, 200+int64(i)*37), i%2); err != nil {
+			t.Fatalf("launch %s: %v", name, err)
+		}
+	}
+	for core := 0; core < 2; core++ {
+		if err := mg.Start(core); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mg.RunTimesliced(core, 40_000, 701); err != nil {
+			t.Fatalf("core %d: %v", core, err)
+		}
+	}
+	for i := 0; i < n; i += 3 {
+		if err := mg.Destroy(fmt.Sprintf("w%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for core := 0; core < 2; core++ {
+		mg.Step(core, 4000)
+	}
+	if _, err := mg.Reap(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVPkeyLifecycleOracleCleanVirtualRun(t *testing.T) {
+	mg, err := vessel.NewManagerVirtual(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40 workers on 13 slots: allocation alone forces evictions, and the
+	// timesliced run forces refills at activation.
+	runDense(t, mg, 40)
+	vt := mg.Domain.S.VKeys
+	if vt.Evictions == 0 || vt.Refills == 0 {
+		t.Fatalf("battery did not exercise eviction: evictions=%d refills=%d", vt.Evictions, vt.Refills)
+	}
+	if vs := CheckVPkeyLifecycle("virtual", mg.Domain.S); len(vs) != 0 {
+		t.Fatalf("clean virtual run flagged:\n%v", vs)
+	}
+	if vs := CheckEvents(mg.Events().Events()); len(vs) != 0 {
+		t.Fatalf("event stream flagged:\n%v", vs)
+	}
+}
+
+func TestVPkeyLifecycleOracleCleanDirectRun(t *testing.T) {
+	mg, err := vessel.NewManager(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDense(t, mg, 10)
+	if vs := CheckVPkeyLifecycle("direct", mg.Domain.S); len(vs) != 0 {
+		t.Fatalf("clean direct run flagged:\n%v", vs)
+	}
+}
+
+func TestVPkeyLifecycleOracleFlagsLeakedSlot(t *testing.T) {
+	for _, mode := range []string{"direct", "virtual"} {
+		t.Run(mode, func(t *testing.T) {
+			var mg *vessel.Manager
+			var err error
+			if mode == "virtual" {
+				mg, err = vessel.NewManagerVirtual(2, nil)
+			} else {
+				mg, err = vessel.NewManager(2, nil)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			runDense(t, mg, 6)
+			// A lost pkey_free: the allocator holds a key no region (and
+			// no table slot) owns.
+			if _, err := mg.Domain.S.Keys.Alloc(); err != nil {
+				t.Fatal(err)
+			}
+			vs := CheckVPkeyLifecycle(mode, mg.Domain.S)
+			found := false
+			for _, v := range vs {
+				if v.Oracle == "slot-leak" {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("leaked key not flagged: %v", vs)
+			}
+		})
+	}
+}
+
+func TestVPkeyLifecycleOracleFlagsBogusAttribution(t *testing.T) {
+	mg, err := vessel.NewManagerVirtual(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDense(t, mg, 20)
+	vt := mg.Domain.S.VKeys
+	// Forge a record naming a never-issued virtual key: the attribution
+	// audit must notice both the impossible key and the unbalanced sum.
+	vt.RetagLog = append(vt.RetagLog, vpkey.Retag{VKey: 9999, Slot: 3, Pages: 7, Reason: "evict", Core: 0})
+	vs := CheckVPkeyLifecycle("virtual", mg.Domain.S)
+	found := false
+	for _, v := range vs {
+		if v.Oracle == "retag-attribution" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("forged attribution not flagged: %v", vs)
+	}
+}
+
+func TestVPkeyDensityBeyondHardwareKeys(t *testing.T) {
+	// The acceptance demo at package level runs ≥100 uProcesses through
+	// the cluster facade; this is the manager-level counterpart pinning
+	// the same property where the oracles live: far more live keys than
+	// hardware slots, all isolation invariants intact.
+	mg, err := vessel.NewManagerVirtual(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 120
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("dense%03d", i)
+		if _, err := mg.Launch(name, vpkeyWorker(mg, name, 150), i%2); err != nil {
+			t.Fatalf("launch %d: %v", i, err)
+		}
+	}
+	for core := 0; core < 2; core++ {
+		if err := mg.Start(core); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mg.RunTimesliced(core, 60_000, 701); err != nil {
+			t.Fatalf("core %d: %v", core, err)
+		}
+	}
+	s := mg.Domain.S
+	if got := s.LiveRegionCount(); got != n {
+		t.Fatalf("live regions = %d, want %d", got, n)
+	}
+	if s.VKeys.Resident() > int(smas.RuntimeKey)-1 {
+		t.Fatalf("resident = %d exceeds the hardware slot budget", s.VKeys.Resident())
+	}
+	if vs := CheckVPkeyLifecycle("dense", s); len(vs) != 0 {
+		t.Fatalf("dense run flagged:\n%v", vs)
+	}
+}

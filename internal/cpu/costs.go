@@ -22,6 +22,11 @@ type CostModel struct {
 	MemCycles    int64 // L1-hit load/store
 	JmpCycles    int64
 	CallCycles   int64 // call/ret with stack traffic
+	// PkeyRetagPage is the per-page cost of re-tagging under virtualized
+	// protection keys (the pkey_mprotect walk libmpk performs on key
+	// eviction and refill). Only charged when virtual keys are enabled
+	// and a slot actually moves.
+	PkeyRetagPage int64
 
 	// UINTR path latencies (§2.2). SENDUIPI posts into the UPID and, when
 	// the receiver is running, triggers delivery straight into the user
@@ -93,6 +98,8 @@ func Default() *CostModel {
 		MemCycles:    4,
 		JmpCycles:    2,
 		CallCycles:   6,
+
+		PkeyRetagPage: 60, // one pkey_mprotect PTE walk + flush share per page
 
 		UintrSend:     60,
 		UintrDeliver:  100,

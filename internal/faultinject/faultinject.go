@@ -78,6 +78,12 @@ const (
 	// a lost pkey_free — the libmpk leak class. Reconciliation must find
 	// and reclaim it.
 	PkeyLeak
+	// PkeyThrash force-evicts every unpinned resident virtual key — an
+	// eviction storm against the virtual protection-key layer. Each
+	// evicted uProcess's next activation pays a full refill; the
+	// isolation oracles must hold throughout. A no-op (with a note) in
+	// domains without virtualized keys.
+	PkeyThrash
 	numKinds
 )
 
@@ -107,6 +113,8 @@ func (k Kind) String() string {
 		return "uintrstorm"
 	case PkeyLeak:
 		return "pkeyleak"
+	case PkeyThrash:
+		return "pkeythrash"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -436,6 +444,14 @@ func (inj *Injector) fire(f Fault, now sim.Time) bool {
 			return true
 		}
 		inj.note("inject.pkeyleak", fmt.Sprintf("key=%d", k))
+		return true
+	case PkeyThrash:
+		if inj.d.S.VKeys == nil {
+			inj.note("inject.skip", "pkeythrash: keys not virtualized")
+			return true
+		}
+		evicted, pages := inj.d.S.VKeys.Thrash()
+		inj.note("inject.pkeythrash", fmt.Sprintf("evicted=%d pages=%d", evicted, pages))
 		return true
 	case WildWrite, GateCrash, RuntimeCrash:
 		return inj.fireCrash(f)

@@ -1,0 +1,113 @@
+package faultinject
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"vessel/internal/sim"
+)
+
+func TestPkeyThrashCodecRoundTrip(t *testing.T) {
+	p := Plan{
+		Seed: 9,
+		Faults: []Fault{
+			{Kind: PkeyThrash, At: sim.Time(10 * sim.Microsecond)},
+			{Kind: PkeyThrash, At: sim.Time(20 * sim.Microsecond)},
+		},
+		Random:       5,
+		RandomKinds:  []Kind{PkeyThrash, PkeyLeak},
+		RandomCores:  2,
+		RandomWindow: 100 * sim.Microsecond,
+	}
+	data, err := EncodePlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"pkeythrash"`)) {
+		t.Fatalf("encoding does not name the thrash kind:\n%s", data)
+	}
+	got, err := DecodePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip mutated the plan:\n got %+v\nwant %+v", got, p)
+	}
+	thrashes := 0
+	for _, f := range got.Expand() {
+		if f.Kind == PkeyThrash {
+			thrashes++
+		}
+	}
+	if thrashes < 2 {
+		t.Fatalf("Expand kept %d thrash faults, want at least the 2 deterministic ones", thrashes)
+	}
+}
+
+// FuzzThrashPlanDecode hammers the plan decoder with inputs biased toward
+// the eviction-storm fault class: it must never panic, any accepted plan
+// must round-trip canonically, and every PkeyThrash the decoder admits
+// must survive encode∘decode and expansion unchanged in count.
+func FuzzThrashPlanDecode(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"faults":[{"kind":"pkeythrash"}]}`),
+		[]byte(`{"faults":[{"kind":"pkeythrash","at_ns":5000},{"kind":"pkeythrash","at_ns":15000}]}`),
+		[]byte(`{"random":8,"random_kinds":["pkeythrash"],"random_window_ns":200000}`),
+		[]byte(`{"random":3,"random_kinds":["pkeythrash","pkeyleak","corestall"],"random_cores":2,"random_window_ns":50000}`),
+		[]byte(`{"faults":[{"kind":"pkeythrash","core":1,"target":"w0","delay_ns":100}]}`),
+		[]byte(`{"faults":[{"kind":"pkeytrash"}]}`), // misspelled: must be rejected, not panic
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p1, err := DecodePlan(data)
+		if err != nil {
+			return
+		}
+		enc, err := EncodePlan(p1)
+		if err != nil {
+			t.Fatalf("accepted plan failed to encode: %v (%+v)", err, p1)
+		}
+		p2, err := DecodePlan(enc)
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("decode/encode/decode not identity:\n p1=%+v\n p2=%+v", p1, p2)
+		}
+		count := func(p Plan) (det, rnd int) {
+			for _, f := range p.Faults {
+				if f.Kind == PkeyThrash {
+					det++
+				}
+			}
+			for _, k := range p.RandomKinds {
+				if k == PkeyThrash {
+					rnd++
+				}
+			}
+			return
+		}
+		d1, r1 := count(p1)
+		d2, r2 := count(p2)
+		if d1 != d2 || r1 != r2 {
+			t.Fatalf("thrash faults changed across round trip: (%d,%d) vs (%d,%d)", d1, r1, d2, r2)
+		}
+		// Expansion keeps every deterministic thrash and is stable.
+		e1, e2 := p1.Expand(), p1.Expand()
+		if !reflect.DeepEqual(e1, e2) {
+			t.Fatal("Expand nondeterministic")
+		}
+		got := 0
+		for _, f := range e1 {
+			if f.Kind == PkeyThrash {
+				got++
+			}
+		}
+		if got < d1 {
+			t.Fatalf("Expand dropped thrash faults: %d < %d", got, d1)
+		}
+	})
+}

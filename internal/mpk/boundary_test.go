@@ -1,0 +1,51 @@
+package mpk
+
+import "testing"
+
+// TestAllocatableKeyBoundary pins down exactly which keys a fresh
+// allocator hands out: keys 1..15, in ascending order, with key 0
+// reserved — 15 allocatable keys out of the NumKeys (16) the hardware
+// numbers. The Alloc doc comment and this test must stay in agreement.
+func TestAllocatableKeyBoundary(t *testing.T) {
+	a := NewAllocator()
+	if NumKeys != 16 {
+		t.Fatalf("NumKeys = %d, want 16", NumKeys)
+	}
+	for want := PKey(1); want <= 15; want++ {
+		k, err := a.Alloc()
+		if err != nil {
+			t.Fatalf("Alloc #%d failed: %v", want, err)
+		}
+		if k != want {
+			t.Fatalf("Alloc #%d = key %d, want %d (lowest-free order)", want, k, want)
+		}
+	}
+	// The 16th allocation must fail: key 0 is never handed out.
+	if k, err := a.Alloc(); err == nil {
+		t.Fatalf("16th Alloc succeeded with key %d; key 0 must stay reserved", k)
+	}
+	if a.Available() != 0 {
+		t.Fatalf("Available = %d after exhausting, want 0", a.Available())
+	}
+
+	// Boundary errors: key 0, out-of-range keys, double free.
+	if err := a.Free(0); err == nil {
+		t.Fatal("Free(0) succeeded; key 0 is reserved")
+	}
+	if err := a.Free(NumKeys); err == nil {
+		t.Fatalf("Free(%d) succeeded; keys stop at %d", NumKeys, NumKeys-1)
+	}
+	if err := a.Free(7); err != nil {
+		t.Fatalf("Free(7): %v", err)
+	}
+	if err := a.Free(7); err == nil {
+		t.Fatal("double Free(7) succeeded")
+	}
+	if !a.InUse(8) || a.InUse(7) {
+		t.Fatal("InUse disagrees with the free just performed")
+	}
+	// The freed key is re-issued first: lowest-free order is stable.
+	if k, err := a.Alloc(); err != nil || k != 7 {
+		t.Fatalf("re-Alloc = (%d, %v), want key 7", k, err)
+	}
+}

@@ -146,8 +146,11 @@ func NewAllocator() *Allocator {
 	return a
 }
 
-// Alloc returns a free key, mirroring pkey_alloc(). It fails when all 15
-// allocatable keys are in use.
+// Alloc returns the lowest free key, mirroring pkey_alloc(). Of the
+// NumKeys (16) hardware keys, key 0 is reserved at construction, so
+// exactly keys 1..15 are allocatable; Alloc fails when all 15 are in
+// use. (Callers with further reservations — SMAS holds back the runtime
+// and pipe keys — see correspondingly fewer.)
 func (a *Allocator) Alloc() (PKey, error) {
 	for k := PKey(1); k < NumKeys; k++ {
 		if !a.used[k] {

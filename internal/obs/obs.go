@@ -52,6 +52,9 @@ const (
 	CatFence
 	CatRecover
 	CatFailsafe
+	// Virtualized protection keys: slot evictions and refills with their
+	// lazy re-tag work.
+	CatVPkey
 	NumCategories
 )
 
@@ -87,6 +90,8 @@ func (c Category) String() string {
 		return "recover"
 	case CatFailsafe:
 		return "failsafe"
+	case CatVPkey:
+		return "vpkey"
 	default:
 		return fmt.Sprintf("Category(%d)", uint8(c))
 	}

@@ -47,6 +47,10 @@ type Config struct {
 	// EventCap bounds the shared containment event log (a ring: oldest
 	// entries are overwritten). Default 1<<15 entries.
 	EventCap int
+	// VirtualKeys builds every domain (and every restart incarnation)
+	// with libmpk-style virtualized protection keys, lifting the 13-key
+	// density cap (DESIGN.md §14).
+	VirtualKeys bool
 }
 
 func (c Config) withDefaults() Config {
@@ -139,7 +143,7 @@ func New(cfg Config) (*Cluster, error) {
 		Counters: stats.NewCounters(),
 	}
 	for i := 0; i < cfg.Domains; i++ {
-		mg, err := vessel.NewManagerOn(c.eng, cfg.CoresPerDomain, cfg.Costs)
+		mg, err := c.newManager()
 		if err != nil {
 			return nil, err
 		}
@@ -158,6 +162,15 @@ func New(cfg Config) (*Cluster, error) {
 		})
 	}
 	return c, nil
+}
+
+// newManager builds one domain incarnation on the shared engine, in the
+// key mode the configuration asks for.
+func (c *Cluster) newManager() (*vessel.Manager, error) {
+	if c.cfg.VirtualKeys {
+		return vessel.NewVirtualManagerOn(c.eng, c.cfg.CoresPerDomain, c.cfg.Costs)
+	}
+	return vessel.NewManagerOn(c.eng, c.cfg.CoresPerDomain, c.cfg.Costs)
 }
 
 // Engine exposes the shared engine (for tests and harness wiring).
@@ -436,17 +449,15 @@ func (c *Cluster) react(now sim.Time) error {
 }
 
 // reconcileKeys frees protection keys that are allocated but owned by no
-// region — the PkeyLeak class, and any future lost pkey_free. Keys held by
-// live regions are exactly SMAS.RegionKeys; anything else in the app range
-// is a leak.
+// region — the PkeyLeak class, and any future lost pkey_free. Ownership is
+// judged by SMAS.KeyOwned: a region's key in direct mode, a virtual-key
+// table slot in virtual mode (where slots legitimately outnumber what a
+// static region index could record); anything else in the app range is a
+// leak.
 func (c *Cluster) reconcileKeys(d *domainState, now sim.Time) {
 	s := d.mg.Domain.S
-	owned := make(map[mpk.PKey]bool, smas.MaxUProcs)
-	for _, k := range s.RegionKeys() {
-		owned[k] = true
-	}
 	for k := mpk.PKey(1); k < smas.RuntimeKey; k++ {
-		if !s.Keys.InUse(k) || owned[k] {
+		if !s.Keys.InUse(k) || s.KeyOwned(k) {
 			continue
 		}
 		if err := s.Keys.Free(k); err == nil {
@@ -479,7 +490,7 @@ func (c *Cluster) restartDomain(d *domainState, now sim.Time) error {
 	}
 	c.Counters.Add("selfheal.events.cancelled", uint64(cancelled))
 	c.Counters.Add("selfheal.injections.discarded", uint64(discarded))
-	fresh, err := vessel.NewManagerOn(c.eng, c.cfg.CoresPerDomain, c.cfg.Costs)
+	fresh, err := c.newManager()
 	if err != nil {
 		return err
 	}
@@ -504,12 +515,25 @@ func (c *Cluster) restartDomain(d *domainState, now sim.Time) error {
 	d.lastAlive = now
 
 	// Reconciliation oracles: the fresh incarnation must account for
-	// exactly the supervised manifest — keys, regions, uProcesses.
-	if got, want := fresh.Domain.S.Keys.Available(), baseKeys-len(d.workers); got != want {
-		c.violate(now, "domain %d restart: %d keys available, want %d (leak across restart)", d.id, got, want)
-	}
-	if got := len(fresh.Domain.S.RegionKeys()); got != len(d.workers) {
-		c.violate(now, "domain %d restart: %d regions, want %d", d.id, got, len(d.workers))
+	// exactly the supervised manifest — keys, regions, uProcesses. Under
+	// virtualized keys more workers can be live than hardware slots, so
+	// the allocator's draw-down is the table's resident count and the
+	// region census uses the virtual-region index instead of slots.
+	s := fresh.Domain.S
+	if s.Virtual() {
+		if got, want := baseKeys-s.Keys.Available(), s.VKeys.Resident(); got != want {
+			c.violate(now, "domain %d restart: %d slots drawn, want %d resident (slot leak across restart)", d.id, got, want)
+		}
+		if got := s.LiveRegionCount(); got != len(d.workers) {
+			c.violate(now, "domain %d restart: %d regions, want %d", d.id, got, len(d.workers))
+		}
+	} else {
+		if got, want := s.Keys.Available(), baseKeys-len(d.workers); got != want {
+			c.violate(now, "domain %d restart: %d keys available, want %d (leak across restart)", d.id, got, want)
+		}
+		if got := len(s.RegionKeys()); got != len(d.workers) {
+			c.violate(now, "domain %d restart: %d regions, want %d", d.id, got, len(d.workers))
+		}
 	}
 	if got := len(fresh.Domain.UProcs()); got != len(d.workers) {
 		c.violate(now, "domain %d restart: %d uProcesses, want %d (lost or duplicated)", d.id, got, len(d.workers))

@@ -119,7 +119,15 @@ func (s *SMAS) Load(p *Program) (*Image, error) {
 	if err != nil {
 		return nil, err
 	}
-	textBase, err := s.InstallText(text, region.Key)
+	// Text pages are never re-tagged by the virtual-key layer: PKRU does
+	// not mediate instruction fetch, and PermXOnly already blocks data
+	// access, so in virtual mode text carries the runtime key rather
+	// than a slot that may later belong to another region.
+	textKey := region.Key
+	if s.Virtual() {
+		textKey = RuntimeKey
+	}
+	textBase, err := s.InstallText(text, textKey)
 	if err != nil {
 		s.FreeRegion(region)
 		return nil, err

@@ -24,6 +24,7 @@ import (
 	"vessel/internal/cpu"
 	"vessel/internal/mem"
 	"vessel/internal/mpk"
+	"vessel/internal/vpkey"
 )
 
 // Region layout constants. All addresses live inside the shared mapping
@@ -91,8 +92,16 @@ type SMAS struct {
 	dataCursor mem.Addr
 	// regions indexes live uProcess regions by their protection key — the
 	// authoritative owner set reconciliation audits compare the allocator
-	// against: a key in use with no live region is a leak.
+	// against: a key in use with no live region is a leak. Only populated
+	// in direct mode: under virtualization a hardware key is a transient
+	// slot, not a region's identity.
 	regions map[mpk.PKey]*Region
+
+	// VKeys, when non-nil, virtualizes protection keys (EnableVirtualKeys):
+	// regions are identified by virtual keys in vregions and hardware
+	// slots move between them under LRU eviction.
+	VKeys    *vpkey.Table
+	vregions map[vpkey.VKey]*Region
 }
 
 // New creates and maps a domain's SMAS on the given machine for the given
@@ -165,7 +174,14 @@ func (s *SMAS) AppPKRU(k mpk.PKey) mpk.PKRU {
 type Region struct {
 	Base mem.Addr
 	Size uint64
-	Key  mpk.PKey
+	// Key is the hardware protection key tagging the region's pages. In
+	// direct mode it is fixed for the region's lifetime; in virtual mode
+	// it is the slot granted at the last TouchRegion and may be stale
+	// while the region is evicted.
+	Key mpk.PKey
+	// VKey is the region's virtual protection key (virtual mode only;
+	// 0 in direct mode).
+	VKey vpkey.VKey
 	// StackTop is the initial stack pointer (stacks grow down from the
 	// end of the region).
 	StackTop mem.Addr
@@ -175,6 +191,9 @@ type Region struct {
 // with a freshly allocated key, and returns it. Mirrors the manager's
 // pkey_mprotect of a newly created region (§5.1).
 func (s *SMAS) AllocRegion(size uint64) (*Region, error) {
+	if s.Virtual() {
+		return s.allocRegionVirtual(size)
+	}
 	key, err := s.Keys.Alloc()
 	if err != nil {
 		return nil, fmt.Errorf("smas: domain full (13 uProcesses max): %w", err)
@@ -206,6 +225,9 @@ func (s *SMAS) AllocRegion(size uint64) (*Region, error) {
 // FreeRegion unmaps a region and releases its key, as uProcess destruction
 // does (§5.1).
 func (s *SMAS) FreeRegion(r *Region) error {
+	if s.Virtual() {
+		return s.freeRegionVirtual(r)
+	}
 	s.AS.Unmap(r.Base, r.Size)
 	delete(s.regions, r.Key)
 	return s.Keys.Free(r.Key)
@@ -217,6 +239,12 @@ func (s *SMAS) FreeRegion(r *Region) error {
 func (s *SMAS) RegionKeys() []mpk.PKey {
 	var out []mpk.PKey
 	for k := mpk.PKey(1); k < RuntimeKey; k++ {
+		if s.Virtual() {
+			if s.VKeys.Holds(k) {
+				out = append(out, k)
+			}
+			continue
+		}
 		if _, ok := s.regions[k]; ok {
 			out = append(out, k)
 		}

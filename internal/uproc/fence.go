@@ -53,6 +53,9 @@ func (d *Domain) FenceCore(core int, targets []int) (moved, killed int, err erro
 		killed++
 	}
 	cs.current = nil
+	// The fenced core never executes again, so its PKRU is inert: release
+	// its virtual-key pin so the key can be evicted or freed.
+	d.S.UnpinCore(core)
 	if len(targets) > 0 {
 		for _, t := range cs.runq {
 			if t.U.State == UProcTerminated || t.State == ThreadDead {

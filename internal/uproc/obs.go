@@ -1,12 +1,15 @@
 package uproc
 
 import (
+	"fmt"
+
 	"vessel/internal/callgate"
 	"vessel/internal/cpu"
 	"vessel/internal/mpk"
 	"vessel/internal/obs"
 	"vessel/internal/sim"
 	"vessel/internal/uintr"
+	"vessel/internal/vpkey"
 )
 
 // coreTime converts a core's cycle counter to virtual time under the
@@ -107,6 +110,32 @@ func (d *Domain) AttachObs(o *obs.Observer) {
 		o.Reg().Inc("uproc.pkey.free")
 		if prevFree != nil {
 			prevFree(k)
+		}
+	}
+
+	// Virtualized protection keys: evictions and refills are overlay
+	// markers on the driving core, with the lazy re-tag volume counted.
+	if vt := d.S.VKeys; vt != nil {
+		prevEvict, prevRefill := vt.OnEvict, vt.OnRefill
+		vt.OnEvict = func(core int, vk vpkey.VKey, slot mpk.PKey, pages int) {
+			if core >= 0 && core < d.Machine.NumCores() {
+				d.obsMark(d.Machine.Core(core), obs.CatVPkey, fmt.Sprintf("evict:v%d", vk))
+			}
+			o.Reg().Inc("uproc.vpkey.evict")
+			o.Reg().Add("uproc.vpkey.retag_pages", uint64(pages))
+			if prevEvict != nil {
+				prevEvict(core, vk, slot, pages)
+			}
+		}
+		vt.OnRefill = func(core int, vk vpkey.VKey, slot mpk.PKey, pages int) {
+			if core >= 0 && core < d.Machine.NumCores() {
+				d.obsMark(d.Machine.Core(core), obs.CatVPkey, fmt.Sprintf("refill:v%d", vk))
+			}
+			o.Reg().Inc("uproc.vpkey.refill")
+			o.Reg().Add("uproc.vpkey.retag_pages", uint64(pages))
+			if prevRefill != nil {
+				prevRefill(core, vk, slot, pages)
+			}
 		}
 	}
 }

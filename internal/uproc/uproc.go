@@ -493,6 +493,21 @@ func (d *Domain) activate(c *cpu.Core, cs *coreState, t *Thread) {
 	c.Regs = t.savedRegs
 	c.Regs[cpu.RSP] = rsp
 	c.UIF = t.savedUIF
+	if d.S.Virtual() {
+		// Virtualized protection keys: the region's hardware slot may
+		// have moved (or been evicted) since this thread last ran. Touch
+		// pins the virtual key to this core, refills it if evicted, and
+		// returns the slot the PKRU must grant; re-tagged pages are
+		// charged to the core like the pkey_mprotect calls they model.
+		slot, pages, err := d.S.TouchRegion(t.U.Image.Region, c.ID)
+		if err != nil {
+			panic(fmt.Sprintf("uproc: virtual key refill for %s failed: %v", t.U.Name, err))
+		}
+		if pages > 0 {
+			c.Cycles += int64(pages) * d.Machine.Costs.PkeyRetagPage
+		}
+		t.U.PKRU = d.S.AppPKRU(slot)
+	}
 	if err := d.S.SetTask(c.ID, t.savedRSP, t.U.PKRU, uint64(t.ID)); err != nil {
 		panic(fmt.Sprintf("uproc: task map update failed: %v", err))
 	}
@@ -526,6 +541,9 @@ func (d *Domain) switchNext(c *cpu.Core, cs *coreState) {
 	}
 	cs.current = nil
 	c.Halted = true
+	// An idle core grants no application key: release its virtual-key pin
+	// so the last thread's key becomes evictable.
+	d.S.UnpinCore(c.ID)
 }
 
 // drainCommands applies pending scheduler commands on a core. Kill

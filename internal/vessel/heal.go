@@ -32,6 +32,32 @@ func NewManagerOn(eng *sim.Engine, cores int, costs *cpu.CostModel) (*Manager, e
 	return &Manager{Domain: d, eng: eng, m: m, named: make(map[string]*uproc.UProc)}, nil
 }
 
+// NewVirtualManagerOn is NewManagerOn with libmpk-style virtualized
+// protection keys enabled on the fresh SMAS before any region exists, so
+// the domain's uProcess density is no longer capped by the 13 hardware
+// app keys.
+func NewVirtualManagerOn(eng *sim.Engine, cores int, costs *cpu.CostModel) (*Manager, error) {
+	mg, err := NewManagerOn(eng, cores, costs)
+	if err != nil {
+		return nil, err
+	}
+	if err := mg.Domain.S.EnableVirtualKeys(); err != nil {
+		return nil, err
+	}
+	return mg, nil
+}
+
+// NewManagerVirtual boots a virtual-key scheduling domain on a fresh
+// engine (the virtual-mode counterpart of NewManager).
+func NewManagerVirtual(cores int, costs *cpu.CostModel) (*Manager, error) {
+	return NewVirtualManagerOn(sim.NewEngine(), cores, costs)
+}
+
+// KeysAvailable is the domain's placeable uProcess headroom as the SMAS
+// reports it: free hardware keys in direct mode, effectively unbounded
+// under key virtualization.
+func (mg *Manager) KeysAvailable() int { return mg.Domain.S.KeysAvailable() }
+
 // UseEvents attaches an existing event log to the manager and its domain,
 // replacing any log created so far. A cluster supervisor shares one log
 // across a domain's incarnations so the containment stream — crash, fence,

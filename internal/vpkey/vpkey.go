@@ -1,0 +1,418 @@
+// Package vpkey virtualizes protection keys the way libmpk does: an
+// unbounded space of software ("virtual") keys is multiplexed onto the
+// hardware's 16 pkey slots, with LRU slot eviction and lazy PTE re-tagging
+// on evict/refill. A domain's uProcess density is then no longer capped by
+// the 4-bit hardware key field — the limit the paper inherits from MPK
+// (§4.1) and that libmpk removes.
+//
+// The model mirrors the semantics that make virtualization sound on real
+// hardware:
+//
+//   - Evicting a virtual key re-tags its data pages to a fence key (the
+//     runtime key): every application PKRU denies the fence key, so an
+//     evicted compartment is inaccessible to everyone until refilled, while
+//     the privileged runtime (AllowAll) is unaffected.
+//   - Text pages are never re-tagged: PKRU does not mediate instruction
+//     fetches, so an evicted uProcess's code stays executable — only its
+//     data loses (and regains) accessibility. This also bounds re-tag work
+//     to the data region.
+//   - Re-tagging goes through mem.AddressSpace.SetPKey, which bumps the
+//     translation generation — per-core software TLBs and decoded-fetch
+//     caches self-invalidate, so the fast path stays coherent for free.
+//   - A virtual key pinned by a core (its current uProcess) is never
+//     evicted: recycling a hardware slot under a live PKRU would let the
+//     running compartment reach the new tenant's pages — the stale-key
+//     reuse pitfall libmpk warns about.
+//
+// Everything is deterministic: recency is a monotonic touch counter, never
+// wall clock, and eviction victims are chosen by (oldest touch, lowest
+// virtual key), independent of map iteration order.
+package vpkey
+
+import (
+	"fmt"
+
+	"vessel/internal/mem"
+	"vessel/internal/mpk"
+)
+
+// VKey is a virtual protection key. Valid keys are positive; 0 is "none".
+type VKey int
+
+// Range is one page-aligned data range owned by a virtual key.
+type Range struct {
+	Base mem.Addr
+	Size uint64
+}
+
+// Retag is one attributed re-tagging action: which virtual key's pages
+// moved, to which hardware slot (or the fence key), how many pages, on
+// whose behalf. The lifecycle oracle audits that every SetPKey the table
+// performed is accounted for here.
+type Retag struct {
+	VKey VKey
+	// Slot is the hardware key the pages now carry: the fence key for an
+	// eviction, the granted slot for a refill.
+	Slot  mpk.PKey
+	Pages int
+	// Reason is "evict" or "refill".
+	Reason string
+	// Core is the core whose activation drove the re-tag, or -1 when the
+	// table acted on the manager's behalf (region allocation, thrash).
+	Core int
+}
+
+// retagLogCap bounds the attribution log; overflow is counted, never
+// silent, so the oracle knows when the log stopped being exhaustive.
+const retagLogCap = 1 << 14
+
+// warmWays is the per-core warm-cache associativity: enough for the
+// handful of uProcesses that ping-pong on one core between evictions.
+const warmWays = 8
+
+type entry struct {
+	vk   VKey
+	slot mpk.PKey // 0 while evicted (key 0 is reserved, never a slot)
+	// ranges are the data ranges re-tagged on evict/refill.
+	ranges    []Range
+	pages     int
+	lastTouch uint64
+}
+
+type warmLine struct {
+	vk   VKey
+	slot mpk.PKey
+	gen  uint64
+}
+
+// Table maps live virtual keys onto hardware slots drawn from an
+// mpk.Allocator. It is single-writer, like the simulation that drives it.
+type Table struct {
+	as    *mem.AddressSpace
+	keys  *mpk.Allocator
+	fence mpk.PKey
+	// limit bounds usable slots to [1, limit): the app-key range of the
+	// owning SMAS (fixed-role keys are never slots).
+	limit mpk.PKey
+
+	entries map[VKey]*entry
+	slots   map[mpk.PKey]VKey
+	pins    map[int]VKey
+	warm    map[int]*[warmWays]warmLine
+	clock   uint64
+	gen     uint64
+	next    VKey
+
+	// Counters, all monotonic and deterministic.
+	Allocs        uint64
+	Frees         uint64
+	Evictions     uint64
+	Refills       uint64
+	RetaggedPages uint64
+	WarmHits      uint64
+
+	// RetagLog attributes every re-tag; RetagDropped counts records the
+	// bounded log could not keep.
+	RetagLog     []Retag
+	RetagDropped uint64
+
+	// OnEvict and OnRefill, when non-nil, observe slot movement — the
+	// observability layer's probes.
+	OnEvict  func(core int, vk VKey, slot mpk.PKey, pages int)
+	OnRefill func(core int, vk VKey, slot mpk.PKey, pages int)
+}
+
+// New builds a table over an address space and a hardware-key allocator.
+// Evicted pages are re-tagged to fence; slots are only ever accepted from
+// the allocator when below limit.
+func New(as *mem.AddressSpace, keys *mpk.Allocator, fence, limit mpk.PKey) *Table {
+	return &Table{
+		as:      as,
+		keys:    keys,
+		fence:   fence,
+		limit:   limit,
+		entries: make(map[VKey]*entry),
+		slots:   make(map[mpk.PKey]VKey),
+		pins:    make(map[int]VKey),
+		warm:    make(map[int]*[warmWays]warmLine),
+		next:    1,
+	}
+}
+
+// Generation counts evictions: any cached (virtual key → slot) binding is
+// stale once it changes. The per-core warm cache keys on it; external warm
+// caches may too.
+func (t *Table) Generation() uint64 { return t.gen }
+
+// Live returns the number of live virtual keys.
+func (t *Table) Live() int { return len(t.entries) }
+
+// Resident returns how many live virtual keys currently hold a slot.
+func (t *Table) Resident() int { return len(t.slots) }
+
+// Holds reports whether hardware key k is a slot currently owned by the
+// table — the self-healing reconciler must not "heal" these as leaks.
+func (t *Table) Holds(k mpk.PKey) bool {
+	_, ok := t.slots[k]
+	return ok
+}
+
+// Owner returns the virtual key holding hardware slot k.
+func (t *Table) Owner(k mpk.PKey) (VKey, bool) {
+	vk, ok := t.slots[k]
+	return vk, ok
+}
+
+// SlotOf returns vk's current slot; ok is false while vk is evicted or
+// unknown.
+func (t *Table) SlotOf(vk VKey) (mpk.PKey, bool) {
+	e, ok := t.entries[vk]
+	if !ok || e.slot == 0 {
+		return 0, false
+	}
+	return e.slot, true
+}
+
+// MaxIssued returns the highest virtual key handed out so far.
+func (t *Table) MaxIssued() VKey { return t.next - 1 }
+
+// Alloc issues a fresh virtual key and makes it resident, evicting the
+// least-recently-used unpinned key if no hardware slot is free. The
+// returned slot is what the caller tags the new region's pages with.
+func (t *Table) Alloc() (VKey, mpk.PKey, error) {
+	slot, err := t.acquireSlot(-1)
+	if err != nil {
+		return 0, 0, err
+	}
+	vk := t.next
+	t.next++
+	t.clock++
+	t.entries[vk] = &entry{vk: vk, slot: slot, lastTouch: t.clock}
+	t.slots[slot] = vk
+	t.Allocs++
+	return vk, slot, nil
+}
+
+// Bind registers a data range under vk. Pages must already carry vk's
+// current slot (the caller maps them with the slot Alloc returned); from
+// here on evict/refill re-tags them.
+func (t *Table) Bind(vk VKey, base mem.Addr, size uint64) error {
+	e, ok := t.entries[vk]
+	if !ok {
+		return fmt.Errorf("vpkey: Bind of unknown key %d", vk)
+	}
+	pages := int((size + mem.PageSize - 1) / mem.PageSize)
+	e.ranges = append(e.ranges, Range{Base: base, Size: size})
+	e.pages += pages
+	return nil
+}
+
+// Free retires a virtual key. A resident key's slot returns to the
+// allocator; an evicted key owns no slot. The caller unmaps the pages.
+// Freeing a pinned key is refused — some core's PKRU still grants it.
+func (t *Table) Free(vk VKey) error {
+	e, ok := t.entries[vk]
+	if !ok {
+		return fmt.Errorf("vpkey: Free of unknown key %d", vk)
+	}
+	for core, p := range t.pins {
+		if p == vk {
+			return fmt.Errorf("vpkey: key %d is pinned by core %d", vk, core)
+		}
+	}
+	if e.slot != 0 {
+		delete(t.slots, e.slot)
+		if err := t.keys.Free(e.slot); err != nil {
+			return fmt.Errorf("vpkey: releasing slot %d: %w", e.slot, err)
+		}
+	}
+	delete(t.entries, vk)
+	t.Frees++
+	return nil
+}
+
+// Touch makes vk resident (refilling after an eviction if needed), pins it
+// to core, and returns its slot plus the number of pages re-tagged — the
+// cost the caller charges to the core. The per-core warm cache makes the
+// no-eviction crossing path a handful of comparisons.
+func (t *Table) Touch(vk VKey, core int) (mpk.PKey, int, error) {
+	if w := t.warm[core]; w != nil {
+		l := &w[int(vk)%warmWays]
+		if l.vk == vk && l.gen == t.gen {
+			t.WarmHits++
+			t.clock++
+			t.entries[vk].lastTouch = t.clock
+			t.pins[core] = vk
+			return l.slot, 0, nil
+		}
+	}
+	e, ok := t.entries[vk]
+	if !ok {
+		return 0, 0, fmt.Errorf("vpkey: Touch of unknown key %d", vk)
+	}
+	t.clock++
+	e.lastTouch = t.clock
+	// Pin before any eviction decision: the key being activated must not
+	// be the victim of its own refill.
+	t.pins[core] = vk
+	retagged := 0
+	if e.slot == 0 {
+		slot, err := t.acquireSlot(core)
+		if err != nil {
+			delete(t.pins, core)
+			return 0, 0, err
+		}
+		e.slot = slot
+		t.slots[slot] = vk
+		retagged = t.retag(e, slot, "refill", core)
+		t.Refills++
+		if t.OnRefill != nil {
+			t.OnRefill(core, vk, slot, retagged)
+		}
+	}
+	w := t.warm[core]
+	if w == nil {
+		w = new([warmWays]warmLine)
+		t.warm[core] = w
+	}
+	w[int(vk)%warmWays] = warmLine{vk: vk, slot: e.slot, gen: t.gen}
+	return e.slot, retagged, nil
+}
+
+// Unpin releases a core's pin, making its last virtual key evictable
+// again. Call it when the core idles or is fenced.
+func (t *Table) Unpin(core int) { delete(t.pins, core) }
+
+// Pinned returns the virtual key core currently pins, or 0.
+func (t *Table) Pinned(core int) VKey { return t.pins[core] }
+
+// acquireSlot finds a free hardware slot: from the allocator if one is
+// free in the app range, otherwise by evicting the LRU unpinned resident
+// key. core attributes the eviction (-1 = manager).
+func (t *Table) acquireSlot(core int) (mpk.PKey, error) {
+	if k, err := t.keys.Alloc(); err == nil {
+		if k < t.limit {
+			return k, nil
+		}
+		// The allocator handed out a fixed-role key (only possible if the
+		// owning SMAS's reservations were tampered with): put it back and
+		// fall through to eviction.
+		t.keys.Free(k)
+	}
+	victim := t.victim()
+	if victim == nil {
+		return 0, fmt.Errorf("vpkey: all %d resident keys are pinned; no slot can be evicted", len(t.slots))
+	}
+	slot := victim.slot
+	pages := t.retag(victim, t.fence, "evict", core)
+	victim.slot = 0
+	delete(t.slots, slot)
+	t.Evictions++
+	t.gen++ // every warm (vk → slot) binding is now suspect
+	if t.OnEvict != nil {
+		t.OnEvict(core, victim.vk, slot, pages)
+	}
+	return slot, nil
+}
+
+// victim picks the eviction victim: resident, unpinned, oldest touch,
+// ties broken by lowest virtual key — a pure function of table state.
+func (t *Table) victim() *entry {
+	pinned := make(map[VKey]bool, len(t.pins))
+	for _, vk := range t.pins {
+		pinned[vk] = true
+	}
+	var best *entry
+	for _, vk := range t.slots {
+		e := t.entries[vk]
+		if pinned[e.vk] {
+			continue
+		}
+		if best == nil || e.lastTouch < best.lastTouch ||
+			(e.lastTouch == best.lastTouch && e.vk < best.vk) {
+			best = e
+		}
+	}
+	return best
+}
+
+// retag moves every page of e's ranges to key, records the attribution,
+// and returns the page count. SetPKey bumps the address-space generation,
+// which is what keeps TLBs and decoded-fetch caches coherent.
+func (t *Table) retag(e *entry, key mpk.PKey, reason string, core int) int {
+	pages := 0
+	for _, r := range e.ranges {
+		if err := t.as.SetPKey(r.Base, r.Size, key); err != nil {
+			// Ranges are bound by the owning SMAS over pages it mapped;
+			// a failure here means the table and address space disagree.
+			panic(fmt.Sprintf("vpkey: retag of key %d range %#x+%#x: %v", e.vk, uint64(r.Base), r.Size, err))
+		}
+		pages += int((r.Size + mem.PageSize - 1) / mem.PageSize)
+	}
+	t.RetaggedPages += uint64(pages)
+	if len(t.RetagLog) < retagLogCap {
+		t.RetagLog = append(t.RetagLog, Retag{VKey: e.vk, Slot: key, Pages: pages, Reason: reason, Core: core})
+	} else {
+		t.RetagDropped++
+	}
+	return pages
+}
+
+// Thrash force-evicts every unpinned resident key — the eviction-storm
+// fault (faultinject.PkeyThrash). It returns how many keys were evicted
+// and how many pages were re-tagged.
+func (t *Table) Thrash() (evicted, pages int) {
+	for {
+		v := t.victim()
+		if v == nil {
+			return evicted, pages
+		}
+		slot := v.slot
+		pages += t.retag(v, t.fence, "evict", -1)
+		v.slot = 0
+		delete(t.slots, slot)
+		// The freed slot goes back to the allocator: a thrash leaves free
+		// hardware slots behind, exactly like a burst of pkey_free calls.
+		if err := t.keys.Free(slot); err != nil {
+			panic(fmt.Sprintf("vpkey: thrash releasing slot %d: %v", slot, err))
+		}
+		t.Evictions++
+		t.gen++
+		evicted++
+		if t.OnEvict != nil {
+			t.OnEvict(-1, v.vk, slot, v.pages)
+		}
+	}
+}
+
+// Info is a deterministic snapshot of one live virtual key, for oracles.
+type Info struct {
+	VKey   VKey
+	Slot   mpk.PKey // 0 while evicted
+	Pages  int
+	Ranges []Range
+	Pinned bool
+}
+
+// LiveInfo snapshots every live virtual key in ascending key order.
+func (t *Table) LiveInfo() []Info {
+	pinned := make(map[VKey]bool, len(t.pins))
+	for _, vk := range t.pins {
+		pinned[vk] = true
+	}
+	out := make([]Info, 0, len(t.entries))
+	for vk := VKey(1); vk < t.next; vk++ {
+		e, ok := t.entries[vk]
+		if !ok {
+			continue
+		}
+		out = append(out, Info{
+			VKey:   e.vk,
+			Slot:   e.slot,
+			Pages:  e.pages,
+			Ranges: append([]Range(nil), e.ranges...),
+			Pinned: pinned[e.vk],
+		})
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"vessel/internal/smas"
 	"vessel/internal/uproc"
 	ivessel "vessel/internal/vessel"
+	"vessel/internal/vpkey"
 )
 
 // This file is the mechanism-level public API: boot a simulated machine
@@ -31,6 +32,18 @@ type Program = smas.Program
 // cost model uses DefaultCosts.
 func NewManager(cores int, costs *CostModel) (*Manager, error) {
 	inner, err := ivessel.NewManager(cores, costs)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{inner: inner}, nil
+}
+
+// NewManagerVirtual boots a scheduling domain with libmpk-style
+// virtualized protection keys: uProcess density is no longer capped by
+// the 13 hardware app keys — virtual keys are multiplexed onto the slots
+// with LRU eviction and lazy re-tagging (DESIGN.md §14).
+func NewManagerVirtual(cores int, costs *CostModel) (*Manager, error) {
+	inner, err := ivessel.NewManagerVirtual(cores, costs)
 	if err != nil {
 		return nil, err
 	}
@@ -68,10 +81,20 @@ func (m *Manager) Stats(core int) (parks, preemptions uint64) {
 	return m.inner.Domain.CoreStats(core)
 }
 
-// KeysAvailable returns how many protection keys remain free in the
-// domain's SMAS — the architectural launch budget (§4.1). Unreaped
+// KeysAvailable returns the domain's remaining uProcess launch budget:
+// free protection keys in the SMAS — the architectural limit (§4.1) —
+// or effectively unbounded headroom when keys are virtualized. Unreaped
 // zombies still hold theirs.
-func (m *Manager) KeysAvailable() int { return m.inner.Domain.S.Keys.Available() }
+func (m *Manager) KeysAvailable() int { return m.inner.KeysAvailable() }
+
+// SMAS exposes the domain's shared memory address space — the surface the
+// conformance oracles (phantom-key and virtual-key lifecycle audits)
+// inspect.
+func (m *Manager) SMAS() *smas.SMAS { return m.inner.Domain.S }
+
+// VPkey returns the domain's virtual protection-key table, or nil when
+// keys are not virtualized.
+func (m *Manager) VPkey() *vpkey.Table { return m.inner.Domain.S.VKeys }
 
 // CyclesNs returns the virtual nanoseconds core has executed.
 func (m *Manager) CyclesNs(core int) float64 {
