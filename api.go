@@ -8,6 +8,7 @@ import (
 	"vessel/internal/faultinject"
 	"vessel/internal/harness"
 	"vessel/internal/obs"
+	"vessel/internal/obs/journey"
 	"vessel/internal/sched"
 	"vessel/internal/sched/arachne"
 	"vessel/internal/sched/caladan"
@@ -54,11 +55,20 @@ type (
 	// cycle attribution, metrics registry); set Config.Obs to one built
 	// with NewObserver, or attach it to a Manager with AttachObs.
 	Observer = obs.Observer
+	// JourneyTracer is the request-journey tracing layer (causal span
+	// trees, critical-path attribution, flight recorder, SLO monitor);
+	// set Config.Journey to one built with NewJourneyTracer, or attach
+	// it to a Manager with AttachJourney.
+	JourneyTracer = journey.Tracer
 )
 
 // NewObserver returns an enabled observability layer whose per-core span
 // rings hold perCore spans each (≤ 0 selects the default capacity).
 func NewObserver(perCore int) *Observer { return obs.New(perCore) }
+
+// NewJourneyTracer returns an enabled request-journey tracer with
+// default configuration (flight recorder on, SLO monitor off).
+func NewJourneyTracer() *JourneyTracer { return journey.New() }
 
 // Virtual-time units.
 const (

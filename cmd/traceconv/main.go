@@ -1,66 +1,91 @@
-// Command traceconv converts the plain-text span timelines written by the
-// observability layer (-trace on vesselsim, experiments, or chaosbench)
-// into downstream formats, and validates Chrome trace documents.
+// Command traceconv converts the plain-text interchange files written by
+// the observability layer — span timelines (-trace on vesselsim,
+// experiments, or chaosbench) and request-journey exports (-journey on
+// vesselsim) — into downstream formats, and validates trace documents.
 //
 // Usage:
 //
 //	traceconv -in run.obs -format chrome    [-out trace.json]
 //	traceconv -in run.obs -format collapsed [-out stacks.txt]
 //	traceconv -in run.obs -format gantt [-from us] [-to us] [-width N]
+//	traceconv -in run.journey -format chrome|collapsed|text
 //	traceconv -validate trace.json
+//	traceconv -validate run.obs
+//	traceconv -validate run.journey
 //
-// chrome output opens in chrome://tracing or Perfetto; collapsed output
-// feeds flamegraph.pl-style tooling; gantt renders an ASCII per-core
-// timeline directly to the terminal.
+// The input kind is detected from the header line ("# vessel-obs-timeline
+// v1" vs "# vessel-journey v1"; Chrome JSON for -validate). chrome output
+// opens in chrome://tracing or Perfetto (journey inputs add flow arrows
+// for the follows-from edges); collapsed output feeds flamegraph.pl-style
+// tooling; gantt renders an ASCII per-core timeline directly to the
+// terminal. -validate always reports the overwritten count of text
+// inputs, so a truncated export is visible instead of silently partial.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"vessel/internal/obs"
+	"vessel/internal/obs/journey"
 	"vessel/internal/sim"
 )
 
 var (
-	in       = flag.String("in", "", "input span timeline (written by -trace)")
-	format   = flag.String("format", "chrome", "output format: chrome, collapsed or gantt")
+	in       = flag.String("in", "", "input interchange file (obs timeline or journey export)")
+	format   = flag.String("format", "chrome", "output format: chrome, collapsed, gantt (obs) or text (journey)")
 	out      = flag.String("out", "", "output file (default stdout)")
 	fromUs   = flag.Int64("from", 0, "gantt window start in microseconds (0 = full range)")
 	toUs     = flag.Int64("to", 0, "gantt window end in microseconds (0 = full range)")
 	width    = flag.Int("width", 100, "gantt columns")
-	validate = flag.String("validate", "", "validate a Chrome trace JSON file and exit")
+	validate = flag.String("validate", "", "validate a Chrome trace JSON or text interchange file and exit")
 )
+
+// sniff reads enough of the file to classify it, then returns a reader
+// positioned at the start.
+func sniff(path string) (kind string, r io.ReadCloser, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", nil, err
+	}
+	br := bufio.NewReader(f)
+	head, _ := br.Peek(64)
+	line := string(head)
+	if i := strings.IndexByte(line, '\n'); i >= 0 {
+		line = line[:i]
+	}
+	switch {
+	case strings.HasPrefix(strings.TrimSpace(line), "{"):
+		kind = "chrome"
+	case strings.TrimSpace(line) == journey.Header:
+		kind = "journey"
+	default:
+		kind = "obs" // obs.ReadTextMeta enforces its own header
+	}
+	return kind, struct {
+		io.Reader
+		io.Closer
+	}{br, f}, nil
+}
 
 func main() {
 	flag.Parse()
 
 	if *validate != "" {
-		f, err := os.Open(*validate)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := obs.ValidateChromeTrace(f); err != nil {
-			fatal(fmt.Errorf("%s: %w", *validate, err))
-		}
-		fmt.Printf("%s: valid chrome trace\n", *validate)
+		runValidate(*validate)
 		return
 	}
 
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required (or use -validate FILE)"))
 	}
-	f, err := os.Open(*in)
+	kind, f, err := sniff(*in)
 	if err != nil {
 		fatal(err)
-	}
-	spans, err := obs.ReadText(f)
-	f.Close()
-	if err != nil {
-		fatal(fmt.Errorf("%s: %w", *in, err))
 	}
 
 	w := io.Writer(os.Stdout)
@@ -73,23 +98,92 @@ func main() {
 		w = of
 	}
 
-	switch *format {
-	case "chrome":
-		err = obs.WriteChromeTrace(w, spans)
-	case "collapsed":
-		_, err = io.WriteString(w, obs.FromSpans(spans).Collapsed())
-	case "gantt":
-		from := sim.Time(*fromUs * int64(sim.Microsecond))
-		to := sim.Time(*toUs * int64(sim.Microsecond))
-		err = obs.WriteGantt(w, spans, from, to, *width)
+	switch kind {
+	case "journey":
+		recs, overwritten, err := journey.ReadText(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *in, err))
+		}
+		switch *format {
+		case "chrome":
+			err = journey.WriteChromeTrace(w, recs)
+		case "collapsed":
+			err = journey.WriteCollapsed(w, recs)
+		case "text":
+			err = journey.WriteText(w, recs, overwritten)
+		default:
+			err = fmt.Errorf("unknown journey format %q (want chrome, collapsed or text)", *format)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			fmt.Printf("%s: wrote %s (%d journeys, flight-overwritten %d)\n",
+				*format, *out, len(recs), overwritten)
+		}
 	default:
-		err = fmt.Errorf("unknown format %q (want chrome, collapsed or gantt)", *format)
+		spans, overwritten, err := obs.ReadTextMeta(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *in, err))
+		}
+		switch *format {
+		case "chrome":
+			err = obs.WriteChromeTrace(w, spans)
+		case "collapsed":
+			_, err = io.WriteString(w, obs.FromSpans(spans).Collapsed())
+		case "gantt":
+			from := sim.Time(*fromUs * int64(sim.Microsecond))
+			to := sim.Time(*toUs * int64(sim.Microsecond))
+			err = obs.WriteGantt(w, spans, from, to, *width)
+		default:
+			err = fmt.Errorf("unknown format %q (want chrome, collapsed or gantt)", *format)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			fmt.Printf("%s: wrote %s (%d spans, overwritten %d)\n", *format, *out, len(spans), overwritten)
+		}
 	}
+}
+
+// runValidate checks a file of any supported kind and prints what it
+// holds — including the overwritten counts of text interchange forms, so
+// ring-truncated traces announce themselves.
+func runValidate(path string) {
+	kind, f, err := sniff(path)
 	if err != nil {
 		fatal(err)
 	}
-	if *out != "" {
-		fmt.Printf("%s: wrote %s (%d spans)\n", *format, *out, len(spans))
+	defer f.Close()
+	switch kind {
+	case "chrome":
+		if err := obs.ValidateChromeTrace(f); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		fmt.Printf("%s: valid chrome trace\n", path)
+	case "journey":
+		recs, overwritten, err := journey.ReadText(f)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		finished, nodes := 0, 0
+		for _, r := range recs {
+			if r.Finished {
+				finished++
+			}
+			nodes += len(r.Nodes)
+		}
+		fmt.Printf("%s: valid journey export (%d journeys, %d finished, %d nodes, flight-overwritten %d)\n",
+			path, len(recs), finished, nodes, overwritten)
+	default:
+		spans, overwritten, err := obs.ReadTextMeta(f)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		fmt.Printf("%s: valid obs timeline (%d spans, overwritten %d)\n", path, len(spans), overwritten)
 	}
 }
 

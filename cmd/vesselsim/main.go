@@ -32,6 +32,8 @@ func main() {
 	timeline := flag.Bool("timeline", false, "render Figure 7-style core timelines of a 100µs window")
 	chromeOut := flag.String("chrometrace", "", "write a chrome://tracing JSON of the run to this file")
 	traceOut := flag.String("trace", "", "write the observability span timeline to this file (convert with traceconv)")
+	journeyOut := flag.String("journey", "", "write the request-journey export to this file (convert with traceconv) and print the critical-path breakdown")
+	flightOut := flag.String("flightdump", "", "with -journey: snapshot the flight recorder at run end and write the black-box dump to this file")
 	profile := flag.Bool("profile", false, "print the cycle-attribution profile after the run")
 	flag.Parse()
 
@@ -78,6 +80,11 @@ func main() {
 	if *traceOut != "" || *profile {
 		o = vessel.NewObserver(0)
 		cfg.Obs = o
+	}
+	var tr *vessel.JourneyTracer
+	if *journeyOut != "" {
+		tr = vessel.NewJourneyTracer()
+		cfg.Journey = tr
 	}
 	res, err := s.Run(cfg)
 	if err != nil {
@@ -131,6 +138,23 @@ func main() {
 		}
 		fmt.Fprintf(w, "\nspan timeline written to %s (%d spans, %d overwritten; convert with traceconv)\n",
 			*traceOut, o.SpanCount(), o.Overwritten())
+	}
+	if *journeyOut != "" {
+		if err := writeTo(*journeyOut, tr.WriteText); err != nil {
+			cliflags.Fail("vesselsim", err)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, tr.Analyze())
+		fmt.Fprintf(w, "journey export written to %s (%d journeys, flight-overwritten %d; convert with traceconv)\n",
+			*journeyOut, len(tr.Records()), tr.Flight().Overwritten())
+		if *flightOut != "" {
+			d := tr.Dump(vessel.Time(cfg.Warmup+cfg.Duration), "vesselsim.end")
+			if err := os.WriteFile(*flightOut, []byte(d.Text()), 0o644); err != nil {
+				cliflags.Fail("vesselsim", err)
+			}
+			fmt.Fprintf(w, "flight-recorder dump written to %s (%d events, %d overwritten)\n",
+				*flightOut, len(d.Events), d.Overwritten)
+		}
 	}
 	if err := closeOut(); err != nil {
 		cliflags.Fail("vesselsim", err)

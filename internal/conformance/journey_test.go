@@ -1,0 +1,182 @@
+package conformance
+
+import (
+	"bytes"
+	"testing"
+
+	"vessel/internal/obs/journey"
+	"vessel/internal/sched"
+)
+
+// journeyConfig builds a run config with a fresh journey tracer attached.
+func journeyConfig(seed uint64) (sched.Config, *journey.Tracer) {
+	cfg := baseScenario(seed).Config()
+	tr := journey.New()
+	cfg.Journey = tr
+	return cfg, tr
+}
+
+// TestJourneyConservationAllSchedulers is the journey conservation oracle
+// end to end: for every scheduler, every finished journey's segment
+// decomposition must sum exactly to its sojourn, with a well-formed span
+// tree.
+func TestJourneyConservationAllSchedulers(t *testing.T) {
+	for _, s := range Systems() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			cfg, tr := journeyConfig(7)
+			res, err := s.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vs := CheckJourney(s.Name(), tr, res); len(vs) > 0 {
+				for _, v := range vs {
+					t.Error(v)
+				}
+			}
+			a := tr.Analyze()
+			if a.Finished == 0 {
+				t.Fatal("run finished no journeys")
+			}
+			// The decomposition must attribute both queueing and running
+			// time: a run where one is identically zero means a seam
+			// transition never fired.
+			if a.Seg[journey.SegQueue].Count == 0 || a.Seg[journey.SegRun].Count == 0 {
+				t.Errorf("degenerate decomposition: queue n=%d run n=%d",
+					a.Seg[journey.SegQueue].Count, a.Seg[journey.SegRun].Count)
+			}
+		})
+	}
+}
+
+// TestJourneyConservationSweep runs the oracle over a seed sweep of
+// generated scenarios on every scheduler — the acceptance gate CI runs.
+func TestJourneyConservationSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is the CI journey job; -short skips it")
+	}
+	for seed := uint64(1); seed <= 6; seed++ {
+		sc := Generate(seed, true)
+		for _, s := range Systems() {
+			cfg := sc.Config()
+			tr := journey.New()
+			cfg.Journey = tr
+			res, err := sched.Run(s, cfg)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, s.Name(), err)
+			}
+			if vs := CheckJourney(s.Name(), tr, res); len(vs) > 0 {
+				for _, v := range vs {
+					t.Errorf("seed %d: %s", seed, v)
+				}
+			}
+		}
+	}
+}
+
+// TestJourneyCanonicalDifferential pins the observe-don't-perturb
+// contract: a run's canonical bytes are identical with journey tracing on
+// or off, for every scheduler — tracing may never move a timestamp, a
+// dispatch decision, or an RNG draw.
+func TestJourneyCanonicalDifferential(t *testing.T) {
+	for _, s := range Systems() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				off := baseScenario(seed).Config()
+				resOff, err := s.Run(off)
+				if err != nil {
+					t.Fatal(err)
+				}
+				on, tr := journeyConfig(seed)
+				resOn, err := s.Run(on)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(resOff.Canonical(), resOn.Canonical()) {
+					t.Fatalf("seed %d: canonical bytes differ with journey tracing on\n--- off\n%s--- on\n%s",
+						seed, resOff.Canonical(), resOn.Canonical())
+				}
+				if tr.Minted() == 0 {
+					t.Fatalf("seed %d: tracer minted nothing", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestJourneyDeterministicExport: two same-seed runs produce
+// byte-identical journey text exports, Chrome traces, and collapsed
+// stacks.
+func TestJourneyDeterministicExport(t *testing.T) {
+	for _, s := range Systems() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			render := func() (string, string, string) {
+				cfg, tr := journeyConfig(11)
+				if _, err := s.Run(cfg); err != nil {
+					t.Fatal(err)
+				}
+				var text, chrome, coll bytes.Buffer
+				if err := tr.WriteText(&text); err != nil {
+					t.Fatal(err)
+				}
+				if err := tr.WriteChromeTrace(&chrome); err != nil {
+					t.Fatal(err)
+				}
+				if err := tr.WriteCollapsed(&coll); err != nil {
+					t.Fatal(err)
+				}
+				return text.String(), chrome.String(), coll.String()
+			}
+			t1, c1, f1 := render()
+			t2, c2, f2 := render()
+			if t1 != t2 {
+				t.Error("journey text export differs across same-seed runs")
+			}
+			if c1 != c2 {
+				t.Error("journey Chrome trace differs across same-seed runs")
+			}
+			if f1 != f2 {
+				t.Error("journey collapsed stacks differ across same-seed runs")
+			}
+			if t1 == "" || c1 == "" || f1 == "" {
+				t.Error("empty export")
+			}
+		})
+	}
+}
+
+// TestJourneyOracleCatchesTamper plants a broken journey and proves the
+// oracle fires — the oracle-of-the-oracle check every conformance oracle
+// in this package carries.
+func TestJourneyOracleCatchesTamper(t *testing.T) {
+	cfg, tr := journeyConfig(3)
+	s := Systems()[0]
+	res, err := s.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := tr.Journeys()
+	var tampered *journey.Journey
+	for _, j := range js {
+		if j.Finished() {
+			tampered = j
+			break
+		}
+	}
+	if tampered == nil {
+		t.Fatal("no finished journey to tamper with")
+	}
+	tampered.Segs[journey.SegQueue] += 1
+	vs := CheckJourney(s.Name(), tr, res)
+	found := false
+	for _, v := range vs {
+		if v.Oracle == "journey-conservation" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("oracle missed the tampered journey; violations: %v", vs)
+	}
+}

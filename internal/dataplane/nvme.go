@@ -51,6 +51,13 @@ type NVMe struct {
 	WriteLat sim.Duration // media latency for writes
 	PerCmd   sim.Duration // serialisation: 1/IOPS capacity
 
+	// OnSubmit, when set, observes every accepted command at submit time.
+	// OnComplete observes each completion with its submit and completion
+	// instants — the dataplane seam request-journey tracing hooks into.
+	// Both default nil; cancelled in-flight commands never complete.
+	OnSubmit   func(c Cmd, at sim.Time)
+	OnComplete func(tag uint64, submitted, completed sim.Time)
+
 	qdMax    int
 	inflight int
 	busyTill sim.Time
@@ -125,11 +132,17 @@ func (d *NVMe) Submit(c Cmd) error {
 	done := d.busyTill.Add(media)
 	tag := c.Tag
 	sub := c.Submitted
+	if d.OnSubmit != nil {
+		d.OnSubmit(c, now)
+	}
 	d.pending.Add(d.eng.At(done, func() {
 		d.inflight--
 		d.Completed++
 		d.latSum += d.eng.Now().Sub(sub)
 		d.CQ.Push(Packet{Arrive: d.eng.Now(), Payload: tag})
+		if d.OnComplete != nil {
+			d.OnComplete(tag, sub, d.eng.Now())
+		}
 	}))
 	return nil
 }

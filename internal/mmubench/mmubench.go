@@ -152,3 +152,48 @@ func BenchReadBytes4KSlow(b *testing.B) {
 		}
 	}
 }
+
+// MachineCores sizes the whole-machine IPS benchmark; cmd/mmubench uses
+// it to turn ns/op into instructions per wall-second.
+const MachineCores = 8
+
+// BenchMachineIPS measures whole-machine simulated instruction
+// throughput: MachineCores cores share one text+data address space (each
+// with a private stack page) and each steps b.N instructions of the
+// standard inner-loop mix, so one op is one instruction on every core.
+// Whole-machine IPS is MachineCores × 1e9 / (ns/op) — the figure of
+// merit for "how much simulated machine one wall-second buys", tracked
+// as a soft regression gate in BENCH_mmu.json.
+func BenchMachineIPS(b *testing.B) {
+	m := cpu.NewMachine(MachineCores, cpu.Default())
+	as := mem.NewAddressSpace(m.Phys)
+	if err := as.MapRange(textBase, mem.PageSize, mem.PermXOnly, 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := as.MapRange(dataBase, 4*mem.PageSize, mem.PermRW, 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := as.MapRange(stackBase, MachineCores*mem.PageSize, mem.PermRW, 0); err != nil {
+		b.Fatal(err)
+	}
+	stepProgram(b, m, as)
+	for i := 0; i < MachineCores; i++ {
+		c := m.Core(i)
+		c.AS = as
+		c.PKRU = mpk.AllowAllValue
+		c.PC = textBase
+		c.Regs[cpu.RSP] = cpu.Word(stackBase) + cpu.Word((i+1)*mem.PageSize)
+		c.Run(64) // warm each core's icache and TLB
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < MachineCores; i++ {
+		m.Core(i).Run(b.N)
+	}
+	b.StopTimer()
+	for i := 0; i < MachineCores; i++ {
+		if f := m.Core(i).Fault; f != nil {
+			b.Fatalf("core %d: %v", i, f)
+		}
+	}
+}

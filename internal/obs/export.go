@@ -33,44 +33,59 @@ func (o *Observer) WriteText(w io.Writer) error {
 
 // ReadText decodes a timeline produced by WriteText.
 func ReadText(r io.Reader) ([]Span, error) {
+	spans, _, err := ReadTextMeta(r)
+	return spans, err
+}
+
+// ReadTextMeta decodes a timeline produced by WriteText and additionally
+// returns the overwritten-span count from the "# spans N overwritten M"
+// note, so consumers (cmd/traceconv -validate) can report a truncated
+// timeline instead of treating it as complete.
+func ReadTextMeta(r io.Reader) ([]Span, uint64, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	var spans []Span
+	var overwritten uint64
 	line := 0
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
 		if line == 1 {
 			if text != timelineHeader {
-				return nil, fmt.Errorf("obs: not a timeline (missing %q header)", timelineHeader)
+				return nil, 0, fmt.Errorf("obs: not a timeline (missing %q header)", timelineHeader)
 			}
 			continue
 		}
 		if text == "" || strings.HasPrefix(text, "#") {
+			if f := strings.Fields(text); len(f) == 5 && f[1] == "spans" && f[3] == "overwritten" {
+				if n, err := strconv.ParseUint(f[4], 10, 64); err == nil {
+					overwritten = n
+				}
+			}
 			continue
 		}
 		f := strings.Fields(text)
 		if len(f) != 6 || f[0] != "span" {
-			return nil, fmt.Errorf("obs: line %d: want \"span core start end cat name\", got %q", line, text)
+			return nil, 0, fmt.Errorf("obs: line %d: want \"span core start end cat name\", got %q", line, text)
 		}
 		core, err := strconv.Atoi(f[1])
 		if err != nil {
-			return nil, fmt.Errorf("obs: line %d: bad core: %v", line, err)
+			return nil, 0, fmt.Errorf("obs: line %d: bad core: %v", line, err)
 		}
 		start, err := strconv.ParseInt(f[2], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("obs: line %d: bad start: %v", line, err)
+			return nil, 0, fmt.Errorf("obs: line %d: bad start: %v", line, err)
 		}
 		end, err := strconv.ParseInt(f[3], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("obs: line %d: bad end: %v", line, err)
+			return nil, 0, fmt.Errorf("obs: line %d: bad end: %v", line, err)
 		}
 		if end < start {
-			return nil, fmt.Errorf("obs: line %d: end %d before start %d", line, end, start)
+			return nil, 0, fmt.Errorf("obs: line %d: end %d before start %d", line, end, start)
 		}
 		cat, err := ParseCategory(f[4])
 		if err != nil {
-			return nil, fmt.Errorf("obs: line %d: %v", line, err)
+			return nil, 0, fmt.Errorf("obs: line %d: %v", line, err)
 		}
 		name := f[5]
 		if name == "-" {
@@ -79,12 +94,12 @@ func ReadText(r io.Reader) ([]Span, error) {
 		spans = append(spans, Span{Core: core, Start: sim.Time(start), End: sim.Time(end), Cat: cat, Name: name})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if line == 0 {
-		return nil, fmt.Errorf("obs: empty timeline")
+		return nil, 0, fmt.Errorf("obs: empty timeline")
 	}
-	return spans, nil
+	return spans, overwritten, nil
 }
 
 // chromeEvent is one Chrome trace-event. All events are "complete" ("X")

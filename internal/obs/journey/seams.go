@@ -1,0 +1,41 @@
+package journey
+
+import (
+	"fmt"
+
+	"vessel/internal/dataplane"
+	"vessel/internal/sim"
+)
+
+// TraceNVMe chains journey tracing onto a device's submit→completion
+// seam: every accepted command mints a device-command journey (name
+// "<name>.<op>") that lives entirely in SegData and finishes when the
+// completion posts to the CQ. Existing hooks are preserved, matching
+// the chaining discipline of uproc.AttachObs. Commands cancelled by
+// CancelInflight never complete; their journeys stay unfinished — the
+// analyzer reports them, the conservation oracle skips them.
+func TraceNVMe(t *Tracer, d *dataplane.NVMe, name string) {
+	if t == nil || d == nil {
+		return
+	}
+	inflight := make(map[uint64]*Journey)
+	prevSubmit, prevComplete := d.OnSubmit, d.OnComplete
+	d.OnSubmit = func(c dataplane.Cmd, at sim.Time) {
+		if prevSubmit != nil {
+			prevSubmit(c, at)
+		}
+		j := t.Mint(fmt.Sprintf("%s.%s", name, c.Op), at)
+		j.To(SegData, at)
+		j.Annotate(fmt.Sprintf("submit lba=%d tag=%d", c.LBA, c.Tag), at)
+		inflight[c.Tag] = j
+	}
+	d.OnComplete = func(tag uint64, submitted, completed sim.Time) {
+		if prevComplete != nil {
+			prevComplete(tag, submitted, completed)
+		}
+		if j, ok := inflight[tag]; ok {
+			delete(inflight, tag)
+			j.Finish(completed)
+		}
+	}
+}

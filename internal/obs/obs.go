@@ -227,11 +227,17 @@ func (o *Observer) coreRing(core int) *ring {
 	return o.rings[core]
 }
 
-// Span records one closed interval. Negative-length spans are ignored;
-// zero-length spans are kept as instant markers.
+// Span records one closed interval. Negative-length spans (fault-rewind
+// callers) are clamped to instant markers at start and counted under
+// obs.charge.clamped rather than corrupting the timeline; zero-length
+// spans are kept as instant markers.
 func (o *Observer) Span(core int, start, end sim.Time, cat Category, name string) {
-	if o == nil || end < start {
+	if o == nil {
 		return
+	}
+	if end < start {
+		end = start
+		o.reg.Inc("obs.charge.clamped")
 	}
 	o.coreRing(core).add(Span{Core: core, Start: start, End: end, Cat: cat, Name: name})
 }
@@ -277,9 +283,15 @@ func (o *Observer) End(core int, at sim.Time) {
 
 // Charge adds d to the profiler bucket (core, name, cat). The scheduling
 // accountant calls this with window-clipped durations so the profile obeys
-// the conservation law; overlay spans are recorded but never charged.
+// the conservation law; overlay spans are recorded but never charged. A
+// negative charge (fault-rewind callers) is clamped to zero — counted
+// under obs.charge.clamped instead of corrupting the conservation totals.
 func (o *Observer) Charge(core int, name string, cat Category, d sim.Duration) {
-	if o == nil || d <= 0 {
+	if o == nil || d == 0 {
+		return
+	}
+	if d < 0 {
+		o.reg.Inc("obs.charge.clamped")
 		return
 	}
 	o.prof.charge(core, name, cat, d)

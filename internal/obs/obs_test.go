@@ -74,10 +74,10 @@ func TestSpanRecordingAndCanonicalOrder(t *testing.T) {
 	if spans[0].Start != 10 || spans[1].Core != 0 || spans[2].Core != 1 || spans[3].Core != 2 {
 		t.Fatalf("order wrong: %+v", spans)
 	}
-	// Negative-length spans are dropped; zero-length kept.
+	// Negative-length spans are clamped to instant markers, not dropped.
 	o.Span(0, 30, 20, CatApp, "neg")
-	if o.SpanCount() != 4 {
-		t.Fatal("negative span retained")
+	if o.SpanCount() != 5 {
+		t.Fatal("negative span not retained as a clamped marker")
 	}
 }
 
@@ -302,5 +302,56 @@ func TestBenchReportJSON(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("bench json missing %s:\n%s", want, out)
 		}
+	}
+}
+
+// TestSpanClampNegative pins the negative-span guard: a span whose end
+// precedes its start (a fault-rewind caller) is clamped to an instant
+// marker at start and counted under obs.charge.clamped, while legitimate
+// zero-length instant markers pass through uncounted.
+func TestSpanClampNegative(t *testing.T) {
+	o := New(8)
+	o.Span(0, 100, 40, CatApp, "rewind")
+	spans := o.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if s := spans[0]; s.Start != 100 || s.End != 100 {
+		t.Fatalf("clamped span = [%d,%d], want instant marker at 100", s.Start, s.End)
+	}
+	if got := o.Reg().Counter("obs.charge.clamped"); got != 1 {
+		t.Fatalf("obs.charge.clamped = %d after negative span, want 1", got)
+	}
+	o.Span(0, 200, 200, CatApp, "marker") // zero-length: legal, not clamped
+	if got := o.Reg().Counter("obs.charge.clamped"); got != 1 {
+		t.Fatalf("obs.charge.clamped = %d after instant marker, want still 1", got)
+	}
+	if n := o.SpanCount(); n != 2 {
+		t.Fatalf("span count = %d, want 2", n)
+	}
+}
+
+// TestChargeClampNegative pins the profiler-side guard: a negative charge
+// is dropped (counted, never subtracted), a zero charge is a silent no-op,
+// and positive charges accumulate normally afterwards.
+func TestChargeClampNegative(t *testing.T) {
+	o := New(8)
+	o.Charge(0, "x", CatApp, -5)
+	if d := o.Profile().Get(0, "x", CatApp); d != 0 {
+		t.Fatalf("negative charge leaked %d into the profile", d)
+	}
+	if got := o.Reg().Counter("obs.charge.clamped"); got != 1 {
+		t.Fatalf("obs.charge.clamped = %d after negative charge, want 1", got)
+	}
+	o.Charge(0, "x", CatApp, 0) // zero: neither charged nor clamped
+	if got := o.Reg().Counter("obs.charge.clamped"); got != 1 {
+		t.Fatalf("obs.charge.clamped = %d after zero charge, want still 1", got)
+	}
+	o.Charge(0, "x", CatApp, 7)
+	if d := o.Profile().Get(0, "x", CatApp); d != 7 {
+		t.Fatalf("profile bucket = %d after valid charge, want 7", d)
+	}
+	if got := o.Reg().Counter("obs.charge.clamped"); got != 1 {
+		t.Fatalf("obs.charge.clamped = %d at end, want 1", got)
 	}
 }

@@ -45,6 +45,24 @@ func (r *Registry) Counter(name string) uint64 {
 	return r.counters.Get(name)
 }
 
+// Hist returns the named histogram's live handle, creating it on first
+// use — the hot-path form of Observe: resolve the name once at setup,
+// then Record on the handle without a per-sample lock and map lookup.
+func (r *Registry) Hist(name string) *stats.Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = stats.NewHistogram()
+		r.hists[name] = h
+		r.histName = append(r.histName, name)
+	}
+	return h
+}
+
 // Observe records one sample into the named histogram, creating it on first
 // use.
 func (r *Registry) Observe(name string, v int64) {

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"vessel/internal/obs"
+	"vessel/internal/obs/journey"
 	"vessel/internal/sim"
 	"vessel/internal/trace"
 )
@@ -63,6 +64,10 @@ type Accountant struct {
 	Breakdown CycleBreakdown
 	Trace     *trace.Recorder
 	Obs       *obs.Observer
+	// Journey, when set, receives every switch accrual as a flight-
+	// recorder event — the scheduler wakeup→run edges of the causal
+	// chain, visible in black-box postmortems.
+	Journey *journey.Tracer
 }
 
 // AccrueCore is Accrue plus timeline recording for the given core.
@@ -78,6 +83,9 @@ func (a *Accountant) AccrueCore(core int, act Activity, t0, t1 sim.Time, label s
 		cat := CatOf(act)
 		a.Obs.Span(core, t0, t1, cat, label)
 		a.Obs.Charge(core, label, cat, a.Clip(t0, t1))
+	}
+	if a.Journey != nil && act == ActSwitch {
+		a.Journey.Event(t0, "sched.switch", label)
 	}
 }
 

@@ -18,6 +18,7 @@ package arachne
 import (
 	"math"
 
+	"vessel/internal/obs/journey"
 	"vessel/internal/sched"
 	"vessel/internal/sim"
 	"vessel/internal/stats"
@@ -92,7 +93,7 @@ func (s Simulator) Run(cfg sched.Config) (sched.Result, error) {
 		lWork:  make(map[*workload.App]sim.Duration),
 	}
 	r.endAt = sim.Time(cfg.Warmup + cfg.Duration)
-	r.acct = sched.Accountant{From: sim.Time(cfg.Warmup), To: r.endAt, Trace: cfg.Trace, Obs: cfg.Obs}
+	r.acct = sched.Accountant{From: sim.Time(cfg.Warmup), To: r.endAt, Trace: cfg.Trace, Obs: cfg.Obs, Journey: cfg.Journey}
 	for i := 0; i < cfg.Cores; i++ {
 		r.cores = append(r.cores, &core{id: i, act: sched.ActIdle})
 	}
@@ -106,6 +107,7 @@ func (s Simulator) Run(cfg sched.Config) (sched.Result, error) {
 	for _, l := range r.ls {
 		ls := l
 		if err := ls.app.GenerateArrivals(r.eng, r.rng.Fork(uint64(len(ls.app.Name))+41), r.endAt, func(req *workload.Request) {
+			req.J = cfg.Journey.Mint(ls.app.Name, req.Arrive)
 			r.pumpDispatcher(ls)
 		}); err != nil {
 			return sched.Result{}, err
@@ -144,8 +146,13 @@ func (r *run) pumpDispatcher(l *lState) {
 	}
 	l.dispatchBusy = true
 	req := l.app.Dequeue()
+	// The serial dispatcher's user-thread creation gates the request.
+	req.J.To(journey.SegGate, r.eng.Now())
 	r.eng.After(dispatchCost, func() {
 		l.dispatchBusy = false
+		// Dispatched: the request now waits in the ready queue for a
+		// granted worker core.
+		req.J.To(journey.SegQueue, r.eng.Now())
 		l.readyQ = append(l.readyQ, req)
 		r.feedWorkers(l)
 		r.pumpDispatcher(l)
@@ -170,12 +177,14 @@ func (r *run) feedWorkers(l *lState) {
 func (r *run) serve(c *core, l *lState, req *workload.Request) {
 	now := r.eng.Now()
 	req.Start = now
+	req.J.To(journey.SegRun, now)
 	c.busy = true
 	r.setAct(c, sched.ActApp)
 	dur := workerPickup + sim.Duration(float64(req.Service)*r.bw.Inflation())
 	l.busyNs += dur
 	r.eng.After(dur, func() {
 		req.Done = r.eng.Now()
+		req.J.Finish(req.Done)
 		l.app.Complete(req, sim.Time(r.cfg.Warmup))
 		r.lWork[l.app] += r.acct.Clip(now, r.eng.Now())
 		c.busy = false

@@ -18,6 +18,7 @@
 package caladan
 
 import (
+	"vessel/internal/obs/journey"
 	"vessel/internal/sched"
 	"vessel/internal/sim"
 	"vessel/internal/stats"
@@ -84,6 +85,10 @@ type core struct {
 	grantedAt sim.Time
 	pollEnd   sim.Event
 	bStart    sim.Time
+	// grantD remembers the kernel cost of the grant that just handed
+	// this core over, so the first request served afterwards can
+	// attribute that crossing to its journey's gate segment.
+	grantD sim.Duration
 }
 
 type run struct {
@@ -127,7 +132,7 @@ func (s Simulator) Run(cfg sched.Config) (sched.Result, error) {
 		lWork:  make(map[*workload.App]sim.Duration),
 	}
 	r.endAt = sim.Time(cfg.Warmup + cfg.Duration)
-	r.acct = sched.Accountant{From: sim.Time(cfg.Warmup), To: r.endAt, Trace: cfg.Trace, Obs: cfg.Obs}
+	r.acct = sched.Accountant{From: sim.Time(cfg.Warmup), To: r.endAt, Trace: cfg.Trace, Obs: cfg.Obs, Journey: cfg.Journey}
 	if cfg.BWTargetFrac > 0 {
 		r.bwCap = cfg.BWTargetFrac * cfg.Costs.MemBWTotal
 	}
@@ -149,12 +154,16 @@ func (s Simulator) Run(cfg sched.Config) (sched.Result, error) {
 	for _, a := range r.lApps {
 		app := a
 		if err := app.GenerateArrivals(r.eng, r.rng.Fork(uint64(len(app.Name))+13), r.endAt, func(req *workload.Request) {
+			req.J = cfg.Journey.Mint(app.Name, req.Arrive)
 			if ctrl <= 0 {
 				r.onArrival(app)
 				return
 			}
 			stolen := app.StealNewest()
 			now := r.eng.Now()
+			// The packet is inside the IOKernel until the control-plane
+			// server forwards it: dataplane time on the journey.
+			req.J.To(journey.SegData, now)
 			start := now
 			if ctrlFree > start {
 				start = ctrlFree
@@ -165,6 +174,7 @@ func (s Simulator) Run(cfg sched.Config) (sched.Result, error) {
 				if stolen != nil {
 					app.Requeue(stolen)
 				}
+				req.J.To(journey.SegQueue, r.eng.Now())
 				r.onArrival(app)
 			})
 		}); err != nil {
@@ -214,16 +224,26 @@ func (r *run) onArrival(app *workload.App) {
 func (r *run) serveL(c *core, app *workload.App) {
 	req := app.Dequeue()
 	if req == nil {
+		c.grantD = 0
 		r.startPolling(c, app)
 		return
 	}
 	now := r.eng.Now()
 	req.Start = now
+	if c.grantD > 0 {
+		// The kernel crossing that granted this core gated the request's
+		// dispatch: attribute it retroactively (the clamp keeps the
+		// identity exact if the request arrived mid-grant).
+		req.J.To(journey.SegGate, now.Add(-c.grantD))
+		c.grantD = 0
+	}
+	req.J.To(journey.SegRun, now)
 	c.mode = modeServeL
 	r.setAct(c, sched.ActApp)
 	dur := sim.Duration(float64(req.Service)*r.bw.Inflation()) + r.bw.StallNoise(r.rng)
 	r.eng.After(dur, func() {
 		req.Done = r.eng.Now()
+		req.J.Finish(req.Done)
 		app.Complete(req, sim.Time(r.cfg.Warmup))
 		r.lWork[app] += r.acct.Clip(now, r.eng.Now())
 		if r.eng.Now() >= r.endAt {
@@ -461,6 +481,7 @@ func (r *run) transition(c *core, app *workload.App, cost sim.Duration) {
 		if r.eng.Now() >= r.endAt {
 			return
 		}
+		c.grantD = cost
 		r.serveL(c, app)
 	})
 }

@@ -19,6 +19,7 @@ package cfs
 
 import (
 	"vessel/internal/kernel"
+	"vessel/internal/obs/journey"
 	"vessel/internal/sched"
 	"vessel/internal/sim"
 	"vessel/internal/stats"
@@ -67,6 +68,10 @@ type core struct {
 	// processing has not run yet; rxFlush is the pending softirq event.
 	pendingRx []*workload.Request
 	rxFlush   sim.Event
+	// viaSwitch marks a dispatch reached through the kernel context
+	// switch, so the switched-in request's journey can attribute the
+	// crossing to its gate segment.
+	viaSwitch bool
 }
 
 type run struct {
@@ -114,7 +119,7 @@ func (s Simulator) Run(cfg sched.Config) (sched.Result, error) {
 	}
 	r.k = kernel.New(r.eng, cfg.Costs)
 	r.endAt = sim.Time(cfg.Warmup + cfg.Duration)
-	r.acct = sched.Accountant{From: sim.Time(cfg.Warmup), To: r.endAt, Trace: cfg.Trace, Obs: cfg.Obs}
+	r.acct = sched.Accountant{From: sim.Time(cfg.Warmup), To: r.endAt, Trace: cfg.Trace, Obs: cfg.Obs, Journey: cfg.Journey}
 	for i := 0; i < cfg.Cores; i++ {
 		r.cores = append(r.cores, &core{id: i, rq: kernel.NewRunqueue(), act: sched.ActIdle})
 	}
@@ -146,6 +151,7 @@ func (s Simulator) Run(cfg sched.Config) (sched.Result, error) {
 		}
 		app := a
 		if err := app.GenerateArrivals(r.eng, r.rng.Fork(uint64(len(app.Name))+29), r.endAt, func(req *workload.Request) {
+			req.J = cfg.Journey.Mint(app.Name, req.Arrive)
 			r.onArrival(app)
 		}); err != nil {
 			return sched.Result{}, err
@@ -186,6 +192,9 @@ func (r *run) onArrival(app *workload.App) {
 	if req == nil {
 		return
 	}
+	// The packet sits in the receive ring until softirq processing runs:
+	// dataplane time on the journey.
+	req.J.To(journey.SegData, r.eng.Now())
 	home.pendingRx = append(home.pendingRx, req)
 	if home.rxFlush.Pending() {
 		return // this core's softirq is already scheduled; batch behind it
@@ -206,6 +215,7 @@ func (r *run) flushRx(c *core) {
 	c.rxFlush = sim.Event{}
 	apps := make([]*workload.App, 0, 2)
 	for _, req := range c.pendingRx {
+		req.J.To(journey.SegQueue, r.eng.Now())
 		req.App.Requeue(req)
 		seen := false
 		for _, a := range apps {
@@ -291,6 +301,8 @@ func (r *run) stopCurrent(c *core, blocked bool) {
 			done = cur.remaining
 		}
 		cur.remaining -= done
+		// The preempted request waits on the runqueue with its thread.
+		cur.req.J.To(journey.SegQueue, now)
 	}
 	if blocked {
 		c.rq.Retire()
@@ -319,12 +331,17 @@ func (r *run) schedule(c *core) {
 	r.switches++
 	r.setAct(c, sched.ActKernel)
 	c.cur = th
-	r.eng.After(r.cfg.Costs.CFSSwitchCost, func() { r.dispatch(c, th) })
+	r.eng.After(r.cfg.Costs.CFSSwitchCost, func() {
+		c.viaSwitch = true
+		r.dispatch(c, th)
+	})
 }
 
 // dispatch starts the picked thread's run.
 func (r *run) dispatch(c *core, th *thread) {
 	now := r.eng.Now()
+	viaSwitch := c.viaSwitch
+	c.viaSwitch = false
 	if c.cur != th {
 		return
 	}
@@ -356,6 +373,13 @@ func (r *run) dispatch(c *core, th *thread) {
 		th.req = req
 		th.remaining = req.Service
 	}
+	if viaSwitch {
+		// The kernel context switch gated this request's (re)dispatch:
+		// attribute it retroactively (clamped if the request arrived or
+		// was queued mid-switch).
+		th.req.J.To(journey.SegGate, now.Add(-r.cfg.Costs.CFSSwitchCost))
+	}
+	th.req.J.To(journey.SegRun, now)
 	r.setAct(c, sched.ActApp)
 	dur := sim.Duration(float64(th.remaining)*r.bw.Inflation()) + r.bw.StallNoise(r.rng)
 	slice := c.rq.Timeslice()
@@ -378,6 +402,7 @@ func (r *run) completeRequest(c *core, th *thread) {
 	now := r.eng.Now()
 	req := th.req
 	req.Done = now
+	req.J.Finish(now)
 	th.app.Complete(req, sim.Time(r.cfg.Warmup))
 	r.lWork[th.app] += r.acct.Clip(c.curSince, now)
 	th.req = nil

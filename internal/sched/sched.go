@@ -14,6 +14,7 @@ import (
 
 	"vessel/internal/cpu"
 	"vessel/internal/obs"
+	"vessel/internal/obs/journey"
 	"vessel/internal/sim"
 	"vessel/internal/stats"
 	"vessel/internal/trace"
@@ -40,6 +41,11 @@ type Config struct {
 	// span timelines, cycle-attribution profiling, and the metrics
 	// registry (internal/obs). Nil means fully disabled.
 	Obs *obs.Observer
+	// Journey, when non-nil, enables request-journey tracing
+	// (internal/obs/journey): every request is minted a trace context
+	// whose critical-path segments sum exactly to its sojourn. Nil means
+	// fully disabled; canonical run bytes are identical either way.
+	Journey *journey.Tracer
 }
 
 // Validate checks a config and fills defaults.

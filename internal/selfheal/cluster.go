@@ -8,6 +8,7 @@ import (
 	"vessel/internal/faultinject"
 	"vessel/internal/mpk"
 	"vessel/internal/obs"
+	"vessel/internal/obs/journey"
 	"vessel/internal/sim"
 	"vessel/internal/smas"
 	"vessel/internal/stats"
@@ -51,6 +52,12 @@ type Config struct {
 	// with libmpk-style virtualized protection keys, lifting the 13-key
 	// density cap (DESIGN.md §14).
 	VirtualKeys bool
+	// SLOMaxViolationFrac, when positive and a journey tracer is
+	// attached, is the largest acceptable fraction of SLO-violating
+	// request journeys; exceeding it at the end of a run is a reported
+	// violation — the SLO health signal feeding recovery alongside the
+	// phi-accrual detector (DESIGN.md §15). Zero disables the check.
+	SLOMaxViolationFrac float64
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +127,7 @@ type Cluster struct {
 	events  *trace.EventLog
 	det     *Detector
 	obs     *obs.Observer
+	journey *journey.Tracer
 	domains []*domainState
 	mttr    *stats.Histogram
 	// Counters tallies recovery actions in deterministic order.
@@ -186,6 +194,21 @@ func (c *Cluster) Failsafe(domain int) *Failsafe { return c.domains[domain].fail
 // (fence/recover/failsafe spans, MTTR observations). Cores are numbered
 // globally: domain*CoresPerDomain+core.
 func (c *Cluster) AttachObs(o *obs.Observer) { c.obs = o }
+
+// AttachJourney installs request-journey tracing on every domain (and
+// every restart incarnation): seam events land in the shared flight
+// recorder, and recovery actions — watchdog kills, failsafe swaps,
+// domain restarts — snapshot it into black-box dumps carried by the
+// report. Nil is a no-op.
+func (c *Cluster) AttachJourney(t *journey.Tracer) {
+	if t == nil {
+		return
+	}
+	c.journey = t
+	for _, d := range c.domains {
+		d.mg.AttachJourney(t)
+	}
+}
 
 // AddWorker supervises a workload on a domain: build constructs its
 // program against whichever manager incarnation is current, so the worker
@@ -443,6 +466,10 @@ func (c *Cluster) react(now sim.Time) error {
 			if c.obs != nil {
 				c.obs.Span(c.globalCore(d, 0), now, now, obs.CatFailsafe, reason)
 			}
+			if c.journey != nil {
+				c.journey.Event(now, "heal.failsafe", fmt.Sprintf("domain=%d reason=%s", d.id, reason))
+				c.journey.Dump(now, fmt.Sprintf("heal.failsafe.domain%d", d.id))
+			}
 		}
 	}
 	return nil
@@ -498,6 +525,9 @@ func (c *Cluster) restartDomain(d *domainState, now sim.Time) error {
 	if c.cfg.WatchdogSoft > 0 || c.cfg.WatchdogHard > 0 {
 		fresh.EnableWatchdog(c.cfg.WatchdogSoft, c.cfg.WatchdogHard)
 	}
+	if c.journey != nil {
+		fresh.AttachJourney(c.journey)
+	}
 	d.mg = fresh
 	baseKeys := fresh.Domain.S.Keys.Available()
 	for i := range d.workers {
@@ -547,6 +577,10 @@ func (c *Cluster) restartDomain(d *domainState, now sim.Time) error {
 	c.mttr.Record(int64(mttr))
 	c.Counters.Inc("selfheal.domain.restart")
 	c.event(now, "heal.restart", fmt.Sprintf("domain=%d n=%d cancelled=%d discarded=%d mttr=%v", d.id, d.restarts, cancelled, discarded, mttr))
+	if c.journey != nil {
+		c.journey.Event(now, "heal.restart", fmt.Sprintf("domain=%d n=%d mttr=%v", d.id, d.restarts, mttr))
+		c.journey.Dump(now, fmt.Sprintf("heal.restart.domain%d", d.id))
+	}
 	if c.obs != nil {
 		c.obs.Span(c.globalCore(d, 0), downAt, now, obs.CatRecover, fmt.Sprintf("domain=%d", d.id))
 		c.obs.Reg().Observe("selfheal.mttr_ns", int64(mttr))
@@ -593,6 +627,14 @@ func (c *Cluster) finalChecks() {
 			}
 		}
 	}
+	// SLO health: the journey tracer's windowed violation fraction is a
+	// first-class recovery signal — too many tail-violating requests is a
+	// breach even when every core kept beating.
+	if c.journey != nil && c.cfg.SLOMaxViolationFrac > 0 {
+		if frac := c.journey.ViolationFrac(); frac > c.cfg.SLOMaxViolationFrac {
+			c.violate(now, "SLO violation fraction %.4f exceeds budget %.4f", frac, c.cfg.SLOMaxViolationFrac)
+		}
+	}
 }
 
 // Report is the outcome of a Run, with a canonical byte rendering as the
@@ -614,6 +656,12 @@ type Report struct {
 	Violations []string
 	Counters   *stats.Counters
 	Events     *trace.EventLog
+	// FlightDumps are the journey flight-recorder snapshots captured at
+	// recovery moments (uProcess kills, failsafe swaps, domain
+	// restarts); empty without an attached tracer. SLOGood/SLOBad are
+	// the tracer's SLO tallies over finished request journeys.
+	FlightDumps     []journey.Dump
+	SLOGood, SLOBad uint64
 }
 
 func (c *Cluster) report() *Report {
@@ -623,6 +671,7 @@ func (c *Cluster) report() *Report {
 			dead++
 		}
 	}
+	good, bad := c.journey.SLOCounts()
 	return &Report{
 		Rounds:              c.rounds,
 		Fences:              int(c.Counters.Get("selfheal.fence")),
@@ -636,6 +685,9 @@ func (c *Cluster) report() *Report {
 		Violations:          append([]string(nil), c.violations...),
 		Counters:            c.Counters,
 		Events:              c.events,
+		FlightDumps:         c.journey.Dumps(),
+		SLOGood:             good,
+		SLOBad:              bad,
 	}
 }
 
@@ -653,5 +705,15 @@ func (r *Report) Canonical() []byte {
 	b.WriteString(r.Counters.String())
 	fmt.Fprintf(&b, "events (overwritten=%d):\n", r.Events.Overwritten())
 	b.WriteString(r.Events.String())
+	// Journey sections render only when a tracer produced data, so the
+	// canonical bytes of tracer-less runs are unchanged.
+	if r.SLOGood+r.SLOBad > 0 {
+		fmt.Fprintf(&b, "slo: good=%d bad=%d frac=%.4f\n",
+			r.SLOGood, r.SLOBad, float64(r.SLOBad)/float64(r.SLOGood+r.SLOBad))
+	}
+	for i, d := range r.FlightDumps {
+		fmt.Fprintf(&b, "flight-dump %d:\n", i)
+		b.WriteString(d.Text())
+	}
 	return b.Bytes()
 }

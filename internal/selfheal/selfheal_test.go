@@ -9,6 +9,7 @@ import (
 	"vessel/internal/cpu"
 	"vessel/internal/faultinject"
 	"vessel/internal/mem"
+	"vessel/internal/obs/journey"
 	"vessel/internal/sim"
 	"vessel/internal/smas"
 	"vessel/internal/vessel"
@@ -459,5 +460,92 @@ func TestClusterAllFiveClassesRecover(t *testing.T) {
 				t.Fatalf("worker %s did not survive\n%s", w, rep.Canonical())
 			}
 		}
+	}
+}
+
+// TestClusterChaosFlightRecorderEndToEnd drives the full black-box loop:
+// a journey tracer rides along a chaos run whose faults force both a
+// failsafe swap and a whole-domain restart, and every recovery action
+// must leave a flight-recorder dump in the report — reason named after
+// the action, seam events captured, the bounded window's scroll-outs
+// counted. The same plan replayed against a fresh tracer must render
+// byte-identical canonical output, dumps included: the postmortem
+// artifact is as deterministic as the run it witnesses.
+func TestClusterChaosFlightRecorderEndToEnd(t *testing.T) {
+	run := func() (*Report, *journey.Tracer) {
+		c, err := New(Config{
+			Domains:        2,
+			CoresPerDomain: 2,
+			WatchdogSoft:   20_000,
+			WatchdogHard:   60_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := journey.NewTracer(journey.Config{
+			SLOTarget: 30 * sim.Microsecond,
+			SLOWindow: 50 * sim.Microsecond,
+		})
+		c.AttachJourney(tr)
+		addParkWorkers(t, c, 0, 2, 1)
+		addParkWorkers(t, c, 1, 2, 1)
+		c.InjectFaults(0, faultinject.Plan{Seed: 3, Faults: []faultinject.Fault{
+			{Kind: faultinject.PolicyPanic, At: sim.Time(10 * sim.Microsecond)},
+			{Kind: faultinject.DomainCrash, At: sim.Time(50 * sim.Microsecond)},
+		}})
+		c.InjectFaults(1, faultinject.Plan{Seed: 4, Faults: []faultinject.Fault{
+			{Kind: faultinject.UintrStorm, At: sim.Time(10 * sim.Microsecond), Delay: 40 * sim.Microsecond},
+		}})
+		rep, err := c.Run(600_000, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, tr
+	}
+
+	rep, tr := run()
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v\n%s", rep.Violations, rep.Canonical())
+	}
+	if rep.PolicySwaps == 0 || rep.DomainRestarts == 0 {
+		t.Fatalf("chaos plan did not exercise both recovery paths: swaps=%d restarts=%d\n%s",
+			rep.PolicySwaps, rep.DomainRestarts, rep.Canonical())
+	}
+	// One dump per recovery action, named after it, with the seam events
+	// leading up to the action inside.
+	byReason := map[string]journey.Dump{}
+	for _, d := range rep.FlightDumps {
+		byReason[d.Reason] = d
+		if len(d.Events) == 0 {
+			t.Fatalf("dump %q captured no events", d.Reason)
+		}
+	}
+	if _, ok := byReason["heal.failsafe.domain0"]; !ok {
+		t.Fatalf("no flight dump for the failsafe swap; got %d dumps", len(rep.FlightDumps))
+	}
+	restart, ok := byReason["heal.restart.domain0"]
+	if !ok {
+		t.Fatalf("no flight dump for the domain restart; got %d dumps", len(rep.FlightDumps))
+	}
+	// By restart time the run has logged more seam events (gate invokes,
+	// SENDUIPI dispositions) than the bounded window holds: the black box
+	// keeps the most recent ones and counts what scrolled out.
+	if restart.Overwritten == 0 {
+		t.Fatalf("restart dump should have scrolled the bounded window (events=%d)", len(restart.Events))
+	}
+	if tr.Flight().Overwritten() == 0 {
+		t.Fatal("live flight recorder reports no overwrites")
+	}
+	// The dumps render inside the canonical report bytes.
+	canon := rep.Canonical()
+	for _, want := range []string{"flight-dump 0:", "# vessel-flight-dump v1", "reason heal.restart.domain0", "gate.invoke"} {
+		if !bytes.Contains(canon, []byte(want)) {
+			t.Fatalf("canonical report missing %q:\n%s", want, canon)
+		}
+	}
+	// Replay determinism, postmortem included.
+	rep2, _ := run()
+	if !bytes.Equal(canon, rep2.Canonical()) {
+		t.Fatalf("identical chaos runs rendered different reports:\n--- a ---\n%s\n--- b ---\n%s", canon, rep2.Canonical())
 	}
 }

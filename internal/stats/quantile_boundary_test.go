@@ -1,0 +1,31 @@
+package stats
+
+import "testing"
+
+// TestQuantileEmptyHistogram pins the empty-histogram boundary: with no
+// recordings, Quantile returns 0 for every q — including the q<=0 and q>=1
+// branches that normally return the exact min and max — rather than the
+// sentinel min/max initialisers. SLO and critical-path reports divide by
+// and print these values, so the empty case must be a clean zero.
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 0.999, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if h.Count() != 0 {
+		t.Fatalf("empty Count = %d", h.Count())
+	}
+
+	h.Record(42)
+	if got := h.Quantile(0.5); got != 42 {
+		t.Fatalf("Quantile(0.5) after one recording = %d, want 42", got)
+	}
+	h.Reset()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("post-Reset Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+}

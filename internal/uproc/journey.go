@@ -1,0 +1,78 @@
+package uproc
+
+import (
+	"fmt"
+
+	"vessel/internal/callgate"
+	"vessel/internal/cpu"
+	"vessel/internal/obs/journey"
+	"vessel/internal/uintr"
+)
+
+// AttachJourney installs request-journey tracing across the domain's
+// layer-1 crossing seams: every call-gate body invocation and every
+// SENDUIPI disposition lands in the tracer's flight recorder, and each
+// deferred-delivery window (a receiver descheduled or suppressed at
+// SENDUIPI time, conventionally UITT index i → core i) becomes its own
+// journey living in the uintr segment from the first deferred post
+// until the receiver reattaches and its PIR flushes. The hooks chain
+// with anything already installed (AttachObs and the fault injector use
+// the same discipline). Attaching a nil tracer is a no-op.
+func (d *Domain) AttachJourney(t *journey.Tracer) {
+	if t == nil {
+		return
+	}
+	d.Journey = t
+
+	// Gate crossings: the callgate.OnInvoke seam.
+	prevInvoke := d.RT.OnInvoke
+	d.RT.OnInvoke = func(c *cpu.Core, fid callgate.FuncID, name string) {
+		t.Event(d.coreTime(c), "gate.invoke", name)
+		if prevInvoke != nil {
+			prevInvoke(c, fid, name)
+		}
+	}
+
+	// SENDUIPI dispositions, with one open deferred-window journey per
+	// receiver; repeated deferred posts fold into it (the PIR bitmap
+	// semantics AttachObs's windows share).
+	windows := make(map[int]*journey.Journey)
+	prevSend := d.Sched.OnSend
+	d.Sched.OnSend = func(idx int, vector uint8, out uintr.Outcome) {
+		var at = d.Eng.Now()
+		if idx >= 0 && idx < d.Machine.NumCores() {
+			at = d.coreTime(d.Machine.Core(idx))
+		}
+		t.Event(at, "uintr.send", fmt.Sprintf("idx=%d vec=%d out=%s", idx, vector, out))
+		if (out == uintr.Deferred || out == uintr.Suppressed) &&
+			idx >= 0 && idx < d.Machine.NumCores() {
+			if windows[idx] == nil {
+				j := t.Mint(fmt.Sprintf("uintr.core%d", idx), at)
+				j.To(journey.SegUintr, at)
+				windows[idx] = j
+			}
+		}
+		if prevSend != nil {
+			prevSend(idx, vector, out)
+		}
+	}
+	for i := range d.cores {
+		i := i
+		r := d.cores[i].receiver
+		if r == nil {
+			continue
+		}
+		prevFlush := r.OnFlush
+		r.OnFlush = func(flushed uint64) {
+			at := d.coreTime(d.Machine.Core(i))
+			t.Event(at, "uintr.flush", fmt.Sprintf("idx=%d vectors=%d", i, flushed))
+			if j := windows[i]; j != nil {
+				delete(windows, i)
+				j.Finish(at)
+			}
+			if prevFlush != nil {
+				prevFlush(flushed)
+			}
+		}
+	}
+}

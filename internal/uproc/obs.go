@@ -143,9 +143,15 @@ func (d *Domain) AttachObs(o *obs.Observer) {
 // obsKill records a watchdog or containment kill as an instant marker and a
 // registry counter ("uproc.kill.watchdog" / "uproc.kill.fault").
 func (d *Domain) obsKill(c *cpu.Core, kind, uprocName string) {
-	if d.Obs == nil {
-		return
+	if d.Obs != nil {
+		d.obsMark(c, obs.CatWatchdog, kind+":"+uprocName)
+		d.Obs.Reg().Inc("uproc.kill." + kind)
 	}
-	d.obsMark(c, obs.CatWatchdog, kind+":"+uprocName)
-	d.Obs.Reg().Inc("uproc.kill." + kind)
+	// A kill is a black-box moment: snapshot the journey flight recorder
+	// so the postmortem carries the events leading up to it.
+	if d.Journey != nil {
+		at := d.coreTime(c)
+		d.Journey.Event(at, "uproc.kill", kind+":"+uprocName)
+		d.Journey.Dump(at, "uproc.kill."+kind+":"+uprocName)
+	}
 }

@@ -21,6 +21,7 @@ import (
 	"vessel/internal/mem"
 	"vessel/internal/mpk"
 	"vessel/internal/obs"
+	"vessel/internal/obs/journey"
 	"vessel/internal/sim"
 	"vessel/internal/smas"
 	"vessel/internal/trace"
@@ -184,6 +185,11 @@ type Domain struct {
 	// AttachObs so the layer-1 hooks (WRPKRU, gate bodies, UINTR
 	// dispositions, pkey lifecycle) are wired too.
 	Obs *obs.Observer
+	// Journey, when non-nil, is the request-journey tracer; install it
+	// with AttachJourney so the crossing seams (gate invokes, SENDUIPI
+	// dispositions with deferred-delivery windows, kills) feed the
+	// flight recorder and deferred-window journeys.
+	Journey *journey.Tracer
 
 	cores      []*coreState
 	uprocs     []*UProc

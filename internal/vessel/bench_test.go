@@ -1,20 +1,24 @@
 package vessel
 
 import (
+	"runtime"
+	"runtime/debug"
 	"testing"
+	"time"
 
 	"vessel/internal/cpu"
 	"vessel/internal/obs"
+	"vessel/internal/obs/journey"
 	"vessel/internal/sched"
 	"vessel/internal/sim"
 	"vessel/internal/workload"
 )
 
 // benchRun executes one full colocation run, optionally with the
-// observability layer attached. makeObs returns nil for the disabled
-// path — the guard we care about: obs off must cost within noise of
-// the pre-obs simulator.
-func benchRun(b *testing.B, makeObs func() *obs.Observer) {
+// observability layers attached. mutate adjusts the baseline config (nil
+// Obs, nil Journey) for the variant under test — the guard we care about:
+// everything off must cost within noise of the pre-obs simulator.
+func benchRun(b *testing.B, mutate func(cfg *sched.Config)) {
 	b.Helper()
 	var totalReqs uint64
 	for i := 0; i < b.N; i++ {
@@ -26,7 +30,9 @@ func benchRun(b *testing.B, makeObs func() *obs.Observer) {
 			Warmup:   2 * sim.Millisecond,
 			Apps:     []*workload.App{mc, workload.Linpack()},
 			Costs:    cpu.Default(),
-			Obs:      makeObs(),
+		}
+		if mutate != nil {
+			mutate(&cfg)
 		}
 		res, err := Simulator{}.Run(cfg)
 		if err != nil {
@@ -44,7 +50,7 @@ func benchRun(b *testing.B, makeObs func() *obs.Observer) {
 // default configuration and the baseline for the <2% overhead guard
 // (see DESIGN.md §10).
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	benchRun(b, func() *obs.Observer { return nil })
+	benchRun(b, nil)
 }
 
 // BenchmarkSimulatorThroughputObs is the same run with span timelines,
@@ -52,5 +58,70 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // Compare against BenchmarkSimulatorThroughput to measure the cost of
 // turning observability on.
 func BenchmarkSimulatorThroughputObs(b *testing.B) {
-	benchRun(b, func() *obs.Observer { return obs.New(0) })
+	benchRun(b, func(cfg *sched.Config) { cfg.Obs = obs.New(0) })
+}
+
+// BenchmarkSimulatorThroughputJourney adds request-journey tracing on top
+// of the observability layer: every request mints a span tree and the
+// flight recorder runs at its default capacity. Compare against
+// BenchmarkSimulatorThroughputObs for the absolute cost; the CI journey
+// job gates the paired ratio below (see DESIGN.md §15).
+func BenchmarkSimulatorThroughputJourney(b *testing.B) {
+	benchRun(b, func(cfg *sched.Config) {
+		cfg.Obs = obs.New(0)
+		cfg.Journey = journey.New()
+	})
+}
+
+// BenchmarkJourneyOverheadPaired measures the journey-on cost as a ratio,
+// not a pair of absolute numbers: every iteration runs the same seeded
+// colocation twice — obs-only and obs+journey, alternating which goes
+// first — and accumulates wall time per variant. Because both runs in a
+// pair see near-identical machine state (frequency scaling, cache
+// residency, co-tenant load), the reported overhead-pct is stable where
+// comparing two separately-run benchmarks is not. The CI journey job
+// takes the minimum across repetitions as a regression tripwire — see
+// DESIGN.md §15 for the measured numbers and the gate's rationale.
+func BenchmarkJourneyOverheadPaired(b *testing.B) {
+	// GC pacing is pinned for the duration: each timed region runs with
+	// the collector off and the previous run's garbage is collected at
+	// the untimed barrier below. Allocation cost stays in the measurement;
+	// collector scheduling noise (which swamps a 5% signal) does not.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var tObs, tJourney time.Duration
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 2; k++ {
+			mc := workload.NewLApp("memcached", workload.Memcached(), 4e6)
+			cfg := sched.Config{
+				Seed:     uint64(i + 1),
+				Cores:    8,
+				Duration: 10 * sim.Millisecond,
+				Warmup:   2 * sim.Millisecond,
+				Apps:     []*workload.App{mc, workload.Linpack()},
+				Costs:    cpu.Default(),
+				Obs:      obs.New(0),
+			}
+			withJourney := (i+k)%2 == 1
+			if withJourney {
+				cfg.Journey = journey.New()
+			}
+			// Each timed run starts from a freshly-collected heap so one
+			// variant's garbage cannot tax the other's timed region.
+			runtime.GC()
+			start := time.Now()
+			if _, err := (Simulator{}).Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+			d := time.Since(start)
+			if withJourney {
+				tJourney += d
+			} else {
+				tObs += d
+			}
+		}
+	}
+	b.ReportMetric((tJourney.Seconds()/tObs.Seconds()-1)*100, "overhead-pct")
+	b.ReportMetric(tObs.Seconds()*1000/float64(b.N), "obs-ms")
+	b.ReportMetric(tJourney.Seconds()*1000/float64(b.N), "journey-ms")
+	b.ReportMetric(0, "ns/op") // wall time is split across variants; ns/op is not meaningful here
 }

@@ -6,6 +6,7 @@ import (
 	"vessel/internal/cpu"
 	"vessel/internal/faultinject"
 	"vessel/internal/obs"
+	"vessel/internal/obs/journey"
 	"vessel/internal/sim"
 	"vessel/internal/smas"
 	"vessel/internal/trace"
@@ -45,6 +46,11 @@ func NewManager(cores int, costs *cpu.CostModel) (*Manager, error) {
 // (WRPKRU, gates, UINTR, pkeys, kills) and enables the manager's own
 // restart spans. Nil is a no-op.
 func (mg *Manager) AttachObs(o *obs.Observer) { mg.Domain.AttachObs(o) }
+
+// AttachJourney installs request-journey tracing across the manager's
+// domain seams (gates, UINTR dispositions and deferred windows, kill
+// dumps). Nil is a no-op.
+func (mg *Manager) AttachJourney(t *journey.Tracer) { mg.Domain.AttachJourney(t) }
 
 // Launch creates a uProcess from a program (fork of the hosting kProcess,
 // SMAS attach, load with code inspection) and pins its main thread to the

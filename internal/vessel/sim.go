@@ -18,6 +18,7 @@ package vessel
 
 import (
 	"vessel/internal/obs"
+	"vessel/internal/obs/journey"
 	"vessel/internal/sched"
 	"vessel/internal/sim"
 	"vessel/internal/stats"
@@ -91,7 +92,7 @@ func (Simulator) Run(cfg sched.Config) (sched.Result, error) {
 		reacting: make(map[*workload.App]bool),
 	}
 	r.endAt = sim.Time(cfg.Warmup + cfg.Duration)
-	r.acct = sched.Accountant{From: sim.Time(cfg.Warmup), To: r.endAt, Trace: cfg.Trace, Obs: cfg.Obs}
+	r.acct = sched.Accountant{From: sim.Time(cfg.Warmup), To: r.endAt, Trace: cfg.Trace, Obs: cfg.Obs, Journey: cfg.Journey}
 	if cfg.BWTargetFrac > 0 {
 		r.bwCap = cfg.BWTargetFrac * cfg.Costs.MemBWTotal
 	}
@@ -122,6 +123,10 @@ func (Simulator) Run(cfg sched.Config) (sched.Result, error) {
 	for _, a := range r.lApps {
 		app := a
 		if err := app.GenerateArrivals(r.eng, r.rng.Fork(uint64(len(app.Name))+7), r.endAt, func(req *workload.Request) {
+			// Mint the request's journey at arrival; the control-plane
+			// dispatch delay below counts as queueing (the request is
+			// waiting for the scheduler to learn about it).
+			req.J = cfg.Journey.Mint(app.Name, req.Arrive)
 			if ctrl <= 0 {
 				r.onArrival(app)
 				return
@@ -238,6 +243,15 @@ func (r *vesselRun) armReaction(app *workload.App) {
 					}
 				}
 			}
+			if preempted && len(app.Queue) > 0 {
+				// The head request's dispatch was gated on the user
+				// interrupt that just landed: split the last UintrDeliver
+				// of its wait retroactively into a uintr segment (the
+				// clamp keeps conservation exact if it arrived mid-flight).
+				j := app.Queue[0].J
+				j.To(journey.SegUintr, now.Add(-cm.UintrDeliver))
+				j.To(journey.SegQueue, now)
+			}
 		}
 		// Keep watching until the queue drains: more BE cores may need
 		// preempting, or a natural completion may clear it.
@@ -332,6 +346,7 @@ func (r *vesselRun) serveNext(c *coreState) {
 			if len(app.Queue) > 0 && app.Priority == bestPrio {
 				req := app.Dequeue()
 				// Switching threads costs one park-path gate trip.
+				req.J.To(journey.SegGate, now)
 				cm := r.cfg.Costs
 				c.busy = true
 				r.setAct(c, sched.ActSwitch)
@@ -373,6 +388,7 @@ func (r *vesselRun) startRequest(c *coreState, app *workload.App, req *workload.
 	c.curReq = req
 	c.reqFrom = now
 	c.reqInflat = r.bw.Inflation()
+	req.J.To(journey.SegRun, now)
 	r.setAct(c, sched.ActApp)
 	dur := sim.Duration(float64(req.Remaining)*c.reqInflat) + r.bw.StallNoise(r.rng)
 	c.reqEv = r.eng.After(dur, func() {
@@ -380,6 +396,7 @@ func (r *vesselRun) startRequest(c *coreState, app *workload.App, req *workload.
 		c.curReq = nil
 		req.Remaining = 0
 		req.Done = r.eng.Now()
+		req.J.Finish(req.Done)
 		app.Complete(req, sim.Time(r.cfg.Warmup))
 		r.lWork[app] += r.acct.Clip(now, r.eng.Now())
 		c.busy = false
@@ -406,6 +423,7 @@ func (r *vesselRun) preemptL(c *coreState) {
 	}
 	req.Remaining -= served
 	req.App.RequeueFront(req)
+	req.J.To(journey.SegQueue, now)
 	c.runningL = nil
 	r.preempts++
 	c.busy = true

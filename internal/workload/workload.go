@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"vessel/internal/obs/journey"
 	"vessel/internal/sim"
 	"vessel/internal/stats"
 )
@@ -121,6 +122,10 @@ type Request struct {
 	Remaining sim.Duration
 	Start     sim.Time
 	Done      sim.Time
+	// J is the request's journey trace context (nil when journey
+	// tracing is off; every journey method is nil-safe, so schedulers
+	// propagate it without guarding).
+	J *journey.Journey
 }
 
 // Sojourn returns the request's total latency.
