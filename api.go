@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"vessel/internal/clustersched"
 	"vessel/internal/cpu"
 	"vessel/internal/faultinject"
 	"vessel/internal/harness"
@@ -60,6 +61,9 @@ type (
 	// set Config.Journey to one built with NewJourneyTracer, or attach
 	// it to a Manager with AttachJourney.
 	JourneyTracer = journey.Tracer
+	// JourneyConfig configures a tracer built with NewJourneyTracerWith:
+	// SLO target, 1-in-N request sampling, flight-recorder capacity.
+	JourneyConfig = journey.Config
 )
 
 // NewObserver returns an enabled observability layer whose per-core span
@@ -69,6 +73,11 @@ func NewObserver(perCore int) *Observer { return obs.New(perCore) }
 // NewJourneyTracer returns an enabled request-journey tracer with
 // default configuration (flight recorder on, SLO monitor off).
 func NewJourneyTracer() *JourneyTracer { return journey.New() }
+
+// NewJourneyTracerWith returns an enabled request-journey tracer with
+// explicit configuration — notably Config.SampleEvery for production-style
+// 1-in-N sampling, which bounds tracing overhead at high request rates.
+func NewJourneyTracerWith(cfg JourneyConfig) *JourneyTracer { return journey.NewTracer(cfg) }
 
 // Virtual-time units.
 const (
@@ -260,6 +269,11 @@ const (
 	FaultUintrStorm   = faultinject.UintrStorm
 	FaultPkeyLeak     = faultinject.PkeyLeak
 	FaultPkeyThrash   = faultinject.PkeyThrash
+	// FaultClusterPolicyPanic attacks the cluster-scope scheduling policy
+	// (the clustersched failsafe wrapper) the way FaultPolicyPanic attacks
+	// a per-domain policy: the next cluster decision panics (or, with
+	// Delay set, burns its cycle budget) and the failsafe swaps to static.
+	FaultClusterPolicyPanic = faultinject.ClusterPolicyPanic
 )
 
 // Scheduling-policy seam and self-healing types (see DESIGN.md
@@ -316,3 +330,34 @@ func NewFailsafePolicy(primary Policy, budgetCycles int64) *FailsafePolicy {
 func NewSelfHealCluster(cfg SelfHealConfig) (*SelfHealCluster, error) {
 	return selfheal.New(cfg)
 }
+
+// Two-level cluster scheduling types (DESIGN.md §16): the ghOSt-style
+// upper level proposing grant/revoke transactions over the NRK-style
+// lower level's core-upcall mechanism.
+type (
+	// ClusterPolicy decides grant/revoke transactions from a ledger view;
+	// implementations are fair-share, µs-latency, and static.
+	ClusterPolicy = clustersched.Policy
+	// ClusterPolicyView is the ledger snapshot a ClusterPolicy decides on.
+	ClusterPolicyView = clustersched.View
+	// ClusterTxn is one policy decision: moves committed in order.
+	ClusterTxn = clustersched.Txn
+	// ClusterFailsafe wraps a ClusterPolicy with panic recovery and a
+	// per-decision cycle budget, swapping one-way to static on violation.
+	ClusterFailsafe = clustersched.Failsafe
+	// ClusterPolicySwap records one policy change (hot swap or failsafe
+	// takeover).
+	ClusterPolicySwap = clustersched.PolicySwap
+	// ClusterSchedReport summarises a scheduled-cluster run; its
+	// Canonical() bytes are the determinism witness clusterbench gates on.
+	ClusterSchedReport = clustersched.Report
+	// ClusterOp is one committed grant/revoke ledger operation — the
+	// record the conformance oracle replays.
+	ClusterOp = clustersched.Op
+)
+
+// ClusterPolicyNames lists the cluster policies resolvable by name.
+func ClusterPolicyNames() []string { return clustersched.Names() }
+
+// NewClusterPolicy resolves a cluster policy by name.
+func NewClusterPolicy(name string) (ClusterPolicy, error) { return clustersched.NewNamed(name) }

@@ -173,8 +173,13 @@ func (c *Cluster) Destroy(name string) error {
 	// still holds.
 	delete(c.placement, name)
 	c.perDomain[i]--
-	for core := 0; core < m.NumCores(); core++ {
-		m.Step(core, 2000)
+	// Drain to event quiescence instead of a fixed per-core step budget:
+	// the old hardcoded Step(core, 2000) sweep under-ran long-gated
+	// programs (the kill had not landed, Reap reclaimed nothing) and
+	// over-ran idle ones. DrainZombies stops exactly when the termination
+	// has landed — or when nothing runs and no events are pending.
+	if _, err := m.DrainZombies(0); err != nil {
+		return err
 	}
 	if _, err := m.Reap(); err != nil {
 		return err
@@ -182,10 +187,15 @@ func (c *Cluster) Destroy(name string) error {
 	return nil
 }
 
-// Start begins execution on one core of every domain.
+// Start begins execution on one core of every occupied domain. Occupancy
+// is the manager's own count (launched plus unreaped uProcesses), not the
+// cluster's launch bookkeeping: a domain populated directly through its
+// manager — or still draining zombies — must be stepped even though
+// perDomain says zero, and a domain whose uProcesses were all destroyed
+// through the manager must not be.
 func (c *Cluster) Start(core int) error {
-	for i, m := range c.managers {
-		if c.perDomain[i] == 0 {
+	for _, m := range c.managers {
+		if m.Occupancy() == 0 {
 			continue
 		}
 		if err := m.Start(core); err != nil {
@@ -195,10 +205,11 @@ func (c *Cluster) Start(core int) error {
 	return nil
 }
 
-// Step runs up to n instructions on the given core of every active domain.
+// Step runs up to n instructions on the given core of every occupied
+// domain (occupancy per the manager, as in Start).
 func (c *Cluster) Step(core, n int) {
-	for i, m := range c.managers {
-		if c.perDomain[i] > 0 {
+	for _, m := range c.managers {
+		if m.Occupancy() > 0 {
 			m.Step(core, n)
 		}
 	}

@@ -191,3 +191,125 @@ func TestClusterLaunchSkipsFencedCores(t *testing.T) {
 		t.Fatal("launch on a cluster-wide fenced core succeeded")
 	}
 }
+
+// TestClusterLaunchDomainRefusalRetries: a domain that refuses a launch
+// for its own reasons (here a name collision from a direct manager
+// launch) is retried past, and the next domain takes the placement with
+// no bookkeeping recorded for the failed attempt.
+func TestClusterLaunchDomainRefusalRetries(t *testing.T) {
+	c, err := NewCluster(2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collide the name inside domain 0 behind the cluster's back.
+	m0 := c.Manager(0)
+	prog, err := buildParkLoop(m0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m0.Launch("app", prog, 0); err != nil {
+		t.Fatal(err)
+	}
+	u, err := c.Launch("app", buildParkLoop, 0)
+	if err != nil {
+		t.Fatalf("refusal did not spill to domain 1: %v", err)
+	}
+	if u == nil {
+		t.Fatal("no uProcess")
+	}
+	if d, ok := c.DomainOf("app"); !ok || d != 1 {
+		t.Fatalf("placed in domain %d, want 1", d)
+	}
+	// Domain 0's refusal left no cluster bookkeeping: its budget is the
+	// direct launch only, so 12 keys remain there and 12 in domain 1.
+	if got := c.Capacity(); got != 2*MaxUProcsPerDomain-2 {
+		t.Fatalf("capacity = %d, want %d", got, 2*MaxUProcsPerDomain-2)
+	}
+}
+
+// TestClusterLaunchBuildErrorNoBookkeeping: a build error is the caller's
+// bug, not a capacity signal — the launch fails immediately with nothing
+// recorded, and the name stays free.
+func TestClusterLaunchBuildErrorNoBookkeeping(t *testing.T) {
+	c, err := NewCluster(2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Capacity()
+	broken := func(m *Manager) (*Program, error) {
+		return nil, fmt.Errorf("bad program")
+	}
+	if _, err := c.Launch("app", broken, 0); err == nil {
+		t.Fatal("build error not surfaced")
+	}
+	if _, ok := c.DomainOf("app"); ok {
+		t.Fatal("failed launch left a placement record")
+	}
+	if got := c.Capacity(); got != before {
+		t.Fatalf("capacity changed across a failed build: %d -> %d", before, got)
+	}
+	// The name is immediately reusable with a working program.
+	if _, err := c.Launch("app", buildParkLoop, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterStepFollowsOccupancy pins the Start/Step liveness fix: a
+// domain populated directly through its manager must be started and
+// stepped even though the cluster's own launch count for it is zero.
+func TestClusterStepFollowsOccupancy(t *testing.T) {
+	c, err := NewCluster(2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := c.Manager(1)
+	prog, err := buildParkLoop(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Launch("direct", prog, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m1.Occupancy() != 1 || c.Manager(0).Occupancy() != 0 {
+		t.Fatalf("occupancy = %d/%d", c.Manager(0).Occupancy(), m1.Occupancy())
+	}
+	if err := c.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	c.Step(0, 20_000)
+	parks, _ := m1.Stats(0)
+	if parks == 0 {
+		t.Fatal("directly-launched uProcess never ran: Step skipped the occupied domain")
+	}
+}
+
+// TestClusterDestroyDrainsLongGatedProgram pins the quiescence-driven
+// drain: a program that runs thousands of instructions between gates
+// outruns the old fixed 2000-step sweep, but Destroy must still land the
+// kill and reap the region before returning.
+func TestClusterDestroyDrainsLongGatedProgram(t *testing.T) {
+	c, err := NewCluster(1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	longGated := func(m *Manager) (*Program, error) {
+		return m.NewProgram("long").Forever(func(b *ProgramBuilder) {
+			b.Repeat(5000, func(b *ProgramBuilder) { b.Compute(1) })
+			b.Park()
+		}).Build()
+	}
+	if _, err := c.Launch("long", longGated, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	c.Step(0, 100)
+	if err := c.Destroy("long"); err != nil {
+		t.Fatal(err)
+	}
+	// The kill landed and the region was reclaimed: full capacity is back.
+	if got := c.Capacity(); got != MaxUProcsPerDomain {
+		t.Fatalf("capacity = %d, want %d (zombie not reaped)", got, MaxUProcsPerDomain)
+	}
+}

@@ -33,6 +33,7 @@ func main() {
 	chromeOut := flag.String("chrometrace", "", "write a chrome://tracing JSON of the run to this file")
 	traceOut := flag.String("trace", "", "write the observability span timeline to this file (convert with traceconv)")
 	journeyOut := flag.String("journey", "", "write the request-journey export to this file (convert with traceconv) and print the critical-path breakdown")
+	journeySample := flag.Int("journeysample", 1, "with -journey: trace 1 in N requests (1 traces all; sampling bounds overhead at high load)")
 	flightOut := flag.String("flightdump", "", "with -journey: snapshot the flight recorder at run end and write the black-box dump to this file")
 	profile := flag.Bool("profile", false, "print the cycle-attribution profile after the run")
 	flag.Parse()
@@ -83,7 +84,7 @@ func main() {
 	}
 	var tr *vessel.JourneyTracer
 	if *journeyOut != "" {
-		tr = vessel.NewJourneyTracer()
+		tr = vessel.NewJourneyTracerWith(vessel.JourneyConfig{SampleEvery: *journeySample})
 		cfg.Journey = tr
 	}
 	res, err := s.Run(cfg)
@@ -147,6 +148,11 @@ func main() {
 		fmt.Fprint(w, tr.Analyze())
 		fmt.Fprintf(w, "journey export written to %s (%d journeys, flight-overwritten %d; convert with traceconv)\n",
 			*journeyOut, len(tr.Records()), tr.Flight().Overwritten())
+		if *journeySample > 1 {
+			seen, minted := tr.Sampled()
+			fmt.Fprintf(w, "journey sampling: 1 in %d — traced %d of %d requests\n",
+				*journeySample, minted, seen)
+		}
 		if *flightOut != "" {
 			d := tr.Dump(vessel.Time(cfg.Warmup+cfg.Duration), "vesselsim.end")
 			if err := os.WriteFile(*flightOut, []byte(d.Text()), 0o644); err != nil {

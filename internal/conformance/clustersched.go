@@ -1,0 +1,116 @@
+package conformance
+
+// Cluster-scheduler oracle (DESIGN.md §16): replays a clustersched
+// Report's committed operation history against an independent ledger and
+// checks the two-level scheduler's safety properties — no double grants,
+// revokes only from the owner, conservation against the final ownership
+// map, delivery completeness, and revoke-before-regrant actuation order
+// (a core must never be online in two domains at once).
+
+import (
+	"fmt"
+
+	"vessel/internal/clustersched"
+)
+
+// CheckClusterSched replays rep.Ops and returns every violated property.
+func CheckClusterSched(system string, rep *clustersched.Report) []Violation {
+	var out []Violation
+	add := func(oracle, format string, args ...any) {
+		out = append(out, Violation{System: system, Oracle: oracle, Detail: fmt.Sprintf(format, args...)})
+	}
+	if rep == nil {
+		add("report", "nil report")
+		return out
+	}
+
+	owner := make([]int, rep.Cores)
+	for i := range owner {
+		owner[i] = -1
+	}
+	// lastRevoke[core] remembers the most recent replayed revoke of a
+	// core, for the regrant ordering check.
+	lastRevoke := make([]int, rep.Cores)
+	for i := range lastRevoke {
+		lastRevoke[i] = -1
+	}
+	grants, revokes, delivered := 0, 0, 0
+	for i, op := range rep.Ops {
+		if op.Seq != i {
+			add("op-order", "op %d carries seq %d", i, op.Seq)
+		}
+		if op.Core < 0 || op.Core >= rep.Cores {
+			add("op-range", "op %d core %d outside pool of %d", i, op.Core, rep.Cores)
+			continue
+		}
+		if op.Domain < 0 || op.Domain >= rep.Domains {
+			add("op-range", "op %d domain %d outside %d domains", i, op.Domain, rep.Domains)
+			continue
+		}
+		switch op.Kind {
+		case clustersched.Grant:
+			grants++
+			if owner[op.Core] != -1 {
+				add("double-grant", "op %d grants core %d to domain %d while domain %d owns it",
+					i, op.Core, op.Domain, owner[op.Core])
+			}
+			owner[op.Core] = op.Domain
+			// Revoke-before-regrant: a delivered grant must actuate after
+			// the previous owner's revoke actuated, never before.
+			if r := lastRevoke[op.Core]; r >= 0 && op.Delivered {
+				prev := rep.Ops[r]
+				if !prev.Delivered {
+					add("regrant-order", "op %d (grant core %d) delivered while revoke op %d is still pending",
+						i, op.Core, r)
+				} else if op.DeliveredAt < prev.DeliveredAt {
+					add("regrant-order", "op %d (grant core %d) actuated at %d before revoke op %d at %d",
+						i, op.Core, int64(op.DeliveredAt), r, int64(prev.DeliveredAt))
+				}
+			}
+		case clustersched.Revoke:
+			revokes++
+			if owner[op.Core] != op.Domain {
+				add("revoke-owner", "op %d revokes core %d from domain %d but the ledger says %d",
+					i, op.Core, op.Domain, owner[op.Core])
+			}
+			owner[op.Core] = -1
+			lastRevoke[op.Core] = i
+		default:
+			add("op-kind", "op %d has unknown kind %d", i, op.Kind)
+		}
+		if op.Delivered {
+			delivered++
+			if op.DeliveredAt < op.At {
+				add("actuation-time", "op %d delivered at %d before its commit at %d",
+					i, int64(op.DeliveredAt), int64(op.At))
+			}
+		}
+	}
+
+	// Conservation: the replayed ledger must equal the reported one.
+	if len(rep.FinalOwner) != rep.Cores {
+		add("final-owner", "final owner map has %d entries for %d cores", len(rep.FinalOwner), rep.Cores)
+	} else {
+		for c, d := range owner {
+			if rep.FinalOwner[c] != d {
+				add("final-owner", "core %d: replay says domain %d, report says %d", c, d, rep.FinalOwner[c])
+			}
+		}
+	}
+
+	// Tallies must be derived from the same history the oracle replayed.
+	if grants != rep.Grants || revokes != rep.Revokes {
+		add("tally", "replayed %d grants / %d revokes, report says %d / %d",
+			grants, revokes, rep.Grants, rep.Revokes)
+	}
+	if delivered != rep.Delivered {
+		add("tally", "replayed %d delivered ops, report says %d", delivered, rep.Delivered)
+	}
+	// Delivery completeness: every committed op is either actuated or
+	// accounted for as a pending upcall.
+	if undelivered := len(rep.Ops) - delivered; undelivered != rep.PendingUpcalls {
+		add("delivery", "%d committed ops undelivered but %d upcalls reported pending",
+			undelivered, rep.PendingUpcalls)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package faultinject
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestClusterPolicyPanicTargetsAttachedPolicy(t *testing.T) {
+	d := newDomain(t, 1)
+	inj := New(d, Plan{Seed: 1, Faults: []Fault{
+		{Kind: ClusterPolicyPanic, At: 0},
+		{Kind: ClusterPolicyPanic, At: 0, Delay: 900},
+	}})
+	cluster := &recordingPolicy{}
+	domain := &recordingPolicy{}
+	inj.AttachClusterPolicy(cluster)
+	inj.AttachPolicy(domain)
+	inj.Step(0)
+	if cluster.panics != 1 || cluster.burned != 900 {
+		t.Fatalf("cluster policy: panics=%d burned=%d, want 1/900", cluster.panics, cluster.burned)
+	}
+	// The attack is scoped: the per-domain policy is untouched.
+	if domain.panics != 0 || domain.burned != 0 {
+		t.Fatalf("domain policy attacked: panics=%d burned=%d", domain.panics, domain.burned)
+	}
+	// Without a cluster policy attached the fault is skipped, not stuck.
+	inj2 := New(d, Plan{Seed: 1, Faults: []Fault{{Kind: ClusterPolicyPanic, At: 0}}})
+	inj2.Step(0)
+	if inj2.Pending() != 0 || inj2.Counters.Get("inject.skip") != 1 {
+		t.Fatal("unattached clusterpolicypanic not skipped")
+	}
+}
+
+func TestClusterPolicyPanicCodecRoundTrip(t *testing.T) {
+	p := Plan{Seed: 7, Faults: []Fault{
+		{Kind: ClusterPolicyPanic, At: 10},
+		{Kind: ClusterPolicyPanic, At: 20, Delay: 5000},
+	}}
+	enc, err := EncodePlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePlan(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := EncodePlan(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("round trip not stable:\n%s\nvs\n%s", enc, enc2)
+	}
+	if k, err := ParseKind("clusterpolicypanic"); err != nil || k != ClusterPolicyPanic {
+		t.Fatalf("ParseKind: %v %v", k, err)
+	}
+}

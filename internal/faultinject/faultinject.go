@@ -84,6 +84,13 @@ const (
 	// isolation oracles must hold throughout. A no-op (with a note) in
 	// domains without virtualized keys.
 	PkeyThrash
+	// ClusterPolicyPanic attacks the cluster-scope scheduling policy
+	// (AttachClusterPolicy) — the ghOSt-style upper level that decides
+	// core grants and revokes — the same way PolicyPanic attacks the
+	// per-domain policy: zero Delay panics the next decision, positive
+	// Delay burns that many extra cycles into it. The cluster's failsafe
+	// wrapper must swap in the static fallback.
+	ClusterPolicyPanic
 	numKinds
 )
 
@@ -115,6 +122,8 @@ func (k Kind) String() string {
 		return "pkeyleak"
 	case PkeyThrash:
 		return "pkeythrash"
+	case ClusterPolicyPanic:
+		return "clusterpolicypanic"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -230,8 +239,9 @@ type Injector struct {
 	resending bool
 	// stormUntil: while the clock is before it, every send is dropped
 	// (UintrStorm). policy is the attached scheduler-policy attack surface.
-	stormUntil sim.Time
-	policy     PolicyTarget
+	stormUntil    sim.Time
+	policy        PolicyTarget
+	clusterPolicy PolicyTarget
 
 	// Counters tallies injections by kind and outcome, in deterministic
 	// (insertion) order.
@@ -275,6 +285,12 @@ type PolicyTarget interface {
 // faults. Without one attached, PolicyPanic injections are skipped (and
 // counted as such).
 func (inj *Injector) AttachPolicy(p PolicyTarget) { inj.policy = p }
+
+// AttachClusterPolicy makes the cluster-scope scheduling policy (the
+// clustersched failsafe wrapper) addressable by ClusterPolicyPanic
+// faults. Without one attached, those injections are skipped (and
+// counted as such).
+func (inj *Injector) AttachClusterPolicy(p PolicyTarget) { inj.clusterPolicy = p }
 
 // Pending returns the number of armed faults still waiting for their
 // target (plus schedule entries not yet due).
@@ -427,6 +443,19 @@ func (inj *Injector) fire(f Fault, now sim.Time) bool {
 		} else {
 			inj.policy.InjectPanic()
 			inj.note("inject.policypanic", "")
+		}
+		return true
+	case ClusterPolicyPanic:
+		if inj.clusterPolicy == nil {
+			inj.note("inject.skip", "clusterpolicypanic: no cluster policy attached")
+			return true
+		}
+		if f.Delay > 0 {
+			inj.clusterPolicy.InjectBurn(int64(f.Delay))
+			inj.note("inject.clusterpolicyburn", fmt.Sprintf("cycles=%d", int64(f.Delay)))
+		} else {
+			inj.clusterPolicy.InjectPanic()
+			inj.note("inject.clusterpolicypanic", "")
 		}
 		return true
 	case UintrStorm:

@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"vessel/internal/clustersched"
 	"vessel/internal/cpu"
 	"vessel/internal/faultinject"
 	"vessel/internal/sched"
@@ -170,6 +171,26 @@ type RunSpec struct {
 	// byte-stable under Parallel == 1, because the spans of concurrent
 	// runs would interleave in one shared Observer.
 	Obs bool `json:"obs,omitempty"`
+	// ClusterPolicy optionally names the upper-level core-allocation
+	// policy for two-level cluster runs, validated against
+	// clustersched.Names(). Empty means single-level; omitempty keeps
+	// the hashes of every existing single-level spec unchanged.
+	ClusterPolicy string `json:"cluster_policy,omitempty"`
+}
+
+// ValidateClusterPolicy checks the optional cluster-policy axis against
+// the registered policies. Empty is always valid (single-level run).
+func (s RunSpec) ValidateClusterPolicy() error {
+	if s.ClusterPolicy == "" {
+		return nil
+	}
+	for _, n := range clustersched.Names() {
+		if n == s.ClusterPolicy {
+			return nil
+		}
+	}
+	return fmt.Errorf("harness: unknown cluster policy %q (have %v)",
+		s.ClusterPolicy, clustersched.Names())
 }
 
 // Config materializes the spec into a sched.Config. Apps are built fresh

@@ -30,6 +30,14 @@ type Config struct {
 	// (journey.finished, journey.slo.*, journey.seg.*). Nil allocates a
 	// private registry, so journey tracing works with obs off.
 	Registry *obs.Registry
+	// SampleEvery records 1 in N requests (values ≤1 record all): Mint
+	// returns a live journey for every Nth request and nil — the
+	// universally safe no-op journey — for the rest. The skip is a
+	// deterministic arrival-counter decision, so identical runs sample
+	// identical requests. Sampling trades per-request attribution
+	// coverage for mint/record overhead; SLO tallies and histograms then
+	// describe the sampled population.
+	SampleEvery int
 }
 
 // WindowStat is one closed SLO window's health signal.
@@ -112,9 +120,12 @@ func (d Dump) Text() string {
 // disabled state — every method returns immediately, and journeys
 // minted from it are nil (themselves no-ops).
 type Tracer struct {
-	cfg     Config
-	reg     *obs.Registry
-	minted  uint64
+	cfg    Config
+	reg    *obs.Registry
+	minted uint64
+	// seen counts every Mint call, sampled or not — the denominator of
+	// the sampling decision (and of Sampled).
+	seen    uint64
 	seg     [NumSegments]*stats.Histogram
 	sojourn *stats.Histogram
 	flight  *FlightLog
@@ -140,12 +151,12 @@ type Tracer struct {
 	strs []string
 	sidx map[string]int32
 
-	good, bad        uint64
-	curWindow        int64
-	winGood, winBad  uint64
-	windowOpen       bool
-	windows          []WindowStat
-	dumps            []Dump
+	good, bad       uint64
+	curWindow       int64
+	winGood, winBad uint64
+	windowOpen      bool
+	windows         []WindowStat
+	dumps           []Dump
 }
 
 // NewTracer returns an enabled tracer.
@@ -188,9 +199,16 @@ func (t *Tracer) Reg() *obs.Registry {
 
 // Mint opens a new journey for a request arriving at the given instant.
 // The journey starts in SegQueue. Journey IDs are mint order — the
-// deterministic identity every export keys on.
+// deterministic identity every export keys on. Under sampling
+// (Config.SampleEvery > 1) only every Nth request gets a journey; the
+// rest return nil, which every Journey method accepts as a no-op, so
+// callers never check.
 func (t *Tracer) Mint(name string, at sim.Time) *Journey {
 	if t == nil {
+		return nil
+	}
+	t.seen++
+	if t.cfg.SampleEvery > 1 && (t.seen-1)%uint64(t.cfg.SampleEvery) != 0 {
 		return nil
 	}
 	t.minted++
@@ -485,6 +503,15 @@ func (t *Tracer) Minted() uint64 {
 		return 0
 	}
 	return t.minted
+}
+
+// Sampled returns how many requests Mint has seen and how many of them
+// received a journey; the two are equal when sampling is off.
+func (t *Tracer) Sampled() (seen, minted uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.seen, t.minted
 }
 
 // Journeys returns the minted journeys in mint order (assembled on

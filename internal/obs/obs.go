@@ -55,6 +55,11 @@ const (
 	// Virtualized protection keys: slot evictions and refills with their
 	// lazy re-tag work.
 	CatVPkey
+	// Two-level cluster scheduling overlays: core grant/revoke upcall
+	// delivery (CatUpcall) and the span a core spends leaving one domain
+	// and entering another (CatGrant).
+	CatUpcall
+	CatGrant
 	NumCategories
 )
 
@@ -92,6 +97,10 @@ func (c Category) String() string {
 		return "failsafe"
 	case CatVPkey:
 		return "vpkey"
+	case CatUpcall:
+		return "upcall"
+	case CatGrant:
+		return "grant"
 	default:
 		return fmt.Sprintf("Category(%d)", uint8(c))
 	}

@@ -309,6 +309,20 @@ func (c *Cluster) Run(steps, quantum int) (*Report, error) {
 				if d.mg.CoreFenced(core) {
 					continue
 				}
+				if d.mg.Domain.Offline(core) {
+					// The cluster scheduler revoked this core: it is no
+					// longer this domain's responsibility, so the detector
+					// must stop expecting beats from it — silence here is
+					// churn, not failure.
+					if id := c.coreID(d, core); c.forgetChurned(id) {
+						c.Counters.Inc("selfheal.churn.forget")
+					}
+					continue
+				}
+				if id := c.coreID(d, core); c.trackChurned(id) {
+					// Granted (back) to the domain mid-run: monitor it.
+					c.Counters.Inc("selfheal.churn.track")
+				}
 				cc := m.Core(core)
 				if cc.Fault != nil || cc.Stalled {
 					continue // silent: the detector sees the missing beat
@@ -381,6 +395,29 @@ func (c *Cluster) Run(steps, quantum int) (*Report, error) {
 	return c.report(), nil
 }
 
+// forgetChurned drops a detector entity if it is still tracked,
+// reporting whether anything was dropped — the revoke side of
+// granted-core churn.
+func (c *Cluster) forgetChurned(id string) bool {
+	if _, tracked := c.det.LastBeat(id); !tracked {
+		return false
+	}
+	c.det.Forget(id)
+	return true
+}
+
+// trackChurned registers a detector entity if it is not tracked yet,
+// reporting whether it was new — the grant side of granted-core churn.
+// The silence clock starts now, so a freshly granted core is not
+// suspected for the time it spent in another domain.
+func (c *Cluster) trackChurned(id string) bool {
+	if _, tracked := c.det.LastBeat(id); tracked {
+		return false
+	}
+	c.det.Track(id, c.eng.Now())
+	return true
+}
+
 // syncClock advances the shared engine to the farthest core's cycle time
 // across every live domain.
 func (c *Cluster) syncClock() {
@@ -416,7 +453,7 @@ func (c *Cluster) react(now sim.Time) error {
 		}
 		m := d.mg.Machine()
 		for core := 0; core < m.NumCores(); core++ {
-			if d.mg.CoreFenced(core) {
+			if d.mg.CoreFenced(core) || d.mg.Domain.Offline(core) {
 				continue
 			}
 			id := c.coreID(d, core)
@@ -446,13 +483,21 @@ func (c *Cluster) react(now sim.Time) error {
 				c.violate(now, "domain %d core %d: detection MTTR %v exceeds budget %v", d.id, core, mttr, c.cfg.DetectBudget)
 			}
 		}
-		live := 0
+		live, offline := 0, 0
 		for core := 0; core < m.NumCores(); core++ {
-			if !d.mg.CoreFenced(core) {
+			switch {
+			case d.mg.CoreFenced(core):
+			case d.mg.Domain.Offline(core):
+				offline++
+			default:
 				live++
 			}
 		}
-		if live == 0 {
+		// A domain whose cores are merely revoked (offline, not fenced) is
+		// healthy-but-coreless: the cluster scheduler decides when it runs
+		// again, so a restart here would fight the upper level. Restart
+		// only when fencing has consumed every core the domain owned.
+		if live == 0 && offline == 0 {
 			if err := c.restartDomain(d, now); err != nil {
 				return err
 			}

@@ -36,8 +36,8 @@ func (d *Domain) FenceCore(core int, targets []int) (moved, killed int, err erro
 		if t < 0 || t >= len(d.cores) {
 			return 0, 0, fmt.Errorf("uproc: fence target %d out of range", t)
 		}
-		if t == core || d.fenced[t] {
-			return 0, 0, fmt.Errorf("uproc: fence target %d is the fenced core or fenced itself", t)
+		if t == core || d.fenced[t] || d.offline[t] {
+			return 0, 0, fmt.Errorf("uproc: fence target %d is the fenced core or not placeable", t)
 		}
 	}
 	if d.fenced[core] {
@@ -56,18 +56,7 @@ func (d *Domain) FenceCore(core int, targets []int) (moved, killed int, err erro
 	// The fenced core never executes again, so its PKRU is inert: release
 	// its virtual-key pin so the key can be evicted or freed.
 	d.S.UnpinCore(core)
-	if len(targets) > 0 {
-		for _, t := range cs.runq {
-			if t.U.State == UProcTerminated || t.State == ThreadDead {
-				t.State = ThreadDead
-				continue
-			}
-			dst := targets[moved%len(targets)]
-			d.cores[dst].runq = append(d.cores[dst].runq, t)
-			moved++
-		}
-		cs.runq = nil
-	}
+	moved = d.rehome(cs, targets)
 	d.event("fence.core", fmt.Sprintf("core=%d moved=%d killed=%d", core, moved, killed))
 	return moved, killed, nil
 }

@@ -126,6 +126,11 @@ type coreState struct {
 	// activated, so the watchdog can charge the elapsed slice to the
 	// thread at the next gate boundary.
 	dispatchCycles int64
+	// releaseTo holds the re-home targets of a pending ReleaseCore: when
+	// the offline core reaches its next gate boundary, switchNext drains
+	// any remaining work onto these cores instead of dispatching. See
+	// release.go.
+	releaseTo []int
 }
 
 // Watchdog is the scheduler's per-uProcess cycle-budget policy: a thread
@@ -199,6 +204,11 @@ type Domain struct {
 	// layer: a fenced core is never woken and never receives new threads.
 	// See fence.go.
 	fenced []bool
+	// offline marks cores released back to the cluster by the two-level
+	// scheduler: unlike fencing, release is reversible (AdmitCore) and
+	// never kills the running thread — the core drains lazily at its next
+	// gate boundary. See release.go.
+	offline []bool
 }
 
 // event records into the containment event log, when one is attached.
@@ -223,6 +233,7 @@ func NewDomain(eng *sim.Engine, m *cpu.Machine) (*Domain, error) {
 		cores:    make([]*coreState, m.NumCores()),
 		privPKRU: s.RuntimePKRU(),
 		fenced:   make([]bool, m.NumCores()),
+		offline:  make([]bool, m.NumCores()),
 	}
 	for i := range d.cores {
 		d.cores[i] = &coreState{}
@@ -399,6 +410,13 @@ func (d *Domain) StartCore(coreID int) error {
 	c.PrivilegedPKRU = &d.privPKRU
 	c.Hooks.OnFault = d.faultHook
 	cs.receiver.Attach(c)
+	if d.offline[coreID] {
+		// The core is not granted to this domain: install the hooks (so a
+		// later AdmitCore + Wake finds the core ready) but dispatch
+		// nothing.
+		c.Halted = true
+		return nil
+	}
 	t := d.popRunnable(cs)
 	if t == nil {
 		// No tenant yet: park the core in its UMWAIT idle state instead
@@ -447,6 +465,11 @@ func (d *Domain) Wake(coreID int) (bool, error) {
 	if d.fenced[coreID] {
 		// A fenced core has been withdrawn from placement by the
 		// self-healing layer; its work was drained elsewhere.
+		return false, nil
+	}
+	if d.offline[coreID] {
+		// An offline core belongs to another domain now (or is in the
+		// cluster's free pool); its runqueue was re-homed at release.
 		return false, nil
 	}
 	if cs.current != nil && !c.Halted {
@@ -539,8 +562,15 @@ func (d *Domain) saveCurrent(c *cpu.Core, cs *coreState) *Thread {
 }
 
 // switchNext installs the next runnable thread, or halts the core into the
-// idle (UMWAIT) state when none exists.
+// idle (UMWAIT) state when none exists. On a core released back to the
+// cluster it instead drains remaining work onto the release targets and
+// halts — the lazy half of ReleaseCore, landing exactly at the gate
+// boundary where thread contexts are capturable.
 func (d *Domain) switchNext(c *cpu.Core, cs *coreState) {
+	if d.offline[c.ID] {
+		d.finishRelease(c, cs)
+		return
+	}
 	if t := d.popRunnable(cs); t != nil {
 		d.activate(c, cs, t)
 		return

@@ -83,6 +83,21 @@ func BenchmarkSimulatorThroughputJourney(b *testing.B) {
 // takes the minimum across repetitions as a regression tripwire — see
 // DESIGN.md §15 for the measured numbers and the gate's rationale.
 func BenchmarkJourneyOverheadPaired(b *testing.B) {
+	benchJourneyPaired(b, journey.New)
+}
+
+// BenchmarkJourneyOverheadSampledPaired is the same paired measurement
+// with 1-in-16 request sampling — the production-style configuration the
+// CI soft gate tracks. Sampling skips span-tree construction for 15 of 16
+// requests, so its overhead should sit well below the trace-everything
+// variant's.
+func BenchmarkJourneyOverheadSampledPaired(b *testing.B) {
+	benchJourneyPaired(b, func() *journey.Tracer {
+		return journey.NewTracer(journey.Config{SampleEvery: 16})
+	})
+}
+
+func benchJourneyPaired(b *testing.B, mkTracer func() *journey.Tracer) {
 	// GC pacing is pinned for the duration: each timed region runs with
 	// the collector off and the previous run's garbage is collected at
 	// the untimed barrier below. Allocation cost stays in the measurement;
@@ -103,7 +118,7 @@ func BenchmarkJourneyOverheadPaired(b *testing.B) {
 			}
 			withJourney := (i+k)%2 == 1
 			if withJourney {
-				cfg.Journey = journey.New()
+				cfg.Journey = mkTracer()
 			}
 			// Each timed run starts from a freshly-collected heap so one
 			// variant's garbage cannot tax the other's timed region.

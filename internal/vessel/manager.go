@@ -34,6 +34,12 @@ type Manager struct {
 	supervised []*supervised
 	injector   *faultinject.Injector
 	events     *trace.EventLog
+
+	// Cluster-scheduled mode (executor.go): the per-NUMA executor cache
+	// and the executors currently bound to granted cores. Nil until
+	// SetClusterManaged.
+	exec      *execCache
+	executors map[int]*Executor
 }
 
 // NewManager boots a scheduling domain on a fresh simulated machine with
@@ -64,6 +70,9 @@ func (mg *Manager) Launch(name string, p *smas.Program, core int) (*uproc.UProc,
 	}
 	if mg.Domain.Fenced(core) {
 		return nil, fmt.Errorf("vessel: core %d is fenced", core)
+	}
+	if mg.Domain.Offline(core) {
+		return nil, fmt.Errorf("vessel: core %d is not granted to this domain", core)
 	}
 	u, err := mg.Domain.CreateUProc(name, p)
 	if err != nil {
@@ -118,6 +127,64 @@ func (mg *Manager) Reap() (int, error) {
 	}
 	mg.zombies = kept
 	return reclaimed, nil
+}
+
+// ZombiesSettled reports whether every destroyed uProcess's lazy
+// termination has landed: the kill applied and no core still running one
+// of its threads — the point at which Reap can reclaim them all.
+func (mg *Manager) ZombiesSettled() bool {
+	for _, u := range mg.zombies {
+		if u.State != uproc.UProcTerminated || mg.Domain.RunningOn(u) >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DrainZombies drives the domain until every destroyed uProcess's
+// termination has landed, stepping placeable cores in small quanta and
+// waking idle ones so queued kill commands are applied. It stops at
+// event quiescence — zombies settled, or no core ran an instruction and
+// the engine has nothing pending — rather than after a fixed step count.
+// It reports whether the zombies settled.
+func (mg *Manager) DrainZombies(quantum int) (bool, error) {
+	if quantum <= 0 {
+		quantum = 500
+	}
+	// The round bound is a backstop against a runaway live uProcess
+	// keeping cores busy forever; quiescence normally stops the loop
+	// long before.
+	const maxRounds = 1 << 10
+	for round := 0; round < maxRounds; round++ {
+		if mg.ZombiesSettled() {
+			return true, nil
+		}
+		ran := 0
+		for core := 0; core < mg.m.NumCores(); core++ {
+			if mg.Domain.Fenced(core) || mg.Domain.Offline(core) {
+				continue
+			}
+			c := mg.m.Core(core)
+			if c.Fault != nil || c.Stalled {
+				continue
+			}
+			if c.Halted {
+				// A halted core still drains its command queue (where the
+				// kill lands) on wake.
+				if _, err := mg.Domain.Wake(core); err != nil {
+					return false, err
+				}
+			}
+			ran += c.Run(quantum)
+		}
+		if ran == 0 {
+			if mg.eng.Pending() == 0 {
+				return mg.ZombiesSettled(), nil
+			}
+			mg.eng.Step()
+		}
+	}
+	return mg.ZombiesSettled(), nil
 }
 
 // Start begins execution on a core (first thread dispatch).

@@ -67,6 +67,44 @@ func (m *Manager) Destroy(name string) error { return m.inner.Destroy(name) }
 // lazy termination has landed, returning how many were reclaimed.
 func (m *Manager) Reap() (int, error) { return m.inner.Reap() }
 
+// Occupancy returns how many uProcesses the domain currently hosts:
+// launched ones plus destroyed ones whose regions are not yet reclaimed.
+// This is the domain's real liveness signal — the cluster layer keys its
+// start/step fan-out on it rather than on its own launch bookkeeping,
+// which goes stale when uProcesses are launched directly on the manager.
+func (m *Manager) Occupancy() int { return m.inner.Occupancy() }
+
+// Backlog returns the domain's total runqueue length across online cores —
+// the demand signal the cluster scheduler's policies consume.
+func (m *Manager) Backlog() int { return m.inner.Backlog() }
+
+// DrainZombies drives the domain until every destroyed uProcess's lazy
+// termination has landed, stopping at event quiescence rather than after
+// a fixed instruction budget. It reports whether the zombies settled.
+func (m *Manager) DrainZombies(quantum int) (bool, error) { return m.inner.DrainZombies(quantum) }
+
+// SetClusterManaged places the domain under two-level cluster scheduling:
+// every core starts released (offline), and the cluster scheduler grants
+// and revokes cores through GrantCore/RevokeCore upcalls. coresPerNode
+// fixes the NUMA granularity of the executor cache.
+func (m *Manager) SetClusterManaged(coresPerNode int) error {
+	return m.inner.SetClusterManaged(coresPerNode)
+}
+
+// CoreOnline reports whether a core is currently placeable in this domain
+// (granted, and not fenced).
+func (m *Manager) CoreOnline(core int) bool { return m.inner.CoreOnline(core) }
+
+// GrantCore actuates a cluster-scheduler grant: the core comes online with
+// an executor bound from the per-NUMA cache.
+func (m *Manager) GrantCore(core int) error { return m.inner.GrantCore(core) }
+
+// RevokeCore actuates a cluster-scheduler revoke: the core's queued work
+// re-homes to the domain's remaining online cores, a running thread drains
+// at its next gate, and the executor returns to the cache. It returns how
+// many threads moved.
+func (m *Manager) RevokeCore(core int) (int, error) { return m.inner.RevokeCore(core) }
+
 // NumCores returns the domain's core count.
 func (m *Manager) NumCores() int { return m.inner.Machine().NumCores() }
 
