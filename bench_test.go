@@ -170,6 +170,7 @@ func BenchmarkFigure13b(b *testing.B) {
 // with the fast path off, giving an in-process speedup ratio.
 
 func BenchmarkCoreStep(b *testing.B)       { mmubench.BenchCoreStep(b) }
+func BenchmarkCoreStepNoSB(b *testing.B)   { mmubench.BenchCoreStepNoSB(b) }
 func BenchmarkCoreStepSlow(b *testing.B)   { mmubench.BenchCoreStepSlow(b) }
 func BenchmarkASCheckHit(b *testing.B)     { mmubench.BenchASCheckHit(b) }
 func BenchmarkASCheckHitSlow(b *testing.B) { mmubench.BenchASCheckHitSlow(b) }

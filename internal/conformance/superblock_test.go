@@ -1,0 +1,57 @@
+package conformance
+
+import (
+	"bytes"
+	"testing"
+
+	"vessel/internal/cpu"
+	"vessel/internal/sched"
+)
+
+// TestSuperblocksByteIdentical runs the standard seed sweep through every
+// scheduler twice — superblock fusion enabled and disabled — and requires
+// byte-identical canonical results. Fused execution must be pure
+// mechanism: single-check, single-account dispatch of straight-line runs
+// may never change an observable number, at any seed, under any
+// scheduler. Together with TestFastPathByteIdentical this pins the whole
+// execution-acceleration stack (TLB, icache, superblocks) to the golden
+// granularity.
+//
+// Not parallel: DisableSuperblocks is a package-level toggle that must
+// only change while no simulation is running.
+func TestSuperblocksByteIdentical(t *testing.T) {
+	if cpu.DisableSuperblocks {
+		t.Fatal("superblocks must be the default")
+	}
+	seeds := []uint64{1, 2, 3, 4, 5}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	sweep := func() map[uint64]map[string][]byte {
+		out := make(map[uint64]map[string][]byte)
+		for _, seed := range seeds {
+			sc := Generate(seed, true)
+			out[seed] = make(map[string][]byte)
+			for _, s := range Systems() {
+				res, err := sched.Run(s, sc.Config())
+				if err != nil {
+					t.Fatalf("seed %d %s: %v", seed, s.Name(), err)
+				}
+				out[seed][s.Name()] = res.Canonical()
+			}
+		}
+		return out
+	}
+	fused := sweep()
+	cpu.DisableSuperblocks = true
+	defer func() { cpu.DisableSuperblocks = false }()
+	precise := sweep()
+	for _, seed := range seeds {
+		for name, fb := range fused[seed] {
+			if !bytes.Equal(fb, precise[seed][name]) {
+				t.Errorf("seed %d %s: canonical result differs with superblocks off\n--- fused\n%s--- per-instruction\n%s",
+					seed, name, fb, precise[seed][name])
+			}
+		}
+	}
+}

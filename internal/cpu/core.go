@@ -76,6 +76,18 @@ type Core struct {
 	nextPC  mem.Addr
 	jumped  bool
 
+	// slow caches the DisableFastPath toggle for the duration of one
+	// Run (or one public Step): the global is sampled once per entry
+	// instead of on every fetch and data access — the toggle contract
+	// ("only while no simulation is running") makes per-quantum
+	// sampling exact.
+	slow bool
+
+	// sb is the superblock store (see superblock.go), lazily allocated
+	// on the first fused Run and invalidated alongside the icache by
+	// syncCaches.
+	sb *sbCache
+
 	// tlb is the core's software translation cache; see mem.TLB for the
 	// generation-based coherence scheme that keeps it invisible.
 	tlb mem.TLB
@@ -120,7 +132,7 @@ func (c *Core) setPC(a mem.Addr) {
 // through the per-core TLB, allocation-free unless it faults — and even
 // then the fault lands in the core's scratch.
 func (c *Core) read(addr mem.Addr, size int) (Word, *mem.Fault) {
-	if DisableFastPath {
+	if c.slow {
 		return c.AS.Read(addr, size, c.PKRU)
 	}
 	v, ok := c.AS.ReadVia(&c.tlb, addr, size, c.PKRU, &c.faultv)
@@ -132,7 +144,7 @@ func (c *Core) read(addr mem.Addr, size int) (Word, *mem.Fault) {
 
 // write is read's store counterpart.
 func (c *Core) write(addr mem.Addr, size int, v Word) *mem.Fault {
-	if DisableFastPath {
+	if c.slow {
 		return c.AS.Write(addr, size, v, c.PKRU)
 	}
 	if !c.AS.WriteVia(&c.tlb, addr, size, v, c.PKRU, &c.faultv) {
@@ -141,16 +153,28 @@ func (c *Core) write(addr mem.Addr, size int, v Word) *mem.Fault {
 	return nil
 }
 
+// syncCaches invalidates the decoded-fetch cache and the superblock
+// store together when their shared (AS, AS generation, InstallCode
+// generation) tags go stale — one generation triple-check covers both,
+// so translation mutations and code installs invalidate fused blocks
+// exactly when they invalidate single decodes.
+func (c *Core) syncCaches() {
+	if c.icAS != c.AS || c.icASGen != c.AS.Generation() || c.icCodeGen != c.machine.codeGen {
+		c.icache = [icacheSize]icacheEntry{}
+		if c.sb != nil {
+			c.sb.clear()
+		}
+		c.icAS, c.icASGen, c.icCodeGen = c.AS, c.AS.Generation(), c.machine.codeGen
+	}
+}
+
 // fetchFast resolves PC to a decoded instruction through the per-core
 // icache, falling back to the machine's checked fetch on a miss.
 func (c *Core) fetchFast() (Instr, *mem.Fault) {
-	if DisableFastPath {
+	if c.slow {
 		return c.machine.fetch(c.AS, c.PC, c.PKRU)
 	}
-	if c.icAS != c.AS || c.icASGen != c.AS.Generation() || c.icCodeGen != c.machine.codeGen {
-		c.icache = [icacheSize]icacheEntry{}
-		c.icAS, c.icASGen, c.icCodeGen = c.AS, c.AS.Generation(), c.machine.codeGen
-	}
+	c.syncCaches()
 	e := &c.icache[(uint64(c.PC)/InstrSize)&(icacheSize-1)]
 	if e.tag == c.PC+1 {
 		return e.instr, nil
@@ -236,13 +260,21 @@ func (c *Core) Inject(f *mem.Fault) bool {
 // dispatched has no address space yet and simply cannot run — stepping it
 // is a no-op, not a fault.
 func (c *Core) Step() bool {
+	c.slow = DisableFastPath
+	return c.step()
+}
+
+// step is Step with the fast-path toggle already sampled — the
+// per-instruction boundary the superblock path defers to whenever fused
+// execution cannot express one (delivery, unfetchable slots, and every
+// block terminator's semantics are defined by this function).
+func (c *Core) step() bool {
 	if c.Halted || c.Stalled || c.AS == nil {
 		return false
 	}
 	// Recognise pending user interrupts at the instruction boundary,
 	// unless the core is in the masked privileged mode.
-	if c.UIF && c.PendingVectors != 0 && c.HandlerAddr != 0 &&
-		(c.PrivilegedPKRU == nil || c.PKRU != *c.PrivilegedPKRU) {
+	if c.uintrDeliverable() {
 		if fault := c.deliverUserInterrupt(); fault != nil {
 			c.raise(fault)
 			return !c.Halted
@@ -265,11 +297,29 @@ func (c *Core) Step() bool {
 }
 
 // Run executes up to maxSteps instructions, stopping early on halt or
-// fault. It returns the number of instructions executed.
+// fault. It returns the number of instructions executed — the step-count
+// contract every quantum seam above (Manager.Step, RunTimesliced, the
+// schedulers' time slices) relies on: Run(n) retires exactly the steps n
+// per-instruction Steps would have, with identical cycle accounting.
+// The default path executes through fused superblocks (see
+// superblock.go), splitting a block when the remaining budget expires
+// mid-run; DisableSuperblocks or DisableFastPath selects the
+// per-instruction loop.
 func (c *Core) Run(maxSteps int) int {
+	c.slow = DisableFastPath
 	n := 0
-	for n < maxSteps && c.Step() {
-		n++
+	if c.slow || DisableSuperblocks {
+		for n < maxSteps && c.step() {
+			n++
+		}
+		return n
+	}
+	for n < maxSteps {
+		ran, cont := c.stepBlock(maxSteps - n)
+		n += ran
+		if !cont {
+			break
+		}
 	}
 	return n
 }

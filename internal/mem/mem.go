@@ -359,15 +359,27 @@ func (as *AddressSpace) Write(vaddr Addr, size int, value uint64, pkru mpk.PKRU)
 // failing page — byte-identical to a per-byte walk.
 func (as *AddressSpace) ReadBytes(vaddr Addr, length int, pkru mpk.PKRU) ([]byte, *Fault) {
 	out := make([]byte, length)
-	for done := 0; done < length; {
+	if fault := as.ReadBytesInto(vaddr, out, pkru); fault != nil {
+		return nil, fault
+	}
+	return out, nil
+}
+
+// ReadBytesInto copies len(out) bytes starting at vaddr into out, with
+// the same one-check-per-page batching and fault semantics as ReadBytes
+// but no result allocation — the variant for hot callers (the
+// syscall-layer buffer path, page-copy loops) that reuse a buffer. The
+// non-faulting path performs zero allocations.
+func (as *AddressSpace) ReadBytesInto(vaddr Addr, out []byte, pkru mpk.PKRU) *Fault {
+	for done := 0; done < len(out); {
 		a := vaddr + Addr(done)
 		frame, fault := as.Check(a, mpk.AccessRead, pkru)
 		if fault != nil {
-			return nil, fault
+			return fault
 		}
 		done += copy(out[done:], frame.Data[a.Offset():])
 	}
-	return out, nil
+	return nil
 }
 
 // WriteBytes copies data into memory starting at vaddr with one access check

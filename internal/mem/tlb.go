@@ -1,6 +1,10 @@
 package mem
 
-import "vessel/internal/mpk"
+import (
+	"encoding/binary"
+
+	"vessel/internal/mpk"
+)
 
 // TLBSize is the number of direct-mapped entries in a software TLB. Must be
 // a power of two: entries are indexed by the low bits of the page number.
@@ -113,5 +117,88 @@ func (as *AddressSpace) WriteVia(t *TLB, vaddr Addr, size int, value uint64, pkr
 		return false
 	}
 	writeWord(frame, vaddr.Offset(), size, value)
+	return true
+}
+
+// fill loads the PTE covering page into its TLB slot, reporting false
+// and the fault when the page is unmapped — the shared miss path of the
+// width-specialized accessors below.
+func (t *TLB) fill(as *AddressSpace, page uint64, vaddr Addr, kind mpk.AccessKind, f *Fault) bool {
+	t.Misses++
+	pte, ok := as.pages[page]
+	if !ok {
+		*f = Fault{Addr: vaddr, Kind: FaultNotMapped, Op: kind}
+		return false
+	}
+	e := &t.ents[page&(TLBSize-1)]
+	e.tag, e.frame, e.perm, e.pkey = page+1, pte.Frame, pte.Perm, pte.PKey
+	return true
+}
+
+// ReadVia8 is ReadVia specialized to the 8-byte word loads the
+// instruction VM issues — the superblock executor's data path. The
+// probe, fault kinds, fault ordering, and partial semantics are exactly
+// ReadVia(t, vaddr, 8, ...)'s; the specialization only flattens the
+// size switches and the AccessKind dispatch out of the hot loop.
+func (as *AddressSpace) ReadVia8(t *TLB, vaddr Addr, pkru mpk.PKRU, f *Fault) (uint64, bool) {
+	off := vaddr.Offset()
+	if off > PageSize-8 {
+		*f = Fault{Addr: vaddr, Kind: FaultNotMapped, Op: mpk.AccessRead}
+		return 0, false
+	}
+	if t.as != as || t.gen != as.gen {
+		t.Flush()
+		t.as, t.gen = as, as.gen
+	}
+	page := uint64(vaddr) / PageSize
+	e := &t.ents[page&(TLBSize-1)]
+	if e.tag != page+1 {
+		if !t.fill(as, page, vaddr, mpk.AccessRead, f) {
+			return 0, false
+		}
+	} else {
+		t.Hits++
+	}
+	if e.perm&PermRead == 0 {
+		*f = Fault{Addr: vaddr, Kind: FaultPerm, Op: mpk.AccessRead}
+		return 0, false
+	}
+	if !pkru.Check(e.pkey, mpk.AccessRead) {
+		*f = Fault{Addr: vaddr, Kind: FaultPKU, Op: mpk.AccessRead}
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(e.frame.Data[off:]), true
+}
+
+// WriteVia8 is ReadVia8's store counterpart: WriteVia(t, vaddr, 8, ...)
+// with the width and access kind specialized away.
+func (as *AddressSpace) WriteVia8(t *TLB, vaddr Addr, value uint64, pkru mpk.PKRU, f *Fault) bool {
+	off := vaddr.Offset()
+	if off > PageSize-8 {
+		*f = Fault{Addr: vaddr, Kind: FaultNotMapped, Op: mpk.AccessWrite}
+		return false
+	}
+	if t.as != as || t.gen != as.gen {
+		t.Flush()
+		t.as, t.gen = as, as.gen
+	}
+	page := uint64(vaddr) / PageSize
+	e := &t.ents[page&(TLBSize-1)]
+	if e.tag != page+1 {
+		if !t.fill(as, page, vaddr, mpk.AccessWrite, f) {
+			return false
+		}
+	} else {
+		t.Hits++
+	}
+	if e.perm&PermWrite == 0 {
+		*f = Fault{Addr: vaddr, Kind: FaultPerm, Op: mpk.AccessWrite}
+		return false
+	}
+	if !pkru.Check(e.pkey, mpk.AccessWrite) {
+		*f = Fault{Addr: vaddr, Kind: FaultPKU, Op: mpk.AccessWrite}
+		return false
+	}
+	binary.LittleEndian.PutUint64(e.frame.Data[off:], value)
 	return true
 }

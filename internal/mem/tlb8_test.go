@@ -1,0 +1,128 @@
+package mem
+
+import (
+	"testing"
+
+	"vessel/internal/mpk"
+)
+
+// TestVia8ParityWithVia drives ReadVia8/WriteVia8 — the width-specialized
+// accessors the superblock µop interpreter calls — through every fault
+// class side by side with ReadVia/WriteVia at size 8, requiring identical
+// verdicts, values, and fault records. The specialization must be pure
+// mechanism: same probe, same fault kinds, same ordering.
+func TestVia8ParityWithVia(t *testing.T) {
+	as := NewAddressSpace(NewPhysical())
+	if err := as.MapRange(0x1000, PageSize, PermRW, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MapRange(0x2000, PageSize, PermRead, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MapRange(0x3000, PageSize, PermXOnly, 0); err != nil {
+		t.Fatal(err)
+	}
+	all := mpk.AllowAllValue
+	cases := []struct {
+		name  string
+		addr  Addr
+		pkru  mpk.PKRU
+		write bool
+	}{
+		{"rw-ok-read", 0x1008, all, false},
+		{"rw-ok-write", 0x1008, all, true},
+		{"unmapped-read", 0x9000, all, false},
+		{"unmapped-write", 0x9000, all, true},
+		{"page-overrun-read", 0x1000 + PageSize - 4, all, false},
+		{"page-overrun-write", 0x1000 + PageSize - 4, all, true},
+		{"perm-write-denied", 0x2010, all, true},
+		{"perm-read-denied", 0x3010, all, false},
+		{"pku-read-denied", 0x1018, all.WithAccess(1, false, false), false},
+		{"pku-write-denied", 0x1018, all.WithAccess(1, true, false), true},
+	}
+	for _, tc := range cases {
+		// Fresh TLBs per case so both sides probe cold and warm alike.
+		var tg, ts TLB
+		for pass := 0; pass < 2; pass++ { // cold then warm
+			var fg, fs Fault
+			if tc.write {
+				okG := as.WriteVia(&tg, tc.addr, 8, 0xDEAD0000+uint64(pass), tc.pkru, &fg)
+				okS := as.WriteVia8(&ts, tc.addr, 0xDEAD0000+uint64(pass), tc.pkru, &fs)
+				if okG != okS || (!okG && fg != fs) {
+					t.Fatalf("%s pass %d: WriteVia (%v, %v) vs WriteVia8 (%v, %v)",
+						tc.name, pass, okG, fg, okS, fs)
+				}
+			} else {
+				vG, okG := as.ReadVia(&tg, tc.addr, 8, tc.pkru, &fg)
+				vS, okS := as.ReadVia8(&ts, tc.addr, tc.pkru, &fs)
+				if okG != okS || vG != vS || (!okG && fg != fs) {
+					t.Fatalf("%s pass %d: ReadVia (%#x, %v, %v) vs ReadVia8 (%#x, %v, %v)",
+						tc.name, pass, vG, okG, fg, vS, okS, fs)
+				}
+			}
+		}
+	}
+	// Round trip through mixed accessors: a word stored by WriteVia8 must
+	// read back identically through both read paths.
+	var tlb TLB
+	var f Fault
+	if !as.WriteVia8(&tlb, 0x1040, 0x0123456789ABCDEF, all, &f) {
+		t.Fatal(&f)
+	}
+	v8, ok8 := as.ReadVia8(&tlb, 0x1040, all, &f)
+	vg, okg := as.ReadVia(&tlb, 0x1040, 8, all, &f)
+	if !ok8 || !okg || v8 != 0x0123456789ABCDEF || v8 != vg {
+		t.Fatalf("round trip: via8 (%#x, %v), via (%#x, %v)", v8, ok8, vg, okg)
+	}
+}
+
+// TestReadBytesIntoParity checks the allocation-free bulk read against
+// ReadBytes: same bytes, same faults, on a clean span and on a span whose
+// middle page is pkey-denied.
+func TestReadBytesIntoParity(t *testing.T) {
+	as := fixture3Pages(t)
+	all := mpk.AllowAllValue
+	start := Addr(0x1000 + PageSize/2)
+	span := 2*PageSize + 100
+	data := make([]byte, span)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if f := as.WriteBytes(start, data, all); f != nil {
+		t.Fatal(f)
+	}
+	want, f := as.ReadBytes(start, span, all)
+	if f != nil {
+		t.Fatal(f)
+	}
+	got := make([]byte, span)
+	if f := as.ReadBytesInto(start, got, all); f != nil {
+		t.Fatal(f)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("byte %d: ReadBytes %#x, ReadBytesInto %#x", i, want[i], got[i])
+		}
+	}
+	noMid := all.WithAccess(2, false, false)
+	_, fWant := as.ReadBytes(start, span, noMid)
+	fGot := as.ReadBytesInto(start, got, noMid)
+	if fWant == nil || fGot == nil || *fWant != *fGot {
+		t.Fatalf("fault parity: ReadBytes %v, ReadBytesInto %v", fWant, fGot)
+	}
+}
+
+// TestReadBytesIntoNoAlloc pins the satellite perf contract: the
+// non-faulting bulk read must not allocate.
+func TestReadBytesIntoNoAlloc(t *testing.T) {
+	as := fixture3Pages(t)
+	buf := make([]byte, PageSize)
+	allocs := testing.AllocsPerRun(100, func() {
+		if f := as.ReadBytesInto(0x1000, buf, mpk.AllowAllValue); f != nil {
+			t.Fatal(f)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ReadBytesInto allocates %v/op on the non-faulting path, want 0", allocs)
+	}
+}

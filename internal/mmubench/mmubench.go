@@ -69,13 +69,14 @@ func stepProgram(b *testing.B, m *cpu.Machine, as *mem.AddressSpace) {
 	}
 }
 
-// BenchCoreStep measures ns per simulated instruction on the fast path
-// (software TLB + decoded-fetch cache). The non-faulting Step must not
-// allocate: CI fails the run if allocs/op is nonzero.
+// BenchCoreStep measures ns per simulated instruction on the default
+// path: superblock fusion over the software TLB + decoded-fetch cache.
+// The non-faulting run must not allocate: CI fails if allocs/op is
+// nonzero.
 func BenchCoreStep(b *testing.B) {
 	m, c, as := env(b)
 	stepProgram(b, m, as)
-	c.Run(64) // warm the icache and TLB
+	c.Run(64) // warm the superblock store, icache, and TLB
 	b.ReportAllocs()
 	b.ResetTimer()
 	c.Run(b.N)
@@ -84,8 +85,17 @@ func BenchCoreStep(b *testing.B) {
 	}
 }
 
+// BenchCoreStepNoSB is the same workload with superblock fusion disabled
+// but the TLB/icache fast path on — the per-instruction Step loop the
+// superblock gate is measured against (PR 5's 16 ns/instr baseline).
+func BenchCoreStepNoSB(b *testing.B) {
+	cpu.DisableSuperblocks = true
+	defer func() { cpu.DisableSuperblocks = false }()
+	BenchCoreStep(b)
+}
+
 // BenchCoreStepSlow is the same workload with the fast path disabled — the
-// pre-optimization per-access page-table walk.
+// pre-optimization per-access page-table walk (which also forgoes fusion).
 func BenchCoreStepSlow(b *testing.B) {
 	cpu.DisableFastPath = true
 	defer func() { cpu.DisableFastPath = false }()
@@ -123,13 +133,17 @@ func BenchASCheckHitSlow(b *testing.B) {
 }
 
 // BenchReadBytes4K measures a page-sized bulk copy out of uProcess memory
-// (the syscall-layer buffer path): one permission check per page touched.
+// (the syscall-layer buffer path): one permission check per page touched,
+// into a reused buffer — the non-faulting path must not allocate, and CI
+// gates allocs/op at zero.
 func BenchReadBytes4K(b *testing.B) {
 	_, _, as := env(b)
+	buf := make([]byte, mem.PageSize)
 	b.SetBytes(mem.PageSize)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, fault := as.ReadBytes(dataBase, mem.PageSize, mpk.AllowAllValue); fault != nil {
+		if fault := as.ReadBytesInto(dataBase, buf, mpk.AllowAllValue); fault != nil {
 			b.Fatal(fault)
 		}
 	}
@@ -183,7 +197,7 @@ func BenchMachineIPS(b *testing.B) {
 		c.PKRU = mpk.AllowAllValue
 		c.PC = textBase
 		c.Regs[cpu.RSP] = cpu.Word(stackBase) + cpu.Word((i+1)*mem.PageSize)
-		c.Run(64) // warm each core's icache and TLB
+		c.Run(64) // warm each core's superblock store, icache, and TLB
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

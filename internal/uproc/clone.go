@@ -47,13 +47,13 @@ func (d *Domain) CloneUProc(src *UProc, dst *Domain, prog *smas.Program) (*UProc
 	// (same virtual addresses, different physical frames in the new
 	// SMAS).
 	rt := d.S.RuntimePKRU()
+	var page [mem.PageSize]byte
 	for off := uint64(0); off < src.Image.Region.Size; off += mem.PageSize {
 		a := src.Image.Region.Base + mem.Addr(off)
-		page, f := d.S.AS.ReadBytes(a, mem.PageSize, rt)
-		if f != nil {
+		if f := d.S.AS.ReadBytesInto(a, page[:], rt); f != nil {
 			return nil, f
 		}
-		if f := dst.S.AS.WriteBytes(a, page, dst.S.RuntimePKRU()); f != nil {
+		if f := dst.S.AS.WriteBytes(a, page[:], dst.S.RuntimePKRU()); f != nil {
 			return nil, f
 		}
 	}

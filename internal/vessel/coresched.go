@@ -21,7 +21,10 @@ const coSimSlice = 1 * sim.Microsecond
 // the event engine — together for the given virtual duration. Cores
 // execute approximately slice×clock instructions per interleave step, so
 // engine-driven actors (the CoreScheduler, Uintr deliveries) observe core
-// state at microsecond granularity, as a real scheduler core would.
+// state at microsecond granularity, as a real scheduler core would. The
+// per-slice step budget is exact even though cores execute fused
+// superblocks: Core.Run splits a block at the budget, so every
+// interleave boundary sits on a precise instruction count.
 func (mg *Manager) RunFor(total sim.Duration) {
 	ghz := mg.m.Costs.ClockGHz
 	stepsPerSlice := int(float64(coSimSlice) * ghz)

@@ -191,6 +191,10 @@ func (mg *Manager) DrainZombies(quantum int) (bool, error) {
 func (mg *Manager) Start(core int) error { return mg.Domain.StartCore(core) }
 
 // Step runs up to n instructions on a core, returning how many executed.
+// Execution goes through the core's superblock engine; Core.Run's
+// step-count contract guarantees the returned count (and the core's
+// cycle accounting) is exactly what n per-instruction Steps would give,
+// so callers may sum counts across quanta without drift.
 func (mg *Manager) Step(core, n int) int { return mg.m.Core(core).Run(n) }
 
 // RunTimesliced drives a core for totalSteps instructions, injecting a
@@ -199,7 +203,10 @@ func (mg *Manager) Step(core, n int) int { return mg.m.Core(core).Run(n) }
 // preemptions injected. A core that stops because of an uncontained fault
 // (a crash in the trusted runtime, or outside any uProcess) surfaces that
 // fault as an error; a core that merely went idle (quiescence) returns
-// nil — callers can tell a crashed core from a finished one.
+// nil — callers can tell a crashed core from a finished one. Quantum
+// boundaries are exact under superblock fusion: Run splits a fused block
+// at the budget, so preemptions land after precisely quantumSteps
+// retired instructions, never mid-block.
 func (mg *Manager) RunTimesliced(core, totalSteps, quantumSteps int) (int, error) {
 	if quantumSteps <= 0 {
 		return 0, fmt.Errorf("vessel: quantum must be positive")
